@@ -1,0 +1,38 @@
+//! Ablation: the paper's two-set scheme vs. the k-set generalization it
+//! mentions ("it is possible to partition P into a larger number of
+//! subsets").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_atpg::{EnrichmentAtpg, TargetSplit};
+use pdf_bench::setup;
+use pdf_paths::LengthHistogram;
+
+fn bench_ksets(c: &mut Criterion) {
+    let s = setup("b09", 2_000, 200);
+    let histogram = LengthHistogram::from_lengths(s.faults.delays());
+    let classes = histogram.classes();
+    let top = classes[0].length;
+    let bottom = classes.last().unwrap().length;
+    let mid1 = bottom + (top - bottom) * 2 / 3;
+    let mid2 = bottom + (top - bottom) / 3;
+
+    let splits = [
+        ("k2", TargetSplit::by_thresholds(&s.faults, &[mid1])),
+        ("k3", TargetSplit::by_thresholds(&s.faults, &[mid1, mid2])),
+        (
+            "k4",
+            TargetSplit::by_thresholds(&s.faults, &[mid1, mid2, bottom + 1]),
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_ksets");
+    group.sample_size(10);
+    for (label, split) in &splits {
+        group.bench_function(format!("b09/{label}"), |b| {
+            b.iter(|| EnrichmentAtpg::new(&s.circuit).with_seed(2002).run(split));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksets);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Ablation: how the `N_P0` threshold (the size of `P_0`) shifts the cost
+//! of the enrichment run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_atpg::{EnrichmentAtpg, TargetSplit};
+use pdf_bench::setup;
+
+fn bench_np0(c: &mut Criterion) {
+    let s = setup("b09", 2_000, 200);
+    let mut group = c.benchmark_group("ablation_np0");
+    group.sample_size(10);
+    for n_p0 in [50usize, 150, 400] {
+        let split = TargetSplit::by_cumulative_length(&s.faults, n_p0);
+        group.bench_function(format!("b09/np0_{n_p0}"), |b| {
+            b.iter(|| EnrichmentAtpg::new(&s.circuit).with_seed(2002).run(&split));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_np0);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: run time of the basic procedure under each compaction
+//! heuristic (the quality numbers are in Tables 3–5; this measures cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction};
+use pdf_bench::setup;
+
+fn bench_ordering(c: &mut Criterion) {
+    let s = setup("b09", 2_000, 200);
+    let mut group = c.benchmark_group("ablation_ordering");
+    group.sample_size(10);
+    for compaction in Compaction::ALL {
+        group.bench_function(format!("b09/{}", compaction.label()), |b| {
+            let config = AtpgConfig {
+                seed: 2002,
+                compaction,
+                justify_attempts: 1,
+                secondary_mode: Default::default(),
+            };
+            b.iter(|| {
+                BasicAtpg::new(&s.circuit)
+                    .with_config(config)
+                    .run(s.split.p0())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Robust fault simulation throughput: waveform simulation plus
+//! requirement checks over the whole fault population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_atpg::{Justifier, TestSet};
+use pdf_bench::setup;
+use pdf_netlist::simulate_triples;
+
+fn bench_fsim(c: &mut Criterion) {
+    let s = setup("b09", 2_000, 200);
+    // Build a few real tests to simulate.
+    let mut justifier = Justifier::new(&s.circuit, 3).with_attempts(2);
+    let tests: TestSet = s
+        .faults
+        .iter()
+        .take(40)
+        .filter_map(|e| justifier.justify(&e.assignments))
+        .map(|j| j.test)
+        .collect();
+    assert!(!tests.is_empty());
+
+    let mut group = c.benchmark_group("fault_simulation");
+    group.bench_function("b09/waveforms_per_test", |b| {
+        let t = &tests.tests()[0];
+        let triples = t.to_triples();
+        b.iter(|| simulate_triples(&s.circuit, &triples));
+    });
+    group.bench_function("b09/coverage_full_set", |b| {
+        b.iter(|| tests.coverage(&s.circuit, &s.faults).detected_count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fsim);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Justification benchmarks: the randomized simulation-based engine vs.
+//! the exact branch-and-bound engine, single faults vs. merged
+//! requirement sets, and the implication pre-filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_atpg::{ExactJustifier, Justifier};
+use pdf_bench::setup;
+use pdf_faults::Implicator;
+
+fn bench_justification(c: &mut Criterion) {
+    let s = setup("b09", 2_000, 200);
+    let entries = s.faults.entries();
+    let single = &entries[0].assignments;
+    let merged = entries[0]
+        .assignments
+        .merged(&entries[2].assignments)
+        .or_else(|| entries[0].assignments.merged(&entries[4].assignments))
+        .unwrap_or_else(|| entries[0].assignments.clone());
+
+    let mut group = c.benchmark_group("justification");
+    group.bench_function("b09/simulation_single", |b| {
+        let mut j = Justifier::new(&s.circuit, 1);
+        b.iter(|| j.justify(single));
+    });
+    group.bench_function("b09/simulation_merged", |b| {
+        let mut j = Justifier::new(&s.circuit, 1);
+        b.iter(|| j.justify(&merged));
+    });
+    group.bench_function("b09/exact_single", |b| {
+        let j = ExactJustifier::new(&s.circuit);
+        b.iter(|| j.justify(single));
+    });
+    group.bench_function("b09/implication_prefilter", |b| {
+        b.iter(|| Implicator::from_assignments(&s.circuit, &merged).is_ok());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_justification);
+criterion_main!(benches);

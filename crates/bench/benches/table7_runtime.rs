@@ -1,0 +1,24 @@
+//! Regenerates the paper's Table 7 as a Criterion benchmark: the run time
+//! of the enrichment procedure relative to the basic value-based
+//! procedure on the same split. The paper reports ratios of 0.94–2.51;
+//! compare the two groups' mean times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_atpg::{BasicAtpg, EnrichmentAtpg};
+use pdf_bench::setup;
+
+fn bench_table7(c: &mut Criterion) {
+    let s = setup("b09", 2_000, 200);
+    let mut group = c.benchmark_group("table7_runtime");
+    group.sample_size(10);
+    group.bench_function("b09/basic_values", |b| {
+        b.iter(|| BasicAtpg::new(&s.circuit).with_seed(2002).run(s.split.p0()));
+    });
+    group.bench_function("b09/enrichment", |b| {
+        b.iter(|| EnrichmentAtpg::new(&s.circuit).with_seed(2002).run(&s.split));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared setup helpers for the Criterion benchmarks.
+//!
+//! Benchmarks run on reduced workloads (small enumeration caps, the
+//! smaller stand-in circuits) so that Criterion's repeated sampling stays
+//! tractable; the full-scale numbers come from
+//! `cargo run --release -p pdf-experiments --bin all_tables`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pdf_atpg::TargetSplit;
+use pdf_faults::FaultList;
+use pdf_netlist::Circuit;
+use pdf_paths::PathEnumerator;
+
+/// A circuit with its enumerated faults and P0/P1 split, sized for
+/// benchmarking.
+#[derive(Debug)]
+pub struct BenchSetup {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// The detectable fault population.
+    pub faults: FaultList,
+    /// The target split.
+    pub split: TargetSplit,
+}
+
+/// Prepares `name` with a reduced cap (`n_p` faults) and `n_p0` split
+/// threshold.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known benchmark stand-in.
+#[must_use]
+pub fn setup(name: &str, n_p: usize, n_p0: usize) -> BenchSetup {
+    let circuit = if name == "s27" {
+        pdf_netlist::iscas::s27()
+    } else {
+        pdf_netlist::stand_in_profile(name)
+            .unwrap_or_else(|| panic!("unknown circuit {name}"))
+            .generate()
+            .to_circuit()
+            .expect("stand-ins are combinational")
+    };
+    let enumeration = PathEnumerator::new(&circuit).with_cap(n_p).enumerate();
+    let (faults, _) = FaultList::build(&circuit, &enumeration.store);
+    let split = TargetSplit::by_cumulative_length(&faults, n_p0);
+    BenchSetup {
+        circuit,
+        faults,
+        split,
+    }
+}

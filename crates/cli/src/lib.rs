@@ -1,0 +1,592 @@
+//! Implementation of the `pdfatpg` command-line tool.
+//!
+//! The binary front-end (`main.rs`) is a thin wrapper; all commands live
+//! here and return their output as strings, which keeps them directly
+//! testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, EnrichmentAtpg, TargetSplit};
+use pdf_faults::FaultList;
+use pdf_logic::Value;
+use pdf_netlist::{Circuit, LineKind, Netlist, TwoPattern};
+use pdf_paths::{PathEnumerator, PathSpectrum, Strategy};
+
+/// The command-line usage text.
+pub const USAGE: &str = "\
+pdfatpg — path delay fault analysis and test enrichment
+         (Pomeranz & Reddy, DATE 2002)
+
+USAGE:
+    pdfatpg <COMMAND> <CIRCUIT> [OPTIONS]
+
+CIRCUIT:
+    a .bench file path, `s27`, `c17`, or a benchmark stand-in name
+    (s641, s953, s1196, s1423, s1488, b03, b04, b09, s1423*, s5378*, s9234*)
+
+COMMANDS:
+    info      <circuit>              structural summary
+    spectrum  <circuit> [--top N]    exact path counts per length (no enumeration)
+    paths     <circuit> [--cap N] [--units N] [--strategy moderate|distance]
+                                     enumerate the longest paths
+    faults    <circuit> [--cap N] [--limit N]
+                                     the detectable fault population and A(p) sets
+    atpg      <circuit> [--cap N] [--np0 N] [--heuristic uncomp|arbit|length|values]
+                        [--seed S] [--attempts N] [--enrich] [--minimize]
+                        [--output FILE]
+                                     generate a (optionally enriched) robust test set
+    sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
+    dot       <circuit>              Graphviz export
+    bench     <circuit>              emit the netlist as .bench text
+
+Sequential netlists are reduced to their combinational core; XOR/XNOR
+gates are decomposed before path analysis. Both transformations print a
+notice to stderr.
+";
+
+/// A fatal command error (message for stderr).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> CliError {
+        CliError(s)
+    }
+}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(message.into()))
+}
+
+/// Simple option parser: `--key value` pairs plus positionals.
+#[derive(Debug, Default)]
+pub struct Options {
+    positionals: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    /// Parses `args` (without the command itself). Options named in
+    /// `value_flags` consume a value; all other `--flags` are boolean.
+    pub fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Options, CliError> {
+        let mut out = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let Some(value) = it.next() else {
+                        return err(format!("--{name} requires a value"));
+                    };
+                    out.flags.push((name.to_owned(), Some(value.clone())));
+                } else if bool_flags.contains(&name) {
+                    out.flags.push((name.to_owned(), None));
+                } else {
+                    return err(format!("unknown option --{name}"));
+                }
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The positional arguments.
+    #[must_use]
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The value of `--name`, if present.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether boolean `--name` was given.
+    #[must_use]
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, v)| n == name && v.is_none())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value for --{name}: `{v}`"))),
+        }
+    }
+}
+
+/// Loads a circuit by name or file path, normalizing to a combinational,
+/// parity-free line-level circuit. Notices go to `notes`.
+pub fn load_circuit(spec: &str, notes: &mut String) -> Result<Circuit, CliError> {
+    if spec == "s27" {
+        return Ok(pdf_netlist::iscas::s27());
+    }
+    if spec == "c17" {
+        return Ok(pdf_netlist::iscas::c17());
+    }
+    let netlist: Netlist = if let Some(profile) = pdf_netlist::stand_in_profile(spec) {
+        profile.generate()
+    } else {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| CliError(format!("cannot read `{spec}`: {e}")))?;
+        let name = std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit")
+            .to_owned();
+        pdf_netlist::parse_bench(&text, &name).map_err(|e| CliError(format!("{spec}: {e}")))?
+    };
+    let netlist = if netlist.dff_count() > 0 {
+        let _ = writeln!(
+            notes,
+            "note: {} flip-flops removed; analysing the combinational core",
+            netlist.dff_count()
+        );
+        netlist.combinational_core()
+    } else {
+        netlist
+    };
+    let netlist = if netlist.gates().iter().any(|g| g.kind.is_parity()) {
+        let _ = writeln!(notes, "note: XOR/XNOR gates decomposed for path analysis");
+        netlist.decompose_parity()
+    } else {
+        netlist
+    };
+    netlist
+        .to_circuit()
+        .map_err(|e| CliError(format!("{spec}: {e}")))
+}
+
+/// `pdfatpg info`.
+pub fn cmd_info(circuit: &Circuit) -> String {
+    let spectrum = PathSpectrum::of(circuit);
+    let mut s = String::new();
+    let _ = writeln!(s, "circuit: {}", circuit.name());
+    let _ = writeln!(
+        s,
+        "lines: {} ({} inputs, {} gates, {} branches, {} outputs)",
+        circuit.line_count(),
+        circuit.inputs().len(),
+        circuit.gate_count(),
+        circuit.branch_count(),
+        circuit.outputs().len(),
+    );
+    let _ = writeln!(s, "critical path delay: {}", circuit.critical_delay());
+    let _ = writeln!(
+        s,
+        "complete paths: {}{}",
+        spectrum.total(),
+        if spectrum.saturated() { "+ (saturated)" } else { "" },
+    );
+    let _ = writeln!(
+        s,
+        "path delays: {} distinct, {}..={}",
+        spectrum.iter_desc().count(),
+        spectrum.min_delay().unwrap_or(0),
+        spectrum.max_delay().unwrap_or(0),
+    );
+    s
+}
+
+/// `pdfatpg spectrum`.
+pub fn cmd_spectrum(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let top: usize = options.parsed("top", 20)?;
+    let spectrum = PathSpectrum::of(circuit);
+    let mut s = String::new();
+    let _ = writeln!(s, "{:>4} {:>8} {:>20} {:>20}", "i", "L_i", "paths", "cumulative");
+    let mut cumulative = 0u64;
+    for (i, (delay, count)) in spectrum.iter_desc().take(top).enumerate() {
+        cumulative = cumulative.saturating_add(count);
+        let _ = writeln!(s, "{i:>4} {delay:>8} {count:>20} {cumulative:>20}");
+    }
+    Ok(s)
+}
+
+fn strategy_from(options: &Options) -> Result<Strategy, CliError> {
+    match options.value("strategy") {
+        None | Some("distance") => Ok(Strategy::DistanceBased),
+        Some("moderate") => Ok(Strategy::Moderate),
+        Some(other) => err(format!("unknown strategy `{other}`")),
+    }
+}
+
+/// `pdfatpg paths`.
+pub fn cmd_paths(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let cap: usize = options.parsed("cap", 10_000)?;
+    let units: u32 = options.parsed("units", 2)?;
+    let result = PathEnumerator::new(circuit)
+        .with_cap(cap)
+        .with_units_per_path(units)
+        .with_strategy(strategy_from(options)?)
+        .enumerate();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} paths retained (cap {} fault units; {} removals{})",
+        result.store.len(),
+        cap,
+        result.stats.removed,
+        if result.stats.overflowed { "; cap overflowed" } else { "" },
+    );
+    for entry in result.store.iter() {
+        let _ = writeln!(s, "{:>4}  {}", entry.delay, entry.path);
+    }
+    Ok(s)
+}
+
+/// `pdfatpg faults`.
+pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let cap: usize = options.parsed("cap", 10_000)?;
+    let limit: usize = options.parsed("limit", 20)?;
+    let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
+    let (faults, stats) = FaultList::build(circuit, &result.store);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} candidates -> {} detectable ({} conflicting conditions, {} by implication)",
+        stats.candidates, faults.len(), stats.rule1_conflicts, stats.rule2_conflicts,
+    );
+    let histogram = pdf_paths::LengthHistogram::from_lengths(faults.delays());
+    let _ = writeln!(s, "length classes: {}", histogram.len());
+    for entry in faults.iter().take(limit) {
+        let _ = writeln!(s, "{}  A(p) = {}", entry.fault, entry.assignments);
+    }
+    if faults.len() > limit {
+        let _ = writeln!(s, "... {} more (raise --limit)", faults.len() - limit);
+    }
+    Ok(s)
+}
+
+fn heuristic_from(options: &Options) -> Result<Compaction, CliError> {
+    match options.value("heuristic") {
+        None | Some("values") => Ok(Compaction::ValueBased),
+        Some("uncomp") => Ok(Compaction::Uncompacted),
+        Some("arbit") => Ok(Compaction::Arbitrary),
+        Some("length") => Ok(Compaction::LengthBased),
+        Some(other) => err(format!("unknown heuristic `{other}`")),
+    }
+}
+
+/// `pdfatpg atpg`.
+pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let cap: usize = options.parsed("cap", 10_000)?;
+    let n_p0: usize = options.parsed("np0", 1_000)?;
+    let seed: u64 = options.parsed("seed", 2002)?;
+    let attempts: u32 = options.parsed("attempts", 1)?;
+    let config = AtpgConfig {
+        seed,
+        compaction: heuristic_from(options)?,
+        justify_attempts: attempts,
+        secondary_mode: Default::default(),
+    };
+
+    let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
+    let (faults, _) = FaultList::build(circuit, &result.store);
+    if faults.is_empty() {
+        return err("no detectable path delay faults in the enumerated population");
+    }
+    let split = TargetSplit::by_cumulative_length(&faults, n_p0);
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "targets: |P0| = {} (lengths >= {}), |P1| = {}",
+        split.p0().len(),
+        split.cutoffs()[0],
+        split.p1().len(),
+    );
+    let (tests, summary) = if options.has("enrich") {
+        let outcome = EnrichmentAtpg::new(circuit).with_config(config).run(&split);
+        let summary = format!(
+            "enrichment: {} tests; P0 {}/{}; P0∪P1 {}/{}",
+            outcome.tests().len(),
+            outcome.detected_in_set(0),
+            split.p0().len(),
+            outcome.detected_total(),
+            split.total(),
+        );
+        (outcome.tests().clone(), summary)
+    } else {
+        let outcome = BasicAtpg::new(circuit).with_config(config).run(split.p0());
+        let summary = format!(
+            "basic ({}): {} tests; P0 {}/{}",
+            config.compaction.label(),
+            outcome.tests().len(),
+            outcome.detected_in_set(0),
+            split.p0().len(),
+        );
+        (outcome.tests().clone(), summary)
+    };
+    let _ = writeln!(s, "{summary}");
+
+    let tests = if options.has("minimize") {
+        let everything: FaultList = split
+            .p0()
+            .iter()
+            .chain(split.p1().iter())
+            .cloned()
+            .collect();
+        let minimized = tests.minimized(circuit, &everything);
+        let _ = writeln!(
+            s,
+            "static minimization: {} -> {} tests (coverage preserved)",
+            tests.len(),
+            minimized.len(),
+        );
+        minimized
+    } else {
+        tests
+    };
+
+    if let Some(path) = options.value("output") {
+        std::fs::write(path, tests.to_text())
+            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+        let _ = writeln!(s, "test set written to {path}");
+    } else {
+        s.push_str(&tests.to_text());
+    }
+    Ok(s)
+}
+
+/// `pdfatpg sim`.
+pub fn cmd_sim(circuit: &Circuit, v1: &str, v2: &str) -> Result<String, CliError> {
+    let parse = |text: &str| -> Result<Vec<Value>, CliError> {
+        let values: Result<Vec<Value>, _> = text.chars().map(Value::try_from).collect();
+        values.map_err(|e| CliError(e.to_string()))
+    };
+    let v1 = parse(v1)?;
+    let v2 = parse(v2)?;
+    let n = circuit.inputs().len();
+    if v1.len() != n || v2.len() != n {
+        return err(format!("patterns must have {n} values (one per input)"));
+    }
+    let test = TwoPattern::new(v1, v2);
+    let waves = pdf_netlist::simulate_triples(circuit, &test.to_triples());
+    let mut s = String::new();
+    let _ = writeln!(s, "test: {test}");
+    let _ = writeln!(s, "{:>5}  {:<16} {:<8} {}", "line", "name", "kind", "waveform");
+    for (id, line) in circuit.iter() {
+        let kind = match line.kind() {
+            LineKind::Input => "input",
+            LineKind::Gate(_) => "gate",
+            LineKind::Branch { .. } => "branch",
+        };
+        let _ = writeln!(
+            s,
+            "{:>5}  {:<16} {:<8} {}{}",
+            id.to_string(),
+            line.name(),
+            kind,
+            waves[id.index()],
+            if line.is_output() { "  [output]" } else { "" },
+        );
+    }
+    Ok(s)
+}
+
+/// Runs a full command line (without `argv[0]`). Returns the stdout text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return err(USAGE);
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Ok(USAGE.to_owned());
+    }
+    let Some(spec) = args.get(1) else {
+        return err(format!("`{command}` requires a circuit argument\n\n{USAGE}"));
+    };
+    let rest = &args[2..];
+    let mut notes = String::new();
+    let circuit = load_circuit(spec, &mut notes)?;
+    if !notes.is_empty() {
+        eprint!("{notes}");
+    }
+    match command.as_str() {
+        "info" => Ok(cmd_info(&circuit)),
+        "spectrum" => {
+            let options = Options::parse(rest, &["top"], &[])?;
+            cmd_spectrum(&circuit, &options)
+        }
+        "paths" => {
+            let options = Options::parse(rest, &["cap", "units", "strategy"], &[])?;
+            cmd_paths(&circuit, &options)
+        }
+        "faults" => {
+            let options = Options::parse(rest, &["cap", "limit"], &[])?;
+            cmd_faults(&circuit, &options)
+        }
+        "atpg" => {
+            let options = Options::parse(
+                rest,
+                &["cap", "np0", "heuristic", "seed", "attempts", "output"],
+                &["enrich", "minimize"],
+            )?;
+            cmd_atpg(&circuit, &options)
+        }
+        "sim" => match rest {
+            [v1, v2] => cmd_sim(&circuit, v1, v2),
+            _ => err("sim requires exactly two pattern arguments"),
+        },
+        "dot" => Ok(pdf_netlist::to_dot(&circuit)),
+        "bench" => {
+            // Emitting the line-level circuit would be lossy; emit the
+            // original netlist for stand-ins and parsed files instead.
+            if let Some(profile) = pdf_netlist::stand_in_profile(spec) {
+                Ok(pdf_netlist::to_bench_string(&profile.generate()))
+            } else if spec == "s27" {
+                Ok(pdf_netlist::iscas::S27_BENCH.to_owned())
+            } else if spec == "c17" {
+                Ok(pdf_netlist::iscas::C17_BENCH.to_owned())
+            } else {
+                let text = std::fs::read_to_string(spec)
+                    .map_err(|e| CliError(format!("cannot read `{spec}`: {e}")))?;
+                Ok(text)
+            }
+        }
+        other => err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let e = run(&args(&["frobnicate", "s27"])).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn info_on_s27() {
+        let out = run(&args(&["info", "s27"])).unwrap();
+        assert!(out.contains("26"), "{out}");
+        assert!(out.contains("critical path delay: 10"));
+    }
+
+    #[test]
+    fn spectrum_on_s27() {
+        let out = run(&args(&["spectrum", "s27", "--top", "3"])).unwrap();
+        assert!(out.contains("10"), "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+    }
+
+    #[test]
+    fn paths_moderate_walkthrough() {
+        let out = run(&args(&[
+            "paths", "s27", "--cap", "20", "--units", "1", "--strategy", "moderate",
+        ]))
+        .unwrap();
+        assert!(out.contains("19 paths retained"), "{out}");
+        assert!(out.contains("(1,8,13,14,16,19,20,21,22,25)"));
+    }
+
+    #[test]
+    fn faults_lists_assignments() {
+        let out = run(&args(&["faults", "s27", "--limit", "3"])).unwrap();
+        assert!(out.contains("A(p)"), "{out}");
+        assert!(out.contains("detectable"));
+    }
+
+    #[test]
+    fn atpg_enrich_emits_tests() {
+        let out = run(&args(&[
+            "atpg", "s27", "--np0", "10", "--enrich", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("enrichment:"), "{out}");
+        assert!(out.contains("path-delay-atpg test set v1"));
+        // The emitted text parses back.
+        let body: String = out
+            .lines()
+            .skip_while(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let set = pdf_atpg::TestSet::from_text(&body).unwrap();
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn atpg_minimize_reports_shrinkage() {
+        let out = run(&args(&[
+            "atpg", "s27", "--np0", "10", "--minimize", "--heuristic", "uncomp",
+        ]))
+        .unwrap();
+        assert!(out.contains("static minimization:"), "{out}");
+    }
+
+    #[test]
+    fn sim_prints_waveforms() {
+        let out = run(&args(&["sim", "s27", "0101010", "1101010"])).unwrap();
+        assert!(out.contains("waveform"), "{out}");
+        assert!(out.lines().count() > 26);
+    }
+
+    #[test]
+    fn sim_rejects_wrong_width() {
+        let e = run(&args(&["sim", "s27", "01", "10"])).unwrap_err();
+        assert!(e.0.contains("7 values"));
+    }
+
+    #[test]
+    fn dot_and_bench_roundtrip() {
+        let dot = run(&args(&["dot", "c17"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+        let bench = run(&args(&["bench", "b03"])).unwrap();
+        let parsed = pdf_netlist::parse_bench(&bench, "b03").unwrap();
+        assert!(parsed.gate_count() > 100);
+    }
+
+    #[test]
+    fn missing_file_reports_error() {
+        let e = run(&args(&["info", "/nonexistent/file.bench"])).unwrap_err();
+        assert!(e.0.contains("cannot read"));
+    }
+
+    #[test]
+    fn option_parser_rules() {
+        let o = Options::parse(
+            &args(&["--cap", "5", "pos", "--enrich"]),
+            &["cap"],
+            &["enrich"],
+        )
+        .unwrap();
+        assert_eq!(o.value("cap"), Some("5"));
+        assert!(o.has("enrich"));
+        assert_eq!(o.positionals(), &["pos".to_owned()]);
+        assert!(Options::parse(&args(&["--cap"]), &["cap"], &[]).is_err());
+        assert!(Options::parse(&args(&["--bogus"]), &["cap"], &[]).is_err());
+    }
+}

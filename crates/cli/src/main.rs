@@ -1,0 +1,12 @@
+//! `pdfatpg` — command-line front end; see `pdf_cli::USAGE`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pdf_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,761 @@
+//! The test generation procedures: the basic single-set generator with its
+//! compaction heuristics (paper Sec. 2.2) and the multi-set enrichment
+//! procedure (paper Sec. 3.2).
+//!
+//! Both share one engine. A test is built around a **primary target
+//! fault** taken from `P_0`; **secondary target faults** are then folded
+//! into the same test one at a time — a secondary candidate is accepted if
+//! the justification procedure finds a test satisfying the union of the
+//! necessary assignments of everything accepted so far. Under enrichment,
+//! candidates are drawn from `P_0` first and only then from `P_1` (or the
+//! further sets of a k-set split), so the number of tests stays determined
+//! by `P_0` alone while `P_1` detections come for free.
+
+use pdf_faults::{Assignments, FaultEntry, FaultList};
+use pdf_logic::Value;
+use pdf_netlist::{Circuit, LineId, SplitMix64};
+
+use crate::{Justified, Justifier, JustifyStats, TargetSplit, TestSet};
+
+/// The compaction heuristic used to order primary and secondary targets
+/// (paper Sec. 2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Compaction {
+    /// No secondary targets at all: one primary per test (the paper's
+    /// `uncomp` baseline).
+    Uncompacted,
+    /// Primary and secondary targets in fault-list order. Our fault lists
+    /// are sorted longest-first by construction, so to keep this order
+    /// genuinely arbitrary it is a deterministic seeded shuffle (the
+    /// paper's lists carry enumeration order, which is likewise
+    /// uncorrelated by intent).
+    Arbitrary,
+    /// Longest path first, for both primary and secondary targets.
+    LengthBased,
+    /// Longest path first for the primary; secondaries minimize the number
+    /// of new value components `n_Δ(p_i)` the test must additionally
+    /// satisfy. The paper's choice, and the default.
+    #[default]
+    ValueBased,
+}
+
+impl Compaction {
+    /// All heuristics, in the paper's table order.
+    pub const ALL: [Compaction; 4] = [
+        Compaction::Uncompacted,
+        Compaction::Arbitrary,
+        Compaction::LengthBased,
+        Compaction::ValueBased,
+    ];
+
+    /// The short name used in the paper's tables.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Compaction::Uncompacted => "uncomp",
+            Compaction::Arbitrary => "arbit",
+            Compaction::LengthBased => "length",
+            Compaction::ValueBased => "values",
+        }
+    }
+}
+
+/// How an accepted test is revised when a secondary target is added.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SecondaryMode {
+    /// Regenerate the test from scratch for the grown requirement union —
+    /// the paper's choice (Sec. 2.2): "new values can be specified under
+    /// t ... if they are more suitable for detecting p_i".
+    #[default]
+    Regenerate,
+    /// Freeze the input values committed so far and only specify further
+    /// ones — the classical dynamic-compaction style of Goel & Rosales
+    /// (the paper's reference [8]), kept as an ablation: the paper argues
+    /// regeneration detects more secondary targets.
+    FreezeValues,
+}
+
+impl SecondaryMode {
+    /// A short label for reports.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SecondaryMode::Regenerate => "regenerate",
+            SecondaryMode::FreezeValues => "freeze",
+        }
+    }
+}
+
+/// Configuration shared by the basic and enrichment generators.
+#[derive(Clone, Copy, Debug)]
+pub struct AtpgConfig {
+    /// Seed for every random choice (justification decisions, the
+    /// arbitrary order, leftover input filling). Equal seeds give
+    /// bit-identical outcomes.
+    pub seed: u64,
+    /// The compaction heuristic.
+    pub compaction: Compaction,
+    /// Randomized attempts per justification call (the paper uses one; a
+    /// few more trade run time for fewer random misses).
+    pub justify_attempts: u32,
+    /// How secondary targets extend the test under construction.
+    pub secondary_mode: SecondaryMode,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> AtpgConfig {
+        AtpgConfig {
+            seed: 2002,
+            compaction: Compaction::ValueBased,
+            justify_attempts: 1,
+            secondary_mode: SecondaryMode::default(),
+        }
+    }
+}
+
+/// Counters describing a generation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AtpgStats {
+    /// Primary targets that failed justification (not retried).
+    pub aborted_primaries: usize,
+    /// Secondary candidates accepted via a justification run.
+    pub secondary_accepts: usize,
+    /// Secondary candidates accepted for free (already satisfied by the
+    /// test built so far).
+    pub free_accepts: usize,
+    /// Secondary candidates rejected by a failed justification.
+    pub secondary_rejects: usize,
+    /// Secondary candidates rejected because their requirements conflict
+    /// with the accumulated union (no justification attempted).
+    pub conflict_rejects: usize,
+    /// Justifier counters.
+    pub justify: JustifyStats,
+}
+
+/// The result of a generation run over one or more target sets.
+#[derive(Clone, Debug)]
+pub struct AtpgOutcome {
+    test_set: TestSet,
+    detected: Vec<bool>,
+    aborted: Vec<bool>,
+    set_sizes: Vec<usize>,
+    stats: AtpgStats,
+}
+
+impl AtpgOutcome {
+    /// The generated tests.
+    #[must_use]
+    pub fn tests(&self) -> &TestSet {
+        &self.test_set
+    }
+
+    /// Per-fault detection flags over the concatenation of the target
+    /// sets (set 0 first).
+    #[must_use]
+    pub fn detected(&self) -> &[bool] {
+        &self.detected
+    }
+
+    /// Per-fault abort flags (only primaries can abort).
+    #[must_use]
+    pub fn aborted(&self) -> &[bool] {
+        &self.aborted
+    }
+
+    /// The sizes of the target sets, in order.
+    #[must_use]
+    pub fn set_sizes(&self) -> &[usize] {
+        &self.set_sizes
+    }
+
+    /// Number of faults detected within target set `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn detected_in_set(&self, set: usize) -> usize {
+        let (lo, hi) = self.set_range(set);
+        self.detected[lo..hi].iter().filter(|&&d| d).count()
+    }
+
+    /// Total detected faults across all sets.
+    #[must_use]
+    pub fn detected_total(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Run counters.
+    #[must_use]
+    pub fn stats(&self) -> &AtpgStats {
+        &self.stats
+    }
+
+    fn set_range(&self, set: usize) -> (usize, usize) {
+        let lo: usize = self.set_sizes[..set].iter().sum();
+        (lo, lo + self.set_sizes[set])
+    }
+}
+
+/// The basic test generation procedure over a single target set
+/// (paper Sec. 2).
+///
+/// # Example
+///
+/// ```
+/// use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction};
+/// use pdf_faults::FaultList;
+/// use pdf_netlist::iscas::s27;
+/// use pdf_paths::PathEnumerator;
+///
+/// let circuit = s27();
+/// let paths = PathEnumerator::new(&circuit).enumerate();
+/// let (faults, _) = FaultList::build(&circuit, &paths.store);
+///
+/// let outcome = BasicAtpg::new(&circuit)
+///     .with_config(AtpgConfig { compaction: Compaction::ValueBased, ..Default::default() })
+///     .run(&faults);
+/// assert!(outcome.detected_in_set(0) > 0);
+/// assert!(outcome.tests().len() <= faults.len());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BasicAtpg<'c> {
+    circuit: &'c Circuit,
+    config: AtpgConfig,
+}
+
+impl<'c> BasicAtpg<'c> {
+    /// Creates a generator with the default configuration.
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> BasicAtpg<'c> {
+        BasicAtpg {
+            circuit,
+            config: AtpgConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: AtpgConfig) -> BasicAtpg<'c> {
+        self.config = config;
+        self
+    }
+
+    /// Convenience: replaces just the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> BasicAtpg<'c> {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Runs test generation for `targets`.
+    #[must_use]
+    pub fn run(&self, targets: &FaultList) -> AtpgOutcome {
+        Session::new(self.circuit, self.config, &[targets]).run()
+    }
+}
+
+/// The proposed test enrichment procedure over a multi-set target split
+/// (paper Sec. 3): primaries come from `P_0` only, secondaries from `P_0`
+/// first and then from the following sets, so the test count stays
+/// determined by `P_0`.
+///
+/// The compaction heuristic of the underlying generation is the value-based
+/// one by default, as selected in the paper.
+///
+/// # Example
+///
+/// ```
+/// use pdf_atpg::{EnrichmentAtpg, TargetSplit};
+/// use pdf_faults::FaultList;
+/// use pdf_netlist::iscas::s27;
+/// use pdf_paths::PathEnumerator;
+///
+/// let circuit = s27();
+/// let paths = PathEnumerator::new(&circuit).enumerate();
+/// let (faults, _) = FaultList::build(&circuit, &paths.store);
+/// let split = TargetSplit::by_cumulative_length(&faults, 10);
+///
+/// let outcome = EnrichmentAtpg::new(&circuit).with_seed(2002).run(&split);
+/// // P1 detections come on top of P0's, with tests driven by P0 alone.
+/// assert!(outcome.detected_total() >= outcome.detected_in_set(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EnrichmentAtpg<'c> {
+    circuit: &'c Circuit,
+    config: AtpgConfig,
+}
+
+impl<'c> EnrichmentAtpg<'c> {
+    /// Creates an enrichment generator with the default configuration.
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> EnrichmentAtpg<'c> {
+        EnrichmentAtpg {
+            circuit,
+            config: AtpgConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: AtpgConfig) -> EnrichmentAtpg<'c> {
+        self.config = config;
+        self
+    }
+
+    /// Convenience: replaces just the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> EnrichmentAtpg<'c> {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Runs enrichment over the split's sets.
+    #[must_use]
+    pub fn run(&self, split: &TargetSplit) -> AtpgOutcome {
+        let sets: Vec<&FaultList> = split.sets().iter().collect();
+        Session::new(self.circuit, self.config, &sets).run()
+    }
+}
+
+/// Internal engine shared by both public procedures.
+struct Session<'c, 'f> {
+    circuit: &'c Circuit,
+    config: AtpgConfig,
+    justifier: Justifier<'c>,
+    /// All faults, set 0 first.
+    faults: Vec<&'f FaultEntry>,
+    /// First index of each set in `faults` (plus a final sentinel).
+    set_starts: Vec<usize>,
+    detected: Vec<bool>,
+    aborted: Vec<bool>,
+    /// Primary (and arbit/length secondary) order over set-0 indices.
+    primary_order: Vec<usize>,
+    stats: AtpgStats,
+}
+
+impl<'c, 'f> Session<'c, 'f> {
+    fn new(circuit: &'c Circuit, config: AtpgConfig, sets: &[&'f FaultList]) -> Session<'c, 'f> {
+        let mut faults = Vec::new();
+        let mut set_starts = vec![0usize];
+        for set in sets {
+            faults.extend(set.iter());
+            set_starts.push(faults.len());
+        }
+        // Decorrelate the shuffle stream from the justifier's stream.
+        let mut rng = SplitMix64::new(config.seed ^ 0x0A1B_2C3D_4E5F_6071);
+        let mut primary_order: Vec<usize> = (0..set_starts[1]).collect();
+        if matches!(config.compaction, Compaction::Arbitrary) {
+            // Fisher-Yates with the deterministic generator.
+            for i in (1..primary_order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                primary_order.swap(i, j);
+            }
+        }
+        let justifier =
+            Justifier::new(circuit, config.seed).with_attempts(config.justify_attempts);
+        Session {
+            circuit,
+            config,
+            justifier,
+            faults,
+            set_starts,
+            detected: vec![false; 0],
+            aborted: vec![false; 0],
+            primary_order,
+            stats: AtpgStats::default(),
+        }
+    }
+
+    fn run(mut self) -> AtpgOutcome {
+        let n = self.faults.len();
+        self.detected = vec![false; n];
+        self.aborted = vec![false; n];
+        let mut test_set = TestSet::new();
+
+        while let Some(primary) = self.next_primary() {
+            let Some(justified) = self.justifier.justify(&self.faults[primary].assignments)
+            else {
+                self.aborted[primary] = true;
+                self.stats.aborted_primaries += 1;
+                continue;
+            };
+            let mut union = self.faults[primary].assignments.clone();
+            // Under the freeze-values mode, input values committed so far
+            // are pinned for every later secondary (Goel-Rosales style).
+            let mut frozen: Vec<(LineId, Value, Value)> =
+                if matches!(self.config.secondary_mode, SecondaryMode::FreezeValues) {
+                    justified.assignment.clone()
+                } else {
+                    Vec::new()
+                };
+            let mut current = justified;
+
+            if !matches!(self.config.compaction, Compaction::Uncompacted) {
+                self.extend_with_secondaries(primary, &mut union, &mut current, &mut frozen);
+            }
+
+            // Drop every fault the finished test detects (the paper's
+            // per-test fault simulation), then record the test.
+            for (i, entry) in self.faults.iter().enumerate() {
+                if !self.detected[i] && entry.assignments.satisfied_by(&current.waves) {
+                    self.detected[i] = true;
+                }
+            }
+            debug_assert!(self.detected[primary], "primary must be detected");
+            test_set.push(current.test);
+        }
+
+        self.stats.justify = self.justifier.stats();
+        let set_sizes = self
+            .set_starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        AtpgOutcome {
+            test_set,
+            detected: self.detected,
+            aborted: self.aborted,
+            set_sizes,
+            stats: self.stats,
+        }
+    }
+
+    /// The next set-0 fault to build a test around: undetected, not yet
+    /// tried as a primary; longest-first except under the arbitrary order.
+    fn next_primary(&self) -> Option<usize> {
+        self.primary_order
+            .iter()
+            .copied()
+            .find(|&i| !self.detected[i] && !self.aborted[i])
+    }
+
+    /// Folds secondary targets into the current test, set by set.
+    fn extend_with_secondaries(
+        &mut self,
+        primary: usize,
+        union: &mut Assignments,
+        current: &mut Justified,
+        frozen: &mut Vec<(LineId, Value, Value)>,
+    ) {
+        let set_count = self.set_starts.len() - 1;
+        for set in 0..set_count {
+            // Per the paper, faults of a later set are considered only
+            // after all faults of the earlier sets.
+            match self.config.compaction {
+                Compaction::Uncompacted => unreachable!("checked by caller"),
+                Compaction::Arbitrary | Compaction::LengthBased => {
+                    self.ordered_pass(set, primary, union, current, frozen);
+                }
+                Compaction::ValueBased => {
+                    self.value_based_pass(set, primary, union, current, frozen);
+                }
+            }
+        }
+    }
+
+    /// Secondary candidates in a fixed order (fault-list order for the
+    /// length-based heuristic, the shuffled order for the arbitrary one).
+    fn ordered_pass(
+        &mut self,
+        set: usize,
+        primary: usize,
+        union: &mut Assignments,
+        current: &mut Justified,
+        frozen: &mut Vec<(LineId, Value, Value)>,
+    ) {
+        let (lo, hi) = (self.set_starts[set], self.set_starts[set + 1]);
+        let order: Vec<usize> = if set == 0 {
+            self.primary_order.clone()
+        } else {
+            (lo..hi).collect()
+        };
+        for i in order {
+            if self.eligible_secondary(i, primary) {
+                self.try_candidate(i, union, current, frozen);
+            }
+        }
+    }
+
+    /// The value-based heuristic: repeatedly take the compatible candidate
+    /// with the fewest new value components `n_Δ`; Δ-sets stay valid
+    /// between accepts because the union only changes on accept.
+    fn value_based_pass(
+        &mut self,
+        set: usize,
+        primary: usize,
+        union: &mut Assignments,
+        current: &mut Justified,
+        frozen: &mut Vec<(LineId, Value, Value)>,
+    ) {
+        let (lo, hi) = (self.set_starts[set], self.set_starts[set + 1]);
+        let mut considered = vec![false; hi - lo];
+        loop {
+            // Rank all unconsidered candidates by n_Δ against the current
+            // union; conflicting candidates are rejected outright.
+            let mut ranked: Vec<(usize, usize)> = Vec::new();
+            for i in lo..hi {
+                if considered[i - lo] || !self.eligible_secondary(i, primary) {
+                    continue;
+                }
+                match union.delta_count(&self.faults[i].assignments) {
+                    Some(delta) => ranked.push((delta, i)),
+                    None => {
+                        considered[i - lo] = true;
+                        self.stats.conflict_rejects += 1;
+                    }
+                }
+            }
+            ranked.sort_unstable();
+            let mut accepted = false;
+            for (_, i) in ranked {
+                considered[i - lo] = true;
+                if self.try_candidate(i, union, current, frozen) {
+                    accepted = true;
+                    break; // union changed: recompute the Δ ranking
+                }
+            }
+            if !accepted {
+                break;
+            }
+        }
+    }
+
+    fn eligible_secondary(&self, i: usize, primary: usize) -> bool {
+        i != primary && !self.detected[i] && !self.aborted[i]
+    }
+
+    /// Attempts to add fault `i` to the current test. Returns `true` when
+    /// the union of requirements changed (the test was regenerated).
+    fn try_candidate(
+        &mut self,
+        i: usize,
+        union: &mut Assignments,
+        current: &mut Justified,
+        frozen: &mut Vec<(LineId, Value, Value)>,
+    ) -> bool {
+        let a = &self.faults[i].assignments;
+        // Free acceptance: the test built so far already detects it. Its
+        // requirements still join the union so that later regenerations
+        // keep detecting it; if that grows the union, the caller must
+        // recompute its Δ ranking (the paper recomputes Δ per selection).
+        if a.satisfied_by(&current.waves) {
+            let mut grew = false;
+            if let Some(merged) = union.merged(a) {
+                grew = merged != *union;
+                *union = merged;
+            }
+            self.detected[i] = true;
+            self.stats.free_accepts += 1;
+            return grew;
+        }
+        let Some(merged) = union.merged(a) else {
+            self.stats.conflict_rejects += 1;
+            return false;
+        };
+        // Implication pre-filter: a contradiction proves no test exists
+        // for the merged requirements, so the (much costlier) randomized
+        // justification is skipped. Sound — it only rejects candidates
+        // justification could never accept.
+        if pdf_faults::Implicator::from_assignments(self.circuit, &merged).is_err() {
+            self.stats.conflict_rejects += 1;
+            return false;
+        }
+        let result = match self.config.secondary_mode {
+            SecondaryMode::Regenerate => self.justifier.justify(&merged),
+            SecondaryMode::FreezeValues => self.justifier.justify_seeded(&merged, frozen),
+        };
+        match result {
+            Some(justified) => {
+                if matches!(self.config.secondary_mode, SecondaryMode::FreezeValues) {
+                    // Pin the newly committed input values for the rest of
+                    // this test's construction.
+                    for &(line, v1, v2) in &justified.assignment {
+                        if !frozen.iter().any(|&(l, _, _)| l == line) {
+                            frozen.push((line, v1, v2));
+                        }
+                    }
+                }
+                *union = merged;
+                *current = justified;
+                self.detected[i] = true;
+                self.stats.secondary_accepts += 1;
+                true
+            }
+            None => {
+                self.stats.secondary_rejects += 1;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_netlist::iscas::s27;
+    use pdf_paths::PathEnumerator;
+
+    fn s27_faults() -> (Circuit, FaultList) {
+        let c = s27();
+        let paths = PathEnumerator::new(&c).enumerate();
+        let (faults, _) = FaultList::build(&c, &paths.store);
+        (c, faults)
+    }
+
+    fn config(compaction: Compaction) -> AtpgConfig {
+        AtpgConfig {
+            seed: 2002,
+            compaction,
+            justify_attempts: 1,
+            secondary_mode: Default::default(),
+        }
+    }
+
+    #[test]
+    fn all_heuristics_complete_and_agree_on_coverage_frontier() {
+        let (c, faults) = s27_faults();
+        let mut counts = Vec::new();
+        for h in Compaction::ALL {
+            let outcome = BasicAtpg::new(&c).with_config(config(h)).run(&faults);
+            // Every reported detection must be real: re-simulate.
+            let cov = outcome.tests().coverage(&c, &faults);
+            assert_eq!(
+                cov.detected(),
+                outcome.detected(),
+                "{}: fault simulation must agree with bookkeeping",
+                h.label()
+            );
+            counts.push((h, outcome.tests().len(), outcome.detected_total()));
+        }
+        // Compaction reduces the number of tests vs uncompacted.
+        let uncomp_tests = counts[0].1;
+        for &(h, tests, _) in &counts[1..] {
+            assert!(
+                tests <= uncomp_tests,
+                "{}: {tests} tests vs uncomp {uncomp_tests}",
+                h.label()
+            );
+        }
+    }
+
+    #[test]
+    fn uncompacted_builds_one_test_per_undetected_primary() {
+        let (c, faults) = s27_faults();
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(Compaction::Uncompacted))
+            .run(&faults);
+        // Each test corresponds to exactly one successful primary attempt.
+        assert_eq!(
+            outcome.tests().len() + outcome.stats().aborted_primaries,
+            outcome.stats().justify.calls
+        );
+        assert_eq!(outcome.stats().secondary_accepts, 0);
+        assert_eq!(outcome.stats().secondary_rejects, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (c, faults) = s27_faults();
+        let a = BasicAtpg::new(&c).with_seed(7).run(&faults);
+        let b = BasicAtpg::new(&c).with_seed(7).run(&faults);
+        assert_eq!(a.tests().len(), b.tests().len());
+        assert_eq!(a.detected(), b.detected());
+        for (ta, tb) in a.tests().tests().iter().zip(b.tests().tests()) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn enrichment_detects_p1_without_more_tests_than_basic_scale() {
+        let (c, faults) = s27_faults();
+        let split = TargetSplit::by_cumulative_length(&faults, 10);
+        assert!(!split.p1().is_empty());
+
+        let basic = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(split.p0());
+        let enriched = EnrichmentAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&split);
+
+        // Test counts are close (identical targets drive both).
+        let delta = enriched.tests().len().abs_diff(basic.tests().len());
+        assert!(delta <= 2, "basic {} vs enriched {}", basic.tests().len(), enriched.tests().len());
+
+        // Enrichment must detect at least one P1 fault on this circuit.
+        let p1_detected = enriched.detected_total() - enriched.detected_in_set(0);
+        assert!(p1_detected > 0);
+    }
+
+    #[test]
+    fn enrichment_p0_detection_not_sacrificed() {
+        let (c, faults) = s27_faults();
+        let split = TargetSplit::by_cumulative_length(&faults, 10);
+        let basic = BasicAtpg::new(&c).run(split.p0());
+        let enriched = EnrichmentAtpg::new(&c).run(&split);
+        let basic_p0 = basic.detected_in_set(0);
+        let enriched_p0 = enriched.detected_in_set(0);
+        // Small random variation allowed (the paper observes the same).
+        assert!(
+            enriched_p0 + 2 >= basic_p0,
+            "enriched {enriched_p0} vs basic {basic_p0}"
+        );
+    }
+
+    #[test]
+    fn aborted_primaries_are_not_retried() {
+        let (c, faults) = s27_faults();
+        let outcome = BasicAtpg::new(&c).run(&faults);
+        // Aborted flags only on undetected faults.
+        for (i, &a) in outcome.aborted().iter().enumerate() {
+            if a {
+                assert!(!outcome.detected()[i]);
+            }
+        }
+        assert_eq!(
+            outcome.stats().aborted_primaries,
+            outcome.aborted().iter().filter(|&&a| a).count()
+        );
+    }
+
+    #[test]
+    fn freeze_values_mode_runs_and_detects() {
+        let (c, faults) = s27_faults();
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.secondary_mode = SecondaryMode::FreezeValues;
+        let frozen = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        // Bookkeeping still matches post-hoc simulation.
+        let cov = frozen.tests().coverage(&c, &faults);
+        assert_eq!(cov.detected(), frozen.detected());
+        // The paper's argument for regeneration: it detects at least as
+        // many secondary targets per test (s27 is tiny, so equality can
+        // occur; the margin claim is validated at benchmark scale in the
+        // `secondary_mode` experiment).
+        let regen = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&faults);
+        assert!(regen.detected_total() + 3 >= frozen.detected_total());
+    }
+
+    #[test]
+    fn freeze_values_mode_is_deterministic() {
+        let (c, faults) = s27_faults();
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.secondary_mode = SecondaryMode::FreezeValues;
+        let a = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        let b = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        assert_eq!(a.detected(), b.detected());
+        assert_eq!(a.tests().len(), b.tests().len());
+    }
+
+    #[test]
+    fn free_accepts_happen() {
+        let (c, faults) = s27_faults();
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&faults);
+        // On s27, tests routinely detect several faults at once.
+        assert!(outcome.stats().free_accepts + outcome.stats().secondary_accepts > 0);
+    }
+}

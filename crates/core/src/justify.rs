@@ -1,0 +1,585 @@
+//! The simulation-based justification procedure (paper Sec. 2.1).
+//!
+//! Given a requirement set (the union of the `A(p)` of all faults a test
+//! under construction must detect), the justifier searches for a fully
+//! specified two-pattern test satisfying it:
+//!
+//! 1. every primary input starts as `β = xxx`;
+//! 2. **necessary values**: for every input and every pattern position,
+//!    trial-assign `0` and `1`; if one value makes the simulated waveforms
+//!    *violate* a requirement (specified-vs-specified mismatch), the other
+//!    value is assigned permanently; if both conflict, justification
+//!    fails;
+//! 3. when no necessary values remain, a **decision** is made: an input
+//!    with exactly one specified pattern value is stabilized (the value is
+//!    copied to the other pattern and the intermediate position), else a
+//!    random unspecified position of a random input is set to a random
+//!    value — then step 2 repeats;
+//! 4. when every relevant input is specified, the waveforms are simulated
+//!    once more and the requirements checked for full *satisfaction*
+//!    (hazard-freeness included). Inputs outside the requirements' cone
+//!    are filled randomly.
+//!
+//! The implementation restricts simulation to the fanin cone of the
+//! constrained lines — a pure optimization: inputs outside the cone cannot
+//! produce or resolve conflicts, exactly as in the paper where they end up
+//! randomly specified.
+
+use pdf_faults::Assignments;
+use pdf_logic::{Triple, Value};
+use pdf_netlist::{Circuit, LineId, LineKind, SplitMix64, TwoPattern};
+
+/// A successful justification: a fully specified two-pattern test plus the
+/// full-circuit waveforms it induces.
+#[derive(Clone, Debug)]
+pub struct Justified {
+    /// The fully specified two-pattern test.
+    pub test: TwoPattern,
+    /// Simulated waveform of every line under `test`, indexed by
+    /// [`LineId::index`]. Reusable for fault simulation.
+    pub waves: Vec<Triple>,
+    /// The (input line, first-pattern value, second-pattern value)
+    /// assignments the search actually committed — the requirement cone's
+    /// inputs only. Everything else in [`Justified::test`] is random
+    /// filler. Used by the freeze-values secondary-target mode.
+    pub assignment: Vec<(LineId, Value, Value)>,
+}
+
+/// Counters accumulated by a [`Justifier`] across calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JustifyStats {
+    /// Total justification calls.
+    pub calls: usize,
+    /// Calls that produced a test.
+    pub successes: usize,
+    /// Calls that failed on a both-values conflict.
+    pub conflicts: usize,
+    /// Calls that failed the final hazard/satisfaction check.
+    pub unsatisfied: usize,
+    /// Cone simulations performed (the dominant cost).
+    pub simulations: usize,
+}
+
+/// The simulation-based justification engine.
+///
+/// The engine owns a deterministic RNG: two engines created with the same
+/// seed and fed the same call sequence produce identical tests.
+///
+/// # Example
+///
+/// ```
+/// use pdf_atpg::Justifier;
+/// use pdf_faults::{robust_assignments, PathDelayFault, Polarity};
+/// use pdf_netlist::{iscas::s27, LineId};
+/// use pdf_paths::Path;
+///
+/// let circuit = s27();
+/// let path: Path = [2usize, 9, 10, 15].iter().map(|&k| LineId::new(k - 1)).collect();
+/// let fault = PathDelayFault::new(path, Polarity::SlowToRise);
+/// let a = robust_assignments(&circuit, &fault)?;
+///
+/// let mut justifier = Justifier::new(&circuit, 2002);
+/// let result = justifier.justify(&a).expect("the paper's example fault is testable");
+/// assert!(result.test.is_fully_specified());
+/// # Ok::<(), pdf_faults::ConditionError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Justifier<'c> {
+    circuit: &'c Circuit,
+    rng: SplitMix64,
+    attempts: u32,
+    stats: JustifyStats,
+    /// Scratch waveform buffer, one slot per line.
+    scratch: Vec<Triple>,
+}
+
+impl<'c> Justifier<'c> {
+    /// Creates a justifier with the given RNG seed and a single attempt
+    /// per call (the paper's behaviour).
+    #[must_use]
+    pub fn new(circuit: &'c Circuit, seed: u64) -> Justifier<'c> {
+        Justifier {
+            circuit,
+            rng: SplitMix64::new(seed),
+            attempts: 1,
+            stats: JustifyStats::default(),
+            scratch: vec![Triple::UNKNOWN; circuit.line_count()],
+        }
+    }
+
+    /// Sets the number of randomized attempts per call (≥ 1). More
+    /// attempts trade run time for fewer random misses — the paper notes
+    /// such misses as the source of its run-to-run variation.
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: u32) -> Justifier<'c> {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> JustifyStats {
+        self.stats
+    }
+
+    /// Searches for a fully specified two-pattern test satisfying `req`.
+    ///
+    /// Returns `None` when the (randomized) search fails; the requirements
+    /// may or may not be satisfiable in that case.
+    pub fn justify(&mut self, req: &Assignments) -> Option<Justified> {
+        self.justify_seeded(req, &[])
+    }
+
+    /// Like [`Justifier::justify`], but input values listed in `frozen`
+    /// are pinned before the search starts — the Goel–Rosales style of
+    /// dynamic compaction (the paper's reference \[8\]) where a secondary
+    /// target may only *specify unspecified values* of the test under
+    /// construction, never revise committed ones.
+    ///
+    /// Entries of `frozen` whose line is outside the requirements' cone
+    /// are ignored (they cannot influence the constrained lines).
+    pub fn justify_seeded(
+        &mut self,
+        req: &Assignments,
+        frozen: &[(LineId, Value, Value)],
+    ) -> Option<Justified> {
+        self.stats.calls += 1;
+        let cone = Cone::build(self.circuit, req);
+        for _ in 0..self.attempts {
+            if let Some(result) = self.attempt(req, &cone, frozen) {
+                self.stats.successes += 1;
+                return Some(result);
+            }
+        }
+        None
+    }
+
+    fn attempt(
+        &mut self,
+        req: &Assignments,
+        cone: &Cone,
+        frozen: &[(LineId, Value, Value)],
+    ) -> Option<Justified> {
+        let n = cone.pis.len();
+        // (first, last) value per cone PI.
+        let mut state: Vec<(Value, Value)> = vec![(Value::X, Value::X); n];
+        for &(line, v1, v2) in frozen {
+            if let Some(k) = cone.pis.iter().position(|&p| p == line) {
+                state[k] = (v1, v2);
+            }
+        }
+        // Establish the scratch invariant: scratch = simulation of `state`.
+        self.sim_cone(cone, &state);
+        self.stats.simulations += 1;
+
+        loop {
+            // Necessary-value fixpoint.
+            loop {
+                let mut assigned = false;
+                for i in 0..n {
+                    for pos in 0..2 {
+                        if pick(&state[i], pos).is_specified() {
+                            continue;
+                        }
+                        let zero_bad = self.violates(cone, &mut state, i, pos, Value::Zero);
+                        let one_bad = self.violates(cone, &mut state, i, pos, Value::One);
+                        match (zero_bad, one_bad) {
+                            (true, true) => {
+                                self.stats.conflicts += 1;
+                                return None;
+                            }
+                            (true, false) => {
+                                set(&mut state[i], pos, Value::One);
+                                self.apply(cone, &state, i);
+                                assigned = true;
+                            }
+                            (false, true) => {
+                                set(&mut state[i], pos, Value::Zero);
+                                self.apply(cone, &state, i);
+                                assigned = true;
+                            }
+                            (false, false) => {}
+                        }
+                    }
+                }
+                if !assigned {
+                    break;
+                }
+            }
+
+            // All specified? Final satisfaction check.
+            if state
+                .iter()
+                .all(|s| s.0.is_specified() && s.1.is_specified())
+            {
+                if req.satisfied_by(&self.scratch) {
+                    return Some(self.finish(cone, &state));
+                }
+                self.stats.unsatisfied += 1;
+                return None;
+            }
+
+            // Decision: stabilize a half-specified input if one exists...
+            let decided = if let Some(i) = state
+                .iter()
+                .position(|s| s.0.is_specified() != s.1.is_specified())
+            {
+                let v = if state[i].0.is_specified() {
+                    state[i].0
+                } else {
+                    state[i].1
+                };
+                state[i] = (v, v);
+                i
+            } else {
+                // ...else a random value on a random unspecified position.
+                let open: Vec<(usize, usize)> = (0..n)
+                    .flat_map(|i| (0..2).map(move |pos| (i, pos)))
+                    .filter(|&(i, pos)| !pick(&state[i], pos).is_specified())
+                    .collect();
+                debug_assert!(!open.is_empty());
+                let &(i, pos) = self.rng.pick(&open);
+                let v = Value::from(self.rng.next_bool());
+                set(&mut state[i], pos, v);
+                i
+            };
+            self.apply(cone, &state, decided);
+            // Early exit: a decision that already violates the
+            // requirements can never be completed into a satisfying test
+            // (simulation values only get more specified).
+            if req.violated_by(&self.scratch) {
+                self.stats.conflicts += 1;
+                return None;
+            }
+        }
+    }
+
+    /// Would assigning `value` at (`pi`, `pos`) violate `req`?
+    ///
+    /// Incremental: only the lines reachable from that input inside the
+    /// cone are re-evaluated, then rolled back. Requirements on
+    /// unreachable lines keep their (non-violating) status, so checking
+    /// the reachable requirement lines suffices.
+    fn violates(
+        &mut self,
+        cone: &Cone,
+        state: &mut [(Value, Value)],
+        pi: usize,
+        pos: usize,
+        value: Value,
+    ) -> bool {
+        let saved = state[pi];
+        set(&mut state[pi], pos, value);
+        self.stats.simulations += 1;
+
+        let pi_line = cone.pis[pi];
+        let mut undo: Vec<(u32, Triple)> = Vec::with_capacity(16);
+        let old = self.scratch[pi_line.index()];
+        let new = Triple::from_patterns(state[pi].0, state[pi].1);
+        undo.push((pi_line.index() as u32, old));
+        self.scratch[pi_line.index()] = new;
+        for &id in &cone.reach[pi] {
+            let line = self.circuit.line(id);
+            let new = match line.kind() {
+                LineKind::Input => unreachable!("reach lists exclude inputs"),
+                LineKind::Branch { stem } => self.scratch[stem.index()],
+                LineKind::Gate(kind) => {
+                    kind.eval_triples(line.fanin().iter().map(|f| self.scratch[f.index()]))
+                }
+            };
+            let slot = &mut self.scratch[id.index()];
+            if *slot != new {
+                undo.push((id.index() as u32, *slot));
+                *slot = new;
+            }
+        }
+        let bad = cone.reach_req[pi]
+            .iter()
+            .any(|&(line, r)| !self.scratch[line.index()].is_compatible(r));
+        for (raw, old) in undo.into_iter().rev() {
+            self.scratch[raw as usize] = old;
+        }
+        state[pi] = saved;
+        bad
+    }
+
+    /// Commits the scratch waveforms to the current `state` after input
+    /// `pi` changed.
+    fn apply(&mut self, cone: &Cone, state: &[(Value, Value)], pi: usize) {
+        self.stats.simulations += 1;
+        let pi_line = cone.pis[pi];
+        self.scratch[pi_line.index()] = Triple::from_patterns(state[pi].0, state[pi].1);
+        for &id in &cone.reach[pi] {
+            let line = self.circuit.line(id);
+            self.scratch[id.index()] = match line.kind() {
+                LineKind::Input => unreachable!("reach lists exclude inputs"),
+                LineKind::Branch { stem } => self.scratch[stem.index()],
+                LineKind::Gate(kind) => {
+                    kind.eval_triples(line.fanin().iter().map(|f| self.scratch[f.index()]))
+                }
+            };
+        }
+    }
+
+    /// Simulates the whole cone into the scratch buffer (out-of-cone lines
+    /// stay unknown).
+    fn sim_cone(&mut self, cone: &Cone, state: &[(Value, Value)]) {
+        for (k, &pi) in cone.pis.iter().enumerate() {
+            self.scratch[pi.index()] = Triple::from_patterns(state[k].0, state[k].1);
+        }
+        for &id in &cone.order {
+            let line = self.circuit.line(id);
+            self.scratch[id.index()] = match line.kind() {
+                LineKind::Input => continue,
+                LineKind::Branch { stem } => self.scratch[stem.index()],
+                LineKind::Gate(kind) => kind.eval_triples(
+                    line.fanin().iter().map(|f| self.scratch[f.index()]),
+                ),
+            };
+        }
+    }
+
+    /// Builds the final fully specified test and full-circuit waveforms.
+    fn finish(&mut self, cone: &Cone, state: &[(Value, Value)]) -> Justified {
+        let inputs = self.circuit.inputs();
+        let mut v1 = vec![Value::X; inputs.len()];
+        let mut v2 = vec![Value::X; inputs.len()];
+        for (slot, &input) in inputs.iter().enumerate() {
+            if let Some(k) = cone.pis.iter().position(|&p| p == input) {
+                v1[slot] = state[k].0;
+                v2[slot] = state[k].1;
+            } else {
+                v1[slot] = Value::from(self.rng.next_bool());
+                v2[slot] = Value::from(self.rng.next_bool());
+            }
+        }
+        let test = TwoPattern::new(v1, v2);
+        let waves = pdf_netlist::simulate_triples(self.circuit, &test.to_triples());
+        let assignment = cone
+            .pis
+            .iter()
+            .zip(state)
+            .map(|(&pi, s)| (pi, s.0, s.1))
+            .collect();
+        Justified {
+            test,
+            waves,
+            assignment,
+        }
+    }
+}
+
+#[inline]
+fn pick(s: &(Value, Value), pos: usize) -> Value {
+    if pos == 0 {
+        s.0
+    } else {
+        s.1
+    }
+}
+
+#[inline]
+fn set(s: &mut (Value, Value), pos: usize, v: Value) {
+    if pos == 0 {
+        s.0 = v;
+    } else {
+        s.1 = v;
+    }
+}
+
+/// The fanin cone of a requirement set, with per-input forward
+/// reachability for incremental simulation.
+struct Cone {
+    /// Cone lines in circuit topological order (inputs included).
+    order: Vec<LineId>,
+    /// The cone's primary inputs, in input order.
+    pis: Vec<LineId>,
+    /// For each cone input: the non-input cone lines it reaches, in
+    /// topological order.
+    reach: Vec<Vec<LineId>>,
+    /// For each cone input: the requirement lines it reaches, paired with
+    /// their required triples.
+    reach_req: Vec<Vec<(LineId, Triple)>>,
+}
+
+impl Cone {
+    fn build(circuit: &Circuit, req: &Assignments) -> Cone {
+        let mut member = vec![false; circuit.line_count()];
+        let mut stack: Vec<LineId> = req.lines().collect();
+        for &l in &stack {
+            member[l.index()] = true;
+        }
+        while let Some(l) = stack.pop() {
+            for &f in circuit.line(l).fanin() {
+                if !member[f.index()] {
+                    member[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        let order: Vec<LineId> = circuit
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|l| member[l.index()])
+            .collect();
+        let pis: Vec<LineId> = circuit
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|l| member[l.index()])
+            .collect();
+
+        // Topological position of each cone line, for ordering reach sets.
+        let mut pos = vec![usize::MAX; circuit.line_count()];
+        for (k, &l) in order.iter().enumerate() {
+            pos[l.index()] = k;
+        }
+
+        let mut reach = Vec::with_capacity(pis.len());
+        let mut reach_req = Vec::with_capacity(pis.len());
+        let mut seen = vec![false; circuit.line_count()];
+        for &pi in &pis {
+            let mut lines: Vec<LineId> = Vec::new();
+            let mut stack = vec![pi];
+            seen[pi.index()] = true;
+            while let Some(l) = stack.pop() {
+                for &f in circuit.line(l).fanout() {
+                    if member[f.index()] && !seen[f.index()] {
+                        seen[f.index()] = true;
+                        lines.push(f);
+                        stack.push(f);
+                    }
+                }
+            }
+            for &l in &lines {
+                seen[l.index()] = false;
+            }
+            seen[pi.index()] = false;
+            lines.sort_unstable_by_key(|l| pos[l.index()]);
+            let reqs: Vec<(LineId, Triple)> = std::iter::once(pi)
+                .chain(lines.iter().copied())
+                .filter_map(|l| req.get(l).map(|r| (l, r)))
+                .collect();
+            reach.push(lines);
+            reach_req.push(reqs);
+        }
+        Cone {
+            order,
+            pis,
+            reach,
+            reach_req,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_faults::{robust_assignments, PathDelayFault, Polarity};
+    use pdf_netlist::iscas::s27;
+    use pdf_paths::Path;
+
+    fn line(k: usize) -> LineId {
+        LineId::new(k - 1)
+    }
+
+    fn s27_fault(ids: &[usize], pol: Polarity) -> PathDelayFault {
+        let path: Path = ids.iter().map(|&k| line(k)).collect();
+        PathDelayFault::new(path, pol)
+    }
+
+    #[test]
+    fn justifies_paper_example() {
+        let c = s27();
+        let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let mut j = Justifier::new(&c, 42);
+        let r = j.justify(&a).expect("testable fault");
+        assert!(r.test.is_fully_specified());
+        assert!(a.satisfied_by(&r.waves));
+        assert_eq!(j.stats().successes, 1);
+    }
+
+    #[test]
+    fn justified_test_is_deterministic_per_seed() {
+        let c = s27();
+        let f = s27_fault(&[1, 8, 13, 14, 16, 19, 20, 21, 22, 25], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let r1 = Justifier::new(&c, 7).justify(&a).unwrap();
+        let r2 = Justifier::new(&c, 7).justify(&a).unwrap();
+        assert_eq!(r1.test, r2.test);
+    }
+
+    #[test]
+    fn unsatisfiable_requirements_fail() {
+        let c = s27();
+        // Two requirements that no test satisfies: line 8 = NOT(1) must be
+        // stable 1 while line 1 is stable 1 as well.
+        let mut req = pdf_faults::Assignments::new();
+        req.require(line(1), Triple::STABLE1).unwrap();
+        req.require(line(8), Triple::STABLE1).unwrap();
+        let mut j = Justifier::new(&c, 3);
+        assert!(j.justify(&req).is_none());
+        assert!(j.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn every_testable_s27_fault_justifies_with_retries() {
+        // With a handful of attempts, the randomized engine should find a
+        // test for every robustly testable fault of this tiny circuit.
+        let c = s27();
+        let paths = pdf_paths::PathEnumerator::new(&c).with_cap(100_000).enumerate();
+        let (faults, _) = pdf_faults::FaultList::build(&c, &paths.store);
+        let mut j = Justifier::new(&c, 11).with_attempts(8);
+        let mut found = 0usize;
+        for e in faults.iter() {
+            if let Some(r) = j.justify(&e.assignments) {
+                assert!(e.assignments.satisfied_by(&r.waves), "{}", e.fault);
+                found += 1;
+            }
+        }
+        // s27's robustly testable fault population is well over half the
+        // candidates; exact counts are pinned by integration tests.
+        assert!(found > faults.len() / 2, "found {found}/{}", faults.len());
+    }
+
+    #[test]
+    fn merged_requirements_detect_both_faults() {
+        let c = s27();
+        let f1 = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let f2 = s27_fault(&[1, 8, 12, 25], Polarity::SlowToRise);
+        let a1 = robust_assignments(&c, &f1).unwrap();
+        let a2 = robust_assignments(&c, &f2).unwrap();
+        if let Some(merged) = a1.merged(&a2) {
+            let mut j = Justifier::new(&c, 5).with_attempts(4);
+            if let Some(r) = j.justify(&merged) {
+                assert!(a1.satisfied_by(&r.waves));
+                assert!(a2.satisfied_by(&r.waves));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_cone_inputs_are_randomized_but_test_complete() {
+        let c = s27();
+        // The fault on (3,15): cone involves inputs 2, 3, 7 only.
+        let f = s27_fault(&[3, 15], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let r = Justifier::new(&c, 9).justify(&a).unwrap();
+        assert!(r.test.is_fully_specified());
+        assert_eq!(r.test.len(), 7);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let c = s27();
+        let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let mut j = Justifier::new(&c, 1);
+        let _ = j.justify(&a);
+        let _ = j.justify(&a);
+        assert_eq!(j.stats().calls, 2);
+        assert!(j.stats().simulations > 0);
+    }
+}

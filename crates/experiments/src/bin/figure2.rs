@@ -1,0 +1,41 @@
+//! Demonstrates the paper's Figure 2: the distance bound
+//! `len(p) = delay(p) + d(g)` on any completion of a partial path.
+
+use pdf_netlist::{iscas::s27, LineId};
+use pdf_paths::{Path, PathEnumerator};
+
+fn main() {
+    let c = s27();
+    let line = |k: usize| LineId::new(k - 1);
+    // The partial path p = (1,8,13) of the paper's walkthrough.
+    let p: Path = [1usize, 8, 13].iter().map(|&k| line(k)).collect();
+    println!("Figure 2: the distance bound len(p) = delay(p) + d(g)");
+    println!();
+    println!("partial path p = {p}, delay(p) = {}", p.delay(&c));
+    println!(
+        "last line g = {}, distance to outputs d(g) = {}",
+        p.last(),
+        c.distance_to_output(p.last())
+    );
+    println!("bound len(p) = {}", p.max_extension_delay(&c));
+    println!();
+    // Enumerate every completion and show that the bound is tight.
+    let all = PathEnumerator::new(&c).with_cap(1_000_000).enumerate();
+    let mut completions: Vec<(u32, String)> = all
+        .store
+        .iter()
+        .filter(|e| e.path.lines().starts_with(p.lines()))
+        .map(|e| (e.delay, e.path.to_string()))
+        .collect();
+    completions.sort();
+    println!("completions of p:");
+    for (delay, path) in &completions {
+        println!("  length {delay:>2}  {path}");
+    }
+    let max = completions.iter().map(|(d, _)| *d).max().unwrap_or(0);
+    println!();
+    println!(
+        "max completion length = {max} — the bound is {}",
+        if max == p.max_extension_delay(&c) { "tight" } else { "NOT tight (bug!)" }
+    );
+}

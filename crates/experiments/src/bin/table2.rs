@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 2: cumulative length classes of `s1423`.
+
+use pdf_experiments::Workload;
+
+fn main() {
+    let workload = Workload::from_env();
+    print!("{}", pdf_experiments::table2_text(&workload));
+}

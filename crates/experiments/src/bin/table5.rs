@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 5 (basic generation, Tables 3-5 share runs).
+
+use pdf_experiments::{filter_circuits, report, run_basic, Workload};
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for name in filter_circuits(&pdf_netlist::TABLE3_CIRCUITS) {
+        eprintln!("running {name}...");
+        rows.extend(run_basic(name, &workload));
+    }
+    print!("{}", report::render_table5(&rows));
+}

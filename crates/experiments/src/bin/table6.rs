@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 6: the enrichment procedure.
+
+use pdf_experiments::{filter_circuits, report, run_enrich, Workload};
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for name in filter_circuits(&pdf_netlist::TABLE6_CIRCUITS) {
+        eprintln!("running {name}...");
+        rows.extend(run_enrich(name, &workload));
+    }
+    print!("{}", report::render_table6(&rows));
+}

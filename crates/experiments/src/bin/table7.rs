@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 7: run-time ratio enrichment vs. basic.
+
+use pdf_experiments::{filter_circuits, report, run_enrich, Workload};
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for name in filter_circuits(&pdf_netlist::TABLE3_CIRCUITS) {
+        eprintln!("running {name}...");
+        rows.extend(run_enrich(name, &workload));
+    }
+    print!("{}", report::render_table7(&rows));
+}

@@ -1,0 +1,437 @@
+//! Reproduction harness for every table and figure of the DATE 2002
+//! test-enrichment paper.
+//!
+//! Each binary of this crate regenerates one artifact of the paper's
+//! evaluation and prints measured values side by side with the paper's:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | the `s27` enumeration walkthrough (`N_P = 20`) |
+//! | `table2` | `L_i` / `N_p(L_i)` cumulative length table |
+//! | `table3` | `P_0` faults detected per compaction heuristic |
+//! | `table4` | number of tests per compaction heuristic |
+//! | `table5` | accidental `P_0 ∪ P_1` coverage of the basic test sets |
+//! | `table6` | enrichment results (11 circuits) |
+//! | `table7` | run-time ratio enrichment / basic |
+//! | `figure1` | the `s27` circuit of Fig. 1 (paper numbering + DOT) |
+//! | `figure2` | the distance bound `len(p) = delay(p) + d(g)` of Fig. 2 |
+//! | `all_tables` | everything above, plus an `EXPERIMENTS.md` report |
+//!
+//! The workload parameters default to the paper's (`N_P = 10000`,
+//! `N_P0 = 1000`) and can be overridden through environment variables for
+//! quick runs: `PDF_NP`, `PDF_NP0`, `PDF_SEED`, `PDF_ATTEMPTS`, and
+//! `PDF_CIRCUITS` (comma-separated allow-list).
+//!
+//! Benchmark circuits are deterministic synthetic stand-ins (see
+//! [`pdf_netlist::stand_in_profile`] and `DESIGN.md`); `s27` is the exact
+//! circuit of the paper's Figure 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod report;
+
+use std::time::Instant;
+
+use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, EnrichmentAtpg, TargetSplit};
+use pdf_faults::FaultList;
+use pdf_netlist::Circuit;
+use pdf_paths::PathEnumerator;
+use serde::{Deserialize, Serialize};
+
+/// Workload parameters shared by all experiments.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    /// The enumeration cap `N_P`, in faults (paper: 10000).
+    pub n_p: usize,
+    /// The `P_0` sizing threshold `N_P0` (paper: 1000).
+    pub n_p0: usize,
+    /// Master seed for all randomized decisions.
+    pub seed: u64,
+    /// Justification attempts per call (paper: 1).
+    pub attempts: u32,
+}
+
+impl Default for Workload {
+    fn default() -> Workload {
+        Workload {
+            n_p: 10_000,
+            n_p0: 1_000,
+            seed: 2002,
+            attempts: 1,
+        }
+    }
+}
+
+impl Workload {
+    /// The defaults, overridden by `PDF_NP`, `PDF_NP0`, `PDF_SEED` and
+    /// `PDF_ATTEMPTS` when set.
+    #[must_use]
+    pub fn from_env() -> Workload {
+        fn get<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = Workload::default();
+        Workload {
+            n_p: get("PDF_NP", d.n_p),
+            n_p0: get("PDF_NP0", d.n_p0),
+            seed: get("PDF_SEED", d.seed),
+            attempts: get("PDF_ATTEMPTS", d.attempts),
+        }
+    }
+}
+
+/// Applies the `PDF_CIRCUITS` allow-list to a circuit name list.
+#[must_use]
+pub fn filter_circuits(names: &[&'static str]) -> Vec<&'static str> {
+    match std::env::var("PDF_CIRCUITS") {
+        Ok(list) => {
+            let allowed: Vec<String> = list.split(',').map(|s| s.trim().to_owned()).collect();
+            names
+                .iter()
+                .copied()
+                .filter(|n| allowed.iter().any(|a| a == n))
+                .collect()
+        }
+        Err(_) => names.to_vec(),
+    }
+}
+
+/// Resolves a circuit name: `s27` (exact) or a benchmark stand-in.
+#[must_use]
+pub fn circuit_by_name(name: &str) -> Option<Circuit> {
+    if name == "s27" {
+        return Some(pdf_netlist::iscas::s27());
+    }
+    let netlist = pdf_netlist::stand_in_profile(name)?.generate();
+    Some(netlist.to_circuit().expect("stand-ins are combinational"))
+}
+
+/// A circuit prepared for test generation: enumerated, filtered, split.
+#[derive(Debug)]
+pub struct Prepared {
+    /// Circuit name.
+    pub name: String,
+    /// The line-level circuit.
+    pub circuit: Circuit,
+    /// The detectable fault population `P`.
+    pub faults: FaultList,
+    /// The `P_0` / `P_1` split.
+    pub split: TargetSplit,
+}
+
+/// Enumerates the longest-path faults of `name`, eliminates undetectable
+/// ones, and splits the survivors per the paper's `N_P0` rule.
+#[must_use]
+pub fn prepare(name: &str, workload: &Workload) -> Option<Prepared> {
+    let circuit = circuit_by_name(name)?;
+    let enumeration = PathEnumerator::new(&circuit)
+        .with_cap(workload.n_p)
+        .enumerate();
+    let (faults, _) = FaultList::build(&circuit, &enumeration.store);
+    let split = TargetSplit::by_cumulative_length(&faults, workload.n_p0);
+    Some(Prepared {
+        name: name.to_owned(),
+        circuit,
+        faults,
+        split,
+    })
+}
+
+/// Measured results of the basic procedure under one heuristic.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HeuristicResult {
+    /// Heuristic label (`uncomp`/`arbit`/`length`/`values`).
+    pub heuristic: String,
+    /// Faults of `P_0` detected (Table 3).
+    pub p0_detected: usize,
+    /// Number of tests (Table 4).
+    pub tests: usize,
+    /// Faults of `P_0 ∪ P_1` detected accidentally (Table 5).
+    pub p01_detected: usize,
+    /// Wall-clock seconds of the generation run.
+    pub seconds: f64,
+}
+
+/// Measured results of the basic procedure on one circuit (Tables 3–5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BasicCircuitResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Measured cutoff index `i0`.
+    pub i0: usize,
+    /// `|P_0|`.
+    pub p0_total: usize,
+    /// `|P_0 ∪ P_1|`.
+    pub p01_total: usize,
+    /// One entry per heuristic, in `Compaction::ALL` order.
+    pub heuristics: Vec<HeuristicResult>,
+}
+
+/// Runs the basic procedure on `name` under all four heuristics.
+#[must_use]
+pub fn run_basic(name: &str, workload: &Workload) -> Option<BasicCircuitResult> {
+    let prepared = prepare(name, workload)?;
+    Some(run_basic_on(&prepared, workload))
+}
+
+/// Like [`run_basic`], on an already-prepared circuit (lets callers share
+/// the enumeration and fault-list construction across experiments).
+#[must_use]
+pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitResult {
+    let all_faults: FaultList = prepared
+        .split
+        .p0()
+        .iter()
+        .chain(prepared.split.p1().iter())
+        .cloned()
+        .collect();
+    let mut heuristics = Vec::new();
+    for compaction in Compaction::ALL {
+        let config = AtpgConfig {
+            seed: workload.seed,
+            compaction,
+            justify_attempts: workload.attempts,
+            secondary_mode: Default::default(),
+        };
+        let start = Instant::now();
+        let outcome = BasicAtpg::new(&prepared.circuit)
+            .with_config(config)
+            .run(prepared.split.p0());
+        let seconds = start.elapsed().as_secs_f64();
+        let accidental = outcome
+            .tests()
+            .coverage(&prepared.circuit, &all_faults)
+            .detected_count();
+        heuristics.push(HeuristicResult {
+            heuristic: compaction.label().to_owned(),
+            p0_detected: outcome.detected_in_set(0),
+            tests: outcome.tests().len(),
+            p01_detected: accidental,
+            seconds,
+        });
+    }
+    BasicCircuitResult {
+        circuit: prepared.name.clone(),
+        i0: prepared.split.i0(),
+        p0_total: prepared.split.p0().len(),
+        p01_total: all_faults.len(),
+        heuristics,
+    }
+}
+
+/// Measured results of the enrichment procedure on one circuit (Table 6),
+/// plus the run-time ratio against the value-based basic procedure
+/// (Table 7).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnrichCircuitResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Measured cutoff index `i0`.
+    pub i0: usize,
+    /// `|P_0|`.
+    pub p0_total: usize,
+    /// Faults of `P_0` detected.
+    pub p0_detected: usize,
+    /// `|P_0 ∪ P_1|`.
+    pub p01_total: usize,
+    /// Faults of `P_0 ∪ P_1` detected.
+    pub p01_detected: usize,
+    /// Number of tests.
+    pub tests: usize,
+    /// Wall-clock seconds of the enrichment run.
+    pub seconds: f64,
+    /// Wall-clock seconds of the value-based basic run on the same split.
+    pub basic_seconds: f64,
+}
+
+impl EnrichCircuitResult {
+    /// `RT_enrich / RT_basic` (Table 7).
+    #[must_use]
+    pub fn runtime_ratio(&self) -> f64 {
+        if self.basic_seconds > 0.0 {
+            self.seconds / self.basic_seconds
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Runs the enrichment procedure (and the value-based basic run it is
+/// compared against) on `name`.
+#[must_use]
+pub fn run_enrich(name: &str, workload: &Workload) -> Option<EnrichCircuitResult> {
+    let prepared = prepare(name, workload)?;
+    Some(run_enrich_on(&prepared, workload))
+}
+
+/// Like [`run_enrich`], on an already-prepared circuit.
+#[must_use]
+pub fn run_enrich_on(prepared: &Prepared, workload: &Workload) -> EnrichCircuitResult {
+    let config = AtpgConfig {
+        seed: workload.seed,
+        compaction: Compaction::ValueBased,
+        justify_attempts: workload.attempts,
+        secondary_mode: Default::default(),
+    };
+
+    let start = Instant::now();
+    let basic = BasicAtpg::new(&prepared.circuit)
+        .with_config(config)
+        .run(prepared.split.p0());
+    let basic_seconds = start.elapsed().as_secs_f64();
+    drop(basic);
+
+    let start = Instant::now();
+    let outcome = EnrichmentAtpg::new(&prepared.circuit)
+        .with_config(config)
+        .run(&prepared.split);
+    let seconds = start.elapsed().as_secs_f64();
+
+    EnrichCircuitResult {
+        circuit: prepared.name.clone(),
+        i0: prepared.split.i0(),
+        p0_total: prepared.split.p0().len(),
+        p0_detected: outcome.detected_in_set(0),
+        p01_total: prepared.split.total(),
+        p01_detected: outcome.detected_total(),
+        tests: outcome.tests().len(),
+        seconds,
+        basic_seconds,
+    }
+}
+
+/// Renders the Table 1 reproduction: the `s27` walkthrough with
+/// `N_P = 20` at path granularity, showing the snapshots corresponding to
+/// the paper's Set 1 and Set 2 and the final store.
+#[must_use]
+pub fn table1_text() -> String {
+    use std::fmt::Write as _;
+
+    let circuit = pdf_netlist::iscas::s27();
+    let mut snapshots: Vec<Vec<pdf_paths::SnapshotPath>> = Vec::new();
+    let result = PathEnumerator::new(&circuit)
+        .with_cap(20)
+        .with_units_per_path(1)
+        .with_strategy(pdf_paths::Strategy::Moderate)
+        .enumerate_observed(|e| {
+            let pdf_paths::EnumEvent::CapReached { snapshot } = e;
+            snapshots.push(snapshot.clone());
+        });
+
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 1: paths of s27 (N_P = 20, path granularity)");
+    for (label, idx) in [("Set 1 (paper Table 1(a))", 0usize), ("Set 2 (paper Table 1(b))", 3)] {
+        let Some(snapshot) = snapshots.get(idx) else {
+            continue;
+        };
+        let _ = writeln!(s, "-- {label}: {} paths", snapshot.len());
+        for p in snapshot {
+            let _ = writeln!(s, "   {}{}", p.path, if p.complete { "c" } else { "p" });
+        }
+    }
+    let _ = writeln!(
+        s,
+        "-- final store: {} complete paths, lengths {}..={}",
+        result.store.len(),
+        result.store.min_delay().unwrap_or(0),
+        result.store.max_delay().unwrap_or(0),
+    );
+    for e in result.store.iter() {
+        let _ = writeln!(s, "   {} (length {})", e.path, e.delay);
+    }
+    s
+}
+
+/// Renders the Table 2 reproduction: the 20 highest length classes of the
+/// (stand-in) `s1423` with their cumulative fault counts, next to the
+/// paper's values.
+#[must_use]
+pub fn table2_text(workload: &Workload) -> String {
+    use std::fmt::Write as _;
+
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 2: numbers of faults in s1423 (stand-in)");
+    let Some(prepared) = prepare("s1423", workload) else {
+        return s;
+    };
+    let histogram = pdf_paths::LengthHistogram::from_lengths(prepared.faults.delays());
+    let _ = writeln!(
+        s,
+        "{:>4} {:>10} {:>12} | {:>8} {:>12}",
+        "i", "L_i", "N_p(L_i)", "paper L_i", "paper N_p"
+    );
+    for i in 0..20 {
+        let (li, np) = histogram
+            .classes()
+            .get(i)
+            .map_or((0, 0), |c| (c.length, c.cumulative));
+        let (pi, pl, pn) = paper::S1423_LENGTHS[i];
+        debug_assert_eq!(pi, i);
+        let _ = writeln!(s, "{i:>4} {li:>10} {np:>12} | {pl:>8} {pn:>12}");
+    }
+    let cut = histogram.cutoff(workload.n_p0);
+    let _ = writeln!(
+        s,
+        "first i0 with N_p >= {}: {} (paper: 17)",
+        workload.n_p0,
+        cut.map_or("—".to_owned(), |i| i.to_string()),
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_env_defaults() {
+        let w = Workload::default();
+        assert_eq!(w.n_p, 10_000);
+        assert_eq!(w.n_p0, 1_000);
+    }
+
+    #[test]
+    fn circuit_resolution() {
+        assert!(circuit_by_name("s27").is_some());
+        assert!(circuit_by_name("b03").is_some());
+        assert!(circuit_by_name("s9234*").is_some());
+        assert!(circuit_by_name("c6288").is_none());
+    }
+
+    #[test]
+    fn prepare_small_workload() {
+        let w = Workload {
+            n_p: 500,
+            n_p0: 100,
+            ..Workload::default()
+        };
+        let p = prepare("b09", &w).unwrap();
+        assert!(p.faults.len() <= 500);
+        assert!(p.split.p0().len() >= 100 || p.split.p1().is_empty());
+    }
+
+    #[test]
+    fn basic_and_enrich_small_run() {
+        let w = Workload {
+            n_p: 300,
+            n_p0: 60,
+            seed: 7,
+            attempts: 1,
+        };
+        let basic = run_basic("b09", &w).unwrap();
+        assert_eq!(basic.heuristics.len(), 4);
+        // Compaction never produces more tests than uncompacted.
+        let uncomp = basic.heuristics[0].tests;
+        for h in &basic.heuristics[1..] {
+            assert!(h.tests <= uncomp, "{}: {} > {uncomp}", h.heuristic, h.tests);
+        }
+        let enrich = run_enrich("b09", &w).unwrap();
+        assert!(enrich.p01_detected >= enrich.p0_detected);
+        assert!(enrich.runtime_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The numbers reported in the paper's tables, kept verbatim for
+//! side-by-side comparison with measured results.
+//!
+//! Source: I. Pomeranz and S. M. Reddy, "Test Enrichment for Path Delay
+//! Faults Using Multiple Sets of Target Faults", DATE 2002, Tables 2–7.
+
+/// One circuit row of the paper's Tables 3–5 (basic generation).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperBasicRow {
+    /// Circuit name.
+    pub circuit: &'static str,
+    /// The cutoff index `i0` defining `P_0`.
+    pub i0: usize,
+    /// `|P_0|`.
+    pub p0_faults: usize,
+    /// Faults of `P_0` detected per heuristic `[uncomp, arbit, length, values]` (Table 3).
+    pub p0_detected: [usize; 4],
+    /// Number of tests per heuristic `[uncomp, arbit, length, values]` (Table 4).
+    pub tests: [usize; 4],
+    /// `|P_0 ∪ P_1|` (Table 5).
+    pub p01_faults: usize,
+    /// Faults of `P_0 ∪ P_1` detected accidentally per heuristic (Table 5).
+    pub p01_detected: [usize; 4],
+}
+
+/// The paper's Tables 3–5, one row per circuit.
+pub const BASIC_ROWS: [PaperBasicRow; 8] = [
+    PaperBasicRow {
+        circuit: "s641",
+        i0: 57,
+        p0_faults: 1057,
+        p0_detected: [915, 915, 915, 915],
+        tests: [471, 135, 130, 129],
+        p01_faults: 2127,
+        p01_detected: [1452, 1436, 1417, 1420],
+    },
+    PaperBasicRow {
+        circuit: "s953",
+        i0: 15,
+        p0_faults: 1236,
+        p0_detected: [1231, 1231, 1231, 1231],
+        tests: [581, 308, 303, 312],
+        p01_faults: 2312,
+        p01_detected: [1830, 1759, 1781, 1778],
+    },
+    PaperBasicRow {
+        circuit: "s1196",
+        i0: 13,
+        p0_faults: 1033,
+        p0_detected: [572, 572, 572, 572],
+        tests: [329, 175, 172, 175],
+        p01_faults: 4527,
+        p01_detected: [1414, 1338, 1312, 1341],
+    },
+    PaperBasicRow {
+        circuit: "s1423",
+        i0: 17,
+        p0_faults: 1116,
+        p0_detected: [929, 931, 932, 924],
+        tests: [495, 332, 335, 324],
+        p01_faults: 1314,
+        p01_detected: [1013, 1019, 1017, 1007],
+    },
+    PaperBasicRow {
+        circuit: "s1488",
+        i0: 10,
+        p0_faults: 1184,
+        p0_detected: [1148, 1148, 1148, 1148],
+        tests: [464, 321, 321, 317],
+        p01_faults: 1918,
+        p01_detected: [1697, 1641, 1651, 1654],
+    },
+    PaperBasicRow {
+        circuit: "b03",
+        i0: 8,
+        p0_faults: 1006,
+        p0_detected: [869, 869, 869, 869],
+        tests: [299, 90, 88, 96],
+        p01_faults: 1450,
+        p01_detected: [1057, 1038, 1035, 1025],
+    },
+    PaperBasicRow {
+        circuit: "b04",
+        i0: 5,
+        p0_faults: 1606,
+        p0_detected: [458, 456, 461, 456],
+        tests: [457, 301, 304, 302],
+        p01_faults: 8370,
+        p01_detected: [936, 935, 941, 936],
+    },
+    PaperBasicRow {
+        circuit: "b09",
+        i0: 1,
+        p0_faults: 1432,
+        p0_detected: [944, 944, 944, 944],
+        tests: [406, 147, 147, 158],
+        p01_faults: 2207,
+        p01_detected: [1160, 1160, 1160, 1160],
+    },
+];
+
+/// One circuit row of the paper's Table 6 (enrichment).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperEnrichRow {
+    /// Circuit name (`*` marks the resynthesized versions of ref. \[13\]).
+    pub circuit: &'static str,
+    /// The cutoff index `i0`.
+    pub i0: usize,
+    /// `|P_0|`.
+    pub p0_total: usize,
+    /// Faults of `P_0` detected.
+    pub p0_detected: usize,
+    /// `|P_0 ∪ P_1|`.
+    pub p01_total: usize,
+    /// Faults of `P_0 ∪ P_1` detected.
+    pub p01_detected: usize,
+    /// Number of tests.
+    pub tests: usize,
+}
+
+/// The paper's Table 6.
+pub const ENRICH_ROWS: [PaperEnrichRow; 11] = [
+    PaperEnrichRow { circuit: "s641", i0: 57, p0_total: 1057, p0_detected: 915, p01_total: 2127, p01_detected: 1815, tests: 127 },
+    PaperEnrichRow { circuit: "s953", i0: 15, p0_total: 1236, p0_detected: 1231, p01_total: 2312, p01_detected: 2063, tests: 315 },
+    PaperEnrichRow { circuit: "s1196", i0: 13, p0_total: 1033, p0_detected: 572, p01_total: 4527, p01_detected: 1932, tests: 174 },
+    PaperEnrichRow { circuit: "s1423", i0: 17, p0_total: 1116, p0_detected: 934, p01_total: 1314, p01_detected: 1039, tests: 332 },
+    PaperEnrichRow { circuit: "s1488", i0: 10, p0_total: 1184, p0_detected: 1148, p01_total: 1918, p01_detected: 1746, tests: 317 },
+    PaperEnrichRow { circuit: "b03", i0: 8, p0_total: 1006, p0_detected: 869, p01_total: 1450, p01_detected: 1178, tests: 95 },
+    PaperEnrichRow { circuit: "b04", i0: 5, p0_total: 1606, p0_detected: 459, p01_total: 8370, p01_detected: 1485, tests: 303 },
+    PaperEnrichRow { circuit: "b09", i0: 1, p0_total: 1432, p0_detected: 944, p01_total: 2207, p01_detected: 1301, tests: 150 },
+    PaperEnrichRow { circuit: "s1423*", i0: 24, p0_total: 1061, p0_detected: 982, p01_total: 1593, p01_detected: 1227, tests: 267 },
+    PaperEnrichRow { circuit: "s5378*", i0: 3, p0_total: 1028, p0_detected: 913, p01_total: 8537, p01_detected: 5469, tests: 441 },
+    PaperEnrichRow { circuit: "s9234*", i0: 7, p0_total: 1158, p0_detected: 1158, p01_total: 9344, p01_detected: 1465, tests: 824 },
+];
+
+/// The paper's Table 7: run-time ratio `RT_enrich / RT_basic(values)`.
+pub const RUNTIME_RATIOS: [(&str, f64); 8] = [
+    ("s641", 1.10),
+    ("s953", 1.56),
+    ("s1196", 2.51),
+    ("s1423", 0.94),
+    ("s1488", 1.22),
+    ("b03", 1.13),
+    ("b04", 1.13),
+    ("b09", 1.60),
+];
+
+/// The paper's Table 2: `(i, L_i, N_p(L_i))` for `s1423`.
+pub const S1423_LENGTHS: [(usize, u32, usize); 20] = [
+    (0, 96, 4),
+    (1, 95, 12),
+    (2, 94, 22),
+    (3, 93, 36),
+    (4, 92, 54),
+    (5, 91, 84),
+    (6, 90, 118),
+    (7, 89, 160),
+    (8, 88, 208),
+    (9, 87, 256),
+    (10, 86, 314),
+    (11, 85, 378),
+    (12, 84, 458),
+    (13, 83, 556),
+    (14, 82, 668),
+    (15, 81, 799),
+    (16, 80, 934),
+    (17, 79, 1116),
+    (18, 78, 1314),
+    (19, 77, 1538),
+];
+
+/// Looks up the paper's basic-generation row for a circuit.
+#[must_use]
+pub fn basic_row(circuit: &str) -> Option<&'static PaperBasicRow> {
+    BASIC_ROWS.iter().find(|r| r.circuit == circuit)
+}
+
+/// Looks up the paper's enrichment row for a circuit.
+#[must_use]
+pub fn enrich_row(circuit: &str) -> Option<&'static PaperEnrichRow> {
+    ENRICH_ROWS.iter().find(|r| r.circuit == circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        // Table 6's first eight rows describe the same circuits and P0
+        // populations as Tables 3-5.
+        for row in &BASIC_ROWS {
+            let e = enrich_row(row.circuit).unwrap();
+            assert_eq!(e.i0, row.i0);
+            assert_eq!(e.p0_total, row.p0_faults);
+            assert_eq!(e.p01_total, row.p01_faults);
+        }
+    }
+
+    #[test]
+    fn table2_is_cumulative_and_decreasing() {
+        for w in S1423_LENGTHS.windows(2) {
+            assert_eq!(w[0].1, w[1].1 + 1);
+            assert!(w[0].2 < w[1].2);
+        }
+    }
+
+    #[test]
+    fn enrichment_dominates_accidental_detection_in_the_paper() {
+        // The paper's core claim, as data: enrichment detects at least as
+        // many P0∪P1 faults as the best basic heuristic on every circuit.
+        for row in &BASIC_ROWS {
+            let e = enrich_row(row.circuit).unwrap();
+            let best_accidental = row.p01_detected.iter().copied().max().unwrap();
+            assert!(e.p01_detected >= best_accidental.min(e.p01_detected));
+            // And strictly more than the compacted heuristics.
+            assert!(e.p01_detected > row.p01_detected[3]);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Necessary assignment sets `A(p)`.
+
+use core::fmt;
+
+use pdf_logic::Triple;
+use pdf_netlist::LineId;
+
+/// A set of line-value requirements: the `A(p)` of the paper, or the union
+/// `∪ A(p_j)` a test under construction must satisfy.
+///
+/// Each line appears at most once; the requirement is a [`Triple`] whose
+/// `x` components are don't-cares. The set is kept sorted by line id, so
+/// merging and difference operations are linear.
+///
+/// # Example
+///
+/// ```
+/// use pdf_faults::Assignments;
+/// use pdf_logic::Triple;
+/// use pdf_netlist::LineId;
+///
+/// let mut a = Assignments::new();
+/// a.require(LineId::new(6), "000".parse()?)?;
+/// a.require(LineId::new(2), "xx0".parse()?)?;
+/// assert_eq!(a.len(), 2);
+/// // Tightening is fine; contradicting is not.
+/// a.require(LineId::new(2), "0x0".parse()?)?;
+/// assert!(a.require(LineId::new(2), Triple::STABLE1).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignments {
+    // Sorted by LineId.
+    entries: Vec<(LineId, Triple)>,
+}
+
+/// Error returned when a requirement contradicts an existing one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequirementConflict {
+    /// The line on which the conflict arose.
+    pub line: LineId,
+    /// The requirement already recorded.
+    pub existing: Triple,
+    /// The incompatible new requirement.
+    pub new: Triple,
+}
+
+impl fmt::Display for RequirementConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicting requirements on line {}: {} vs {}",
+            self.line, self.existing, self.new
+        )
+    }
+}
+
+impl std::error::Error for RequirementConflict {}
+
+impl Assignments {
+    /// Creates an empty requirement set.
+    #[must_use]
+    pub fn new() -> Assignments {
+        Assignments::default()
+    }
+
+    /// Number of constrained lines.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no line is constrained.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The requirement on `line`, if any.
+    #[must_use]
+    pub fn get(&self, line: LineId) -> Option<Triple> {
+        self.entries
+            .binary_search_by_key(&line, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Iterates over `(line, requirement)` pairs in line-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineId, Triple)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Adds (or tightens) the requirement on `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RequirementConflict`] when the new requirement contradicts
+    /// the recorded one (their [`Triple::intersect`] is empty); the set is
+    /// left unchanged in that case.
+    pub fn require(&mut self, line: LineId, req: Triple) -> Result<(), RequirementConflict> {
+        match self.entries.binary_search_by_key(&line, |e| e.0) {
+            Ok(i) => {
+                let existing = self.entries[i].1;
+                match existing.intersect(req) {
+                    Some(merged) => {
+                        self.entries[i].1 = merged;
+                        Ok(())
+                    }
+                    None => Err(RequirementConflict {
+                        line,
+                        existing,
+                        new: req,
+                    }),
+                }
+            }
+            Err(i) => {
+                self.entries.insert(i, (line, req));
+                Ok(())
+            }
+        }
+    }
+
+    /// Merges another requirement set into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RequirementConflict`] encountered. The set may
+    /// be partially extended on error; callers that need atomicity should
+    /// use [`Assignments::merged`].
+    pub fn merge_from(&mut self, other: &Assignments) -> Result<(), RequirementConflict> {
+        for (line, req) in other.iter() {
+            self.require(line, req)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the merge of two sets, or `None` if they conflict.
+    #[must_use]
+    pub fn merged(&self, other: &Assignments) -> Option<Assignments> {
+        let mut out = self.clone();
+        out.merge_from(other).ok().map(|()| out)
+    }
+
+    /// `n_Δ`: the number of *specified value components* `other` demands
+    /// that this set does not already demand — the quantity minimized by
+    /// the paper's value-based secondary-target heuristic. Returns `None`
+    /// if the sets conflict (the candidate cannot be added at all).
+    #[must_use]
+    pub fn delta_count(&self, other: &Assignments) -> Option<usize> {
+        let mut count = 0usize;
+        for (line, req) in other.iter() {
+            match self.get(line) {
+                Some(existing) => {
+                    existing.intersect(req)?;
+                    count += existing.delta_count(req);
+                }
+                None => count += req.specified_count(),
+            }
+        }
+        Some(count)
+    }
+
+    /// Returns `true` if the simulated waveforms *violate* some
+    /// requirement: a component that is specified both in the requirement
+    /// and in the simulation, with different values. (An unspecified
+    /// simulated component is not a violation — it may still be
+    /// justified.)
+    ///
+    /// `sim` is indexed by [`LineId::index`].
+    #[must_use]
+    pub fn violated_by(&self, sim: &[Triple]) -> bool {
+        self.entries.iter().any(|&(line, req)| {
+            !sim[line.index()].is_compatible(req)
+        })
+    }
+
+    /// Returns `true` if the simulated waveforms *satisfy* every
+    /// requirement: each specified requirement component is matched by an
+    /// equal specified simulated component.
+    ///
+    /// `sim` is indexed by [`LineId::index`].
+    #[must_use]
+    pub fn satisfied_by(&self, sim: &[Triple]) -> bool {
+        self.entries
+            .iter()
+            .all(|&(line, req)| sim[line.index()].satisfies(req))
+    }
+
+    /// Total number of specified components across all requirements.
+    #[must_use]
+    pub fn specified_components(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.specified_count()).sum()
+    }
+
+    /// The constrained lines, in id order.
+    pub fn lines(&self) -> impl Iterator<Item = LineId> + '_ {
+        self.entries.iter().map(|e| e.0)
+    }
+}
+
+impl fmt::Display for Assignments {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (line, req)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{line}:{req}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<(LineId, Triple)> for Assignments {
+    /// Collects requirements, intersecting duplicates; a conflicting
+    /// duplicate panics (use [`Assignments::require`] for fallible
+    /// insertion).
+    fn from_iter<T: IntoIterator<Item = (LineId, Triple)>>(iter: T) -> Assignments {
+        let mut a = Assignments::new();
+        for (line, req) in iter {
+            a.require(line, req)
+                .expect("conflicting requirements in from_iter");
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Triple {
+        s.parse().unwrap()
+    }
+
+    fn l(i: usize) -> LineId {
+        LineId::new(i)
+    }
+
+    #[test]
+    fn require_inserts_sorted_and_tightens() {
+        let mut a = Assignments::new();
+        a.require(l(5), t("xx0")).unwrap();
+        a.require(l(1), t("0x1")).unwrap();
+        a.require(l(5), t("1xx")).unwrap();
+        let items: Vec<_> = a.iter().collect();
+        assert_eq!(items, vec![(l(1), t("0x1")), (l(5), t("1x0"))]);
+    }
+
+    #[test]
+    fn conflicting_requirement_rejected_and_state_unchanged() {
+        let mut a = Assignments::new();
+        a.require(l(3), t("000")).unwrap();
+        let err = a.require(l(3), t("xx1")).unwrap_err();
+        assert_eq!(err.line, l(3));
+        assert_eq!(a.get(l(3)), Some(t("000")));
+    }
+
+    #[test]
+    fn merged_is_atomic() {
+        let mut a = Assignments::new();
+        a.require(l(0), t("000")).unwrap();
+        let mut b = Assignments::new();
+        b.require(l(1), t("111")).unwrap();
+        b.require(l(0), t("xx1")).unwrap(); // conflicts with a
+        assert!(a.merged(&b).is_none());
+        assert_eq!(a.len(), 1); // untouched
+
+        let mut c = Assignments::new();
+        c.require(l(1), t("111")).unwrap();
+        let m = a.merged(&c).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn delta_count_counts_new_components() {
+        let mut base = Assignments::new();
+        base.require(l(0), t("0x1")).unwrap();
+        base.require(l(1), t("xx0")).unwrap();
+
+        let mut cand = Assignments::new();
+        cand.require(l(0), t("0x1")).unwrap(); // fully covered: 0 new
+        cand.require(l(1), t("0x0")).unwrap(); // adds first component: 1
+        cand.require(l(2), t("111")).unwrap(); // all new: 3
+        assert_eq!(base.delta_count(&cand), Some(4));
+
+        let mut bad = Assignments::new();
+        bad.require(l(1), t("xx1")).unwrap();
+        assert_eq!(base.delta_count(&bad), None);
+    }
+
+    #[test]
+    fn violation_vs_satisfaction() {
+        let mut a = Assignments::new();
+        a.require(l(0), t("000")).unwrap();
+        a.require(l(1), t("xx1")).unwrap();
+
+        // Simulation fully satisfying.
+        let sim_ok = vec![t("000"), t("0x1")];
+        assert!(!a.violated_by(&sim_ok));
+        assert!(a.satisfied_by(&sim_ok));
+
+        // Unknown simulation: not violated, not satisfied.
+        let sim_unknown = vec![t("xxx"), t("xxx")];
+        assert!(!a.violated_by(&sim_unknown));
+        assert!(!a.satisfied_by(&sim_unknown));
+
+        // Contradicting simulation: violated.
+        let sim_bad = vec![t("001"), t("0x1")];
+        assert!(a.violated_by(&sim_bad));
+        assert!(!a.satisfied_by(&sim_bad));
+    }
+
+    #[test]
+    fn specified_components_total() {
+        let mut a = Assignments::new();
+        a.require(l(0), t("000")).unwrap();
+        a.require(l(1), t("xx1")).unwrap();
+        assert_eq!(a.specified_components(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut a = Assignments::new();
+        a.require(l(6), t("000")).unwrap();
+        a.require(l(2), t("xx0")).unwrap();
+        a.require(l(1), t("0x1")).unwrap();
+        assert_eq!(a.to_string(), "{2:0x1, 3:xx0, 7:000}");
+    }
+}

@@ -1,0 +1,103 @@
+//! The path delay fault model.
+
+use core::fmt;
+
+use pdf_paths::Path;
+
+/// The polarity of a path delay fault: which transition at the path's
+/// source is slow to propagate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// The rising (`0 → 1`) transition along the path is slow.
+    SlowToRise,
+    /// The falling (`1 → 0`) transition along the path is slow.
+    SlowToFall,
+}
+
+impl Polarity {
+    /// Both polarities, rise first (the conventional enumeration order:
+    /// each physical path contributes one fault of each polarity).
+    pub const BOTH: [Polarity; 2] = [Polarity::SlowToRise, Polarity::SlowToFall];
+
+    /// The opposite polarity.
+    #[inline]
+    #[must_use]
+    pub const fn opposite(self) -> Polarity {
+        match self {
+            Polarity::SlowToRise => Polarity::SlowToFall,
+            Polarity::SlowToFall => Polarity::SlowToRise,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::SlowToRise => f.write_str("r"),
+            Polarity::SlowToFall => f.write_str("f"),
+        }
+    }
+}
+
+/// A path delay fault: a physical path plus a polarity.
+///
+/// Displays as the path followed by the polarity, e.g. `(2,9,10,15)r` for
+/// the paper's slow-to-rise example fault.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PathDelayFault {
+    path: Path,
+    polarity: Polarity,
+}
+
+impl PathDelayFault {
+    /// Creates the fault for `path` with the given polarity.
+    #[must_use]
+    pub fn new(path: Path, polarity: Polarity) -> PathDelayFault {
+        PathDelayFault { path, polarity }
+    }
+
+    /// The physical path.
+    #[inline]
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fault's polarity.
+    #[inline]
+    #[must_use]
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+}
+
+impl fmt::Display for PathDelayFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.path, self.polarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_netlist::LineId;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let path: Path = [1usize, 8, 9]
+            .iter()
+            .map(|&k| LineId::new(k))
+            .collect();
+        let fault = PathDelayFault::new(path, Polarity::SlowToRise);
+        assert_eq!(fault.to_string(), "(2,9,10)r");
+    }
+
+    #[test]
+    fn polarity_opposites() {
+        assert_eq!(Polarity::SlowToRise.opposite(), Polarity::SlowToFall);
+        assert_eq!(Polarity::SlowToFall.opposite(), Polarity::SlowToRise);
+        for p in Polarity::BOTH {
+            assert_eq!(p.opposite().opposite(), p);
+        }
+    }
+}

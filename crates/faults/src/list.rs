@@ -1,0 +1,223 @@
+//! Fault lists: turning an enumerated path store into the target fault
+//! population `P`, with undetectable faults eliminated.
+
+use pdf_netlist::Circuit;
+use pdf_paths::PathStore;
+
+use crate::{
+    assignments as compute_assignments, Assignments, ConditionError, Implicator, PathDelayFault,
+    Polarity, Sensitization,
+};
+
+/// One fault with its precomputed necessary assignments.
+#[derive(Clone, Debug)]
+pub struct FaultEntry {
+    /// The fault.
+    pub fault: PathDelayFault,
+    /// The delay of the fault's path (cached from enumeration).
+    pub delay: u32,
+    /// The fault's necessary assignment set `A(p)`.
+    pub assignments: Assignments,
+}
+
+/// Counters from building a [`FaultList`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultListStats {
+    /// Faults considered (2 × paths).
+    pub candidates: usize,
+    /// Eliminated by rule 1: `A(p)` itself conflicts.
+    pub rule1_conflicts: usize,
+    /// Eliminated by rule 2: the implications of `A(p)` conflict.
+    pub rule2_conflicts: usize,
+}
+
+/// The target fault population `P`: every fault of the enumerated paths
+/// whose necessary assignments are not self-contradictory.
+///
+/// Entries keep the store's path order (longest first when the store is
+/// sorted), with the slow-to-rise fault preceding the slow-to-fall fault
+/// of the same path.
+///
+/// # Example
+///
+/// ```
+/// use pdf_faults::FaultList;
+/// use pdf_netlist::iscas::s27;
+/// use pdf_paths::PathEnumerator;
+///
+/// let circuit = s27();
+/// let paths = PathEnumerator::new(&circuit).with_cap(10_000).enumerate();
+/// let (faults, stats) = FaultList::build(&circuit, &paths.store);
+/// assert_eq!(stats.candidates, 2 * paths.store.len());
+/// assert!(faults.len() <= stats.candidates);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultList {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultList {
+    /// Builds the robust fault list from a path store, eliminating
+    /// undetectable faults by both of the paper's rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored path crosses a parity gate — decompose
+    /// `XOR`/`XNOR` before path analysis (see
+    /// [`Netlist::decompose_parity`](pdf_netlist::Netlist::decompose_parity)).
+    #[must_use]
+    pub fn build(circuit: &Circuit, store: &PathStore) -> (FaultList, FaultListStats) {
+        FaultList::build_with(circuit, store, Sensitization::Robust)
+    }
+
+    /// Builds the fault list under the chosen sensitization criterion.
+    ///
+    /// # Panics
+    ///
+    /// See [`FaultList::build`].
+    #[must_use]
+    pub fn build_with(
+        circuit: &Circuit,
+        store: &PathStore,
+        kind: Sensitization,
+    ) -> (FaultList, FaultListStats) {
+        let mut stats = FaultListStats::default();
+        let mut entries = Vec::with_capacity(store.len() * 2);
+        for stored in store.iter() {
+            for polarity in Polarity::BOTH {
+                stats.candidates += 1;
+                let fault = PathDelayFault::new(stored.path.clone(), polarity);
+                let assignments = match compute_assignments(circuit, &fault, kind) {
+                    Ok(a) => a,
+                    Err(ConditionError::Conflict { .. }) => {
+                        stats.rule1_conflicts += 1;
+                        continue;
+                    }
+                    Err(e) => panic!("fault {fault}: {e}"),
+                };
+                // Rule 2: implications of A(p) must be consistent.
+                if Implicator::from_assignments(circuit, &assignments).is_err() {
+                    stats.rule2_conflicts += 1;
+                    continue;
+                }
+                entries.push(FaultEntry {
+                    fault,
+                    delay: stored.delay,
+                    assignments,
+                });
+            }
+        }
+        (FaultList { entries }, stats)
+    }
+
+    /// Number of faults in the list.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the list holds no faults.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fault entries.
+    #[inline]
+    #[must_use]
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultEntry> {
+        self.entries.iter()
+    }
+
+    /// The delays of all faults (one value per fault), for histogram
+    /// construction.
+    pub fn delays(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|e| e.delay)
+    }
+}
+
+impl FromIterator<FaultEntry> for FaultList {
+    fn from_iter<T: IntoIterator<Item = FaultEntry>>(iter: T) -> FaultList {
+        FaultList {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_netlist::iscas::s27;
+    use pdf_paths::PathEnumerator;
+
+    fn s27_faults() -> (FaultList, FaultListStats) {
+        let c = s27();
+        let paths = PathEnumerator::new(&c).with_cap(10_000).enumerate();
+        FaultList::build(&c, &paths.store)
+    }
+
+    #[test]
+    fn s27_all_paths_produce_candidates() {
+        let c = s27();
+        let (list, stats) = s27_faults();
+        assert_eq!(stats.candidates as u64, 2 * c.path_count());
+        assert_eq!(
+            list.len() + stats.rule1_conflicts + stats.rule2_conflicts,
+            stats.candidates
+        );
+    }
+
+    #[test]
+    fn listed_faults_have_consistent_assignments() {
+        let c = s27();
+        let (list, _) = s27_faults();
+        for e in list.iter() {
+            assert!(!e.assignments.is_empty());
+            assert!(Implicator::from_assignments(&c, &e.assignments).is_ok());
+            assert_eq!(e.delay, e.fault.path().delay(&c));
+        }
+    }
+
+    #[test]
+    fn rise_precedes_fall_per_path() {
+        let (list, _) = s27_faults();
+        let mut seen = std::collections::HashMap::new();
+        for (i, e) in list.iter().enumerate() {
+            let key = e.fault.path().to_string();
+            match e.fault.polarity() {
+                Polarity::SlowToRise => {
+                    seen.insert(key, i);
+                }
+                Polarity::SlowToFall => {
+                    if let Some(&ri) = seen.get(&key) {
+                        assert!(ri < i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonrobust_list_is_at_least_as_large() {
+        let c = s27();
+        let paths = PathEnumerator::new(&c).with_cap(10_000).enumerate();
+        let (robust, _) = FaultList::build_with(&c, &paths.store, Sensitization::Robust);
+        let (nonrobust, _) = FaultList::build_with(&c, &paths.store, Sensitization::NonRobust);
+        assert!(nonrobust.len() >= robust.len());
+    }
+
+    #[test]
+    fn histogram_from_delays() {
+        let (list, _) = s27_faults();
+        let h = pdf_paths::LengthHistogram::from_lengths(list.delays());
+        assert_eq!(h.total(), list.len());
+        assert_eq!(h.classes()[0].length, 10);
+    }
+}

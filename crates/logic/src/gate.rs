@@ -1,0 +1,346 @@
+//! Gate primitives and their evaluation over the scalar and triple domains.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::{Triple, Value};
+
+/// The primitive gate functions supported by the netlist substrate.
+///
+/// The set matches what ISCAS-style `.bench` files use. Gates with a
+/// *controlling value* (`AND/NAND/OR/NOR`) admit the classical robust
+/// sensitization conditions for path delay faults; `XOR`/`XNOR` do not and
+/// are decomposed by the netlist layer before path analysis when requested.
+///
+/// # Example
+///
+/// ```
+/// use pdf_logic::{GateKind, Value};
+///
+/// assert_eq!(GateKind::Nand.controlling_value(), Some(Value::Zero));
+/// assert!(GateKind::Nand.inverts());
+/// assert_eq!(
+///     GateKind::Nand.eval([Value::Zero, Value::X]),
+///     Value::One, // controlling input decides despite the x
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Logical conjunction.
+    And,
+    /// Negated conjunction.
+    Nand,
+    /// Logical disjunction.
+    Or,
+    /// Negated disjunction.
+    Nor,
+    /// Exclusive or (no controlling value).
+    Xor,
+    /// Negated exclusive or (no controlling value).
+    Xnor,
+    /// Inverter (single input).
+    Not,
+    /// Buffer (single input). Also used for fanout branches.
+    Buf,
+}
+
+impl GateKind {
+    /// All gate kinds, for exhaustive iteration in tests.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// The controlling value of the gate, if it has one.
+    ///
+    /// A controlling value on any input determines the output regardless of
+    /// the other inputs: `0` for `AND`/`NAND`, `1` for `OR`/`NOR`.
+    /// Single-input gates and the XOR family return `None`.
+    #[inline]
+    #[must_use]
+    pub const fn controlling_value(self) -> Option<Value> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(Value::Zero),
+            GateKind::Or | GateKind::Nor => Some(Value::One),
+            GateKind::Xor | GateKind::Xnor | GateKind::Not | GateKind::Buf => None,
+        }
+    }
+
+    /// The non-controlling value (complement of the controlling value).
+    #[inline]
+    #[must_use]
+    pub const fn noncontrolling_value(self) -> Option<Value> {
+        match self.controlling_value() {
+            Some(v) => Some(v.negate()),
+            None => None,
+        }
+    }
+
+    /// Returns `true` if the gate logically inverts (`NAND`, `NOR`, `XNOR`,
+    /// `NOT`).
+    #[inline]
+    #[must_use]
+    pub const fn inverts(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// Returns `true` for single-input gates (`NOT`, `BUF`).
+    #[inline]
+    #[must_use]
+    pub const fn is_single_input(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Returns `true` for the XOR family, which has no controlling value
+    /// and therefore no unique robust off-path condition.
+    #[inline]
+    #[must_use]
+    pub const fn is_parity(self) -> bool {
+        matches!(self, GateKind::Xor | GateKind::Xnor)
+    }
+
+    /// Evaluates the gate over three-valued scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or if a single-input gate receives more
+    /// than one input.
+    #[must_use]
+    pub fn eval<I>(self, inputs: I) -> Value
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut it = inputs.into_iter();
+        let first = it.next().expect("gate must have at least one input");
+        let folded = match self {
+            GateKind::And | GateKind::Nand => it.fold(first, Value::and),
+            GateKind::Or | GateKind::Nor => it.fold(first, Value::or),
+            GateKind::Xor | GateKind::Xnor => it.fold(first, Value::xor),
+            GateKind::Not | GateKind::Buf => {
+                assert!(
+                    it.next().is_none(),
+                    "single-input gate evaluated with multiple inputs"
+                );
+                first
+            }
+        };
+        if self.inverts() {
+            !folded
+        } else {
+            folded
+        }
+    }
+
+    /// Evaluates the gate over value triples using the conservative hazard
+    /// algebra (component-wise scalar evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GateKind::eval`].
+    #[must_use]
+    pub fn eval_triples<I>(self, inputs: I) -> Triple
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let mut it = inputs.into_iter();
+        let first = it.next().expect("gate must have at least one input");
+        let folded = match self {
+            GateKind::And | GateKind::Nand => it.fold(first, Triple::and),
+            GateKind::Or | GateKind::Nor => it.fold(first, Triple::or),
+            GateKind::Xor | GateKind::Xnor => it.fold(first, Triple::xor),
+            GateKind::Not | GateKind::Buf => {
+                assert!(
+                    it.next().is_none(),
+                    "single-input gate evaluated with multiple inputs"
+                );
+                first
+            }
+        };
+        if self.inverts() {
+            folded.negate()
+        } else {
+            folded
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`GateKind`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGateKindError {
+    found: String,
+}
+
+impl ParseGateKindError {
+    /// The unrecognized gate name.
+    #[must_use]
+    pub fn found(&self) -> &str {
+        &self.found
+    }
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            other => Err(ParseGateKindError {
+                found: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Value::{One, X, Zero};
+
+    #[test]
+    fn two_valued_projection_matches_boolean_logic() {
+        let cases: [(GateKind, fn(bool, bool) -> bool); 6] = [
+            (GateKind::And, |a, b| a && b),
+            (GateKind::Nand, |a, b| !(a && b)),
+            (GateKind::Or, |a, b| a || b),
+            (GateKind::Nor, |a, b| !(a || b)),
+            (GateKind::Xor, |a, b| a != b),
+            (GateKind::Xnor, |a, b| a == b),
+        ];
+        for (kind, f) in cases {
+            for a in [false, true] {
+                for b in [false, true] {
+                    assert_eq!(
+                        kind.eval([Value::from(a), Value::from(b)]),
+                        Value::from(f(a, b)),
+                        "{kind} {a} {b}"
+                    );
+                }
+            }
+        }
+        assert_eq!(GateKind::Not.eval([Zero]), One);
+        assert_eq!(GateKind::Buf.eval([One]), One);
+    }
+
+    #[test]
+    fn controlling_value_decides_despite_x() {
+        assert_eq!(GateKind::And.eval([Zero, X]), Zero);
+        assert_eq!(GateKind::Nand.eval([Zero, X]), One);
+        assert_eq!(GateKind::Or.eval([One, X]), One);
+        assert_eq!(GateKind::Nor.eval([One, X]), Zero);
+        // Parity gates cannot decide.
+        assert_eq!(GateKind::Xor.eval([One, X]), X);
+        assert_eq!(GateKind::Xnor.eval([Zero, X]), X);
+    }
+
+    #[test]
+    fn multi_input_gates_fold() {
+        assert_eq!(GateKind::And.eval([One, One, One, Zero]), Zero);
+        assert_eq!(GateKind::Or.eval([Zero, Zero, One]), One);
+        assert_eq!(GateKind::Xor.eval([One, One, One]), One);
+        assert_eq!(GateKind::Nand.eval([One, One, One]), Zero);
+    }
+
+    #[test]
+    fn controlling_and_noncontrolling_are_complements() {
+        for kind in GateKind::ALL {
+            match (kind.controlling_value(), kind.noncontrolling_value()) {
+                (Some(c), Some(nc)) => assert_eq!(c, !nc),
+                (None, None) => {}
+                _ => panic!("inconsistent controlling values for {kind}"),
+            }
+        }
+    }
+
+    #[test]
+    fn triple_eval_matches_componentwise_scalar_eval() {
+        let triples = [
+            Triple::STABLE0,
+            Triple::STABLE1,
+            Triple::RISING,
+            Triple::FALLING,
+            Triple::UNKNOWN,
+            "0x0".parse().unwrap(),
+            "1x1".parse().unwrap(),
+        ];
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor] {
+            for a in triples {
+                for b in triples {
+                    let out = kind.eval_triples([a, b]);
+                    let expect = Triple::new(
+                        kind.eval([a.first(), b.first()]),
+                        kind.eval([a.mid(), b.mid()]),
+                        kind.eval([a.last(), b.last()]),
+                    );
+                    assert_eq!(out, expect, "{kind} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trip_including_aliases() {
+        for kind in GateKind::ALL {
+            assert_eq!(kind.to_string().parse::<GateKind>().unwrap(), kind);
+            assert_eq!(
+                kind.to_string().to_lowercase().parse::<GateKind>().unwrap(),
+                kind
+            );
+        }
+        assert_eq!("BUFF".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert_eq!("INV".parse::<GateKind>().unwrap(), GateKind::Not);
+        let err = "MAJ".parse::<GateKind>().unwrap_err();
+        assert_eq!(err.found(), "MAJ");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_input_panics() {
+        let _ = GateKind::And.eval([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-input gate")]
+    fn not_with_two_inputs_panics() {
+        let _ = GateKind::Not.eval([Zero, One]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Three-valued logic and two-pattern value triples for path delay fault
+//! testing.
+//!
+//! Path delay fault (PDF) test generation reasons about *two-pattern* tests:
+//! a pair of input vectors `⟨v1, v2⟩` applied in consecutive clock cycles.
+//! Every signal line in the circuit is then described by a **value triple**
+//! `α = α1 α2 α3` (Pomeranz & Reddy, DATE 2002, Sec. 2.1):
+//!
+//! * `α1` — the value under the first pattern,
+//! * `α3` — the value under the second pattern,
+//! * `α2` — the *intermediate* value of the line while the circuit settles
+//!   (`x` when the line may glitch or transition, otherwise equal to the
+//!   stable value).
+//!
+//! The triple domain is built on a conventional three-valued scalar domain
+//! `{0, 1, x}` ([`Value`]). Gate evaluation extends component-wise to
+//! triples, which yields the standard *conservative hazard algebra*: an
+//! intermediate `x` survives whenever a glitch cannot be ruled out, so a
+//! computed stable `000`/`111` is a **guarantee** of hazard-freeness. This is
+//! exactly the property robust path delay fault tests rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use pdf_logic::{GateKind, Triple};
+//!
+//! // A rising transition reaching one AND input while the other holds a
+//! // steady non-controlling 1 propagates robustly:
+//! let out = GateKind::And.eval_triples([Triple::RISING, Triple::STABLE1]);
+//! assert_eq!(out, Triple::RISING);
+//!
+//! // Two opposing transitions may glitch: the intermediate value is x.
+//! let out = GateKind::And.eval_triples([Triple::RISING, Triple::FALLING]);
+//! assert_eq!(out.to_string(), "0x0");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gate;
+mod triple;
+mod value;
+
+pub use gate::{GateKind, ParseGateKindError};
+pub use triple::{ParseTripleError, Triple};
+pub use value::{ParseValueError, Value};

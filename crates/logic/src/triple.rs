@@ -1,0 +1,460 @@
+//! Two-pattern value triples `α1 α2 α3`.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::Value;
+
+/// A two-pattern value triple `α1 α2 α3` describing the waveform of one
+/// circuit line under a two-pattern test (Pomeranz & Reddy, Sec. 2.1).
+///
+/// * `α1` — value under the first pattern,
+/// * `α3` — value under the second pattern,
+/// * `α2` — intermediate value while the circuit settles between patterns;
+///   a specified `α2` asserts the line is **hazard-free** at that value.
+///
+/// The canonical waveforms are:
+///
+/// | triple | meaning |
+/// |--------|---------------------------|
+/// | `000`  | stable 0                  |
+/// | `111`  | stable 1                  |
+/// | `0x1`  | rising transition         |
+/// | `1x0`  | falling transition        |
+/// | `0x0`  | 0 with possible up-glitch |
+/// | `1x1`  | 1 with possible down-glitch |
+///
+/// Triples are used both as *simulated values* and as *requirements* in the
+/// necessary-assignment sets `A(p)`; in a requirement `x` components are
+/// don't-cares.
+///
+/// # Example
+///
+/// ```
+/// use pdf_logic::Triple;
+///
+/// let rising: Triple = "0x1".parse()?;
+/// assert_eq!(rising, Triple::RISING);
+/// assert!(rising.is_transition());
+/// assert_eq!(rising.negate(), Triple::FALLING);
+/// # Ok::<(), pdf_logic::ParseTripleError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Triple {
+    first: Value,
+    mid: Value,
+    last: Value,
+}
+
+impl Triple {
+    /// Stable logic 0: `000`.
+    pub const STABLE0: Triple = Triple::new(Value::Zero, Value::Zero, Value::Zero);
+    /// Stable logic 1: `111`.
+    pub const STABLE1: Triple = Triple::new(Value::One, Value::X, Value::One).canonical();
+    /// Rising transition: `0x1`.
+    pub const RISING: Triple = Triple::new(Value::Zero, Value::X, Value::One);
+    /// Falling transition: `1x0`.
+    pub const FALLING: Triple = Triple::new(Value::One, Value::X, Value::Zero);
+    /// Fully unspecified: `xxx`.
+    pub const UNKNOWN: Triple = Triple::new(Value::X, Value::X, Value::X);
+
+    /// Creates a triple from its three components, verbatim.
+    ///
+    /// Most callers should prefer [`Triple::from_patterns`], which derives
+    /// the intermediate component, or the canonical constants.
+    #[inline]
+    #[must_use]
+    pub const fn new(first: Value, mid: Value, last: Value) -> Triple {
+        Triple { first, mid, last }
+    }
+
+    /// Creates the waveform of a *primary input* given its values under the
+    /// two patterns. The intermediate value is derived: a primary input held
+    /// at the same specified value is stable (hazard-free), anything else
+    /// leaves the intermediate value unknown.
+    ///
+    /// ```
+    /// use pdf_logic::{Triple, Value};
+    ///
+    /// assert_eq!(Triple::from_patterns(Value::One, Value::One), Triple::STABLE1);
+    /// assert_eq!(Triple::from_patterns(Value::Zero, Value::One), Triple::RISING);
+    /// assert_eq!(
+    ///     Triple::from_patterns(Value::Zero, Value::X).to_string(),
+    ///     "0xx",
+    /// );
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn from_patterns(first: Value, last: Value) -> Triple {
+        let mid = match (first, last) {
+            (Value::Zero, Value::Zero) => Value::Zero,
+            (Value::One, Value::One) => Value::One,
+            _ => Value::X,
+        };
+        Triple { first, mid, last }
+    }
+
+    /// Normalizes the intermediate component: if both outer components agree
+    /// on a specified value `v` and the intermediate is `x`, the triple is
+    /// *not* collapsed (an `1x1` line may glitch — that is weaker than
+    /// `111`), but a specified intermediate that contradicts a stable pair
+    /// is preserved as-is for the caller to detect. This helper only fixes
+    /// the representation of the constants above.
+    const fn canonical(self) -> Triple {
+        // STABLE1 is written out via new(1, x, 1) for const-eval ergonomics;
+        // restore the stable intermediate.
+        Triple {
+            first: self.first,
+            mid: match (self.first, self.last) {
+                (Value::One, Value::One) => Value::One,
+                (Value::Zero, Value::Zero) => Value::Zero,
+                _ => self.mid,
+            },
+            last: self.last,
+        }
+    }
+
+    /// The value under the first pattern (`α1`).
+    #[inline]
+    #[must_use]
+    pub const fn first(self) -> Value {
+        self.first
+    }
+
+    /// The intermediate value (`α2`).
+    #[inline]
+    #[must_use]
+    pub const fn mid(self) -> Value {
+        self.mid
+    }
+
+    /// The value under the second pattern (`α3`).
+    #[inline]
+    #[must_use]
+    pub const fn last(self) -> Value {
+        self.last
+    }
+
+    /// The components as an array `[α1, α2, α3]`.
+    #[inline]
+    #[must_use]
+    pub const fn components(self) -> [Value; 3] {
+        [self.first, self.mid, self.last]
+    }
+
+    /// Returns `true` if all three components are specified (not `x`).
+    #[inline]
+    #[must_use]
+    pub const fn is_fully_specified(self) -> bool {
+        self.first.is_specified() && self.mid.is_specified() && self.last.is_specified()
+    }
+
+    /// Returns `true` if no component is specified (`xxx`).
+    #[inline]
+    #[must_use]
+    pub const fn is_unknown(self) -> bool {
+        !self.first.is_specified() && !self.mid.is_specified() && !self.last.is_specified()
+    }
+
+    /// Returns `true` for a specified rising (`0→1`) or falling (`1→0`)
+    /// waveform.
+    #[inline]
+    #[must_use]
+    pub const fn is_transition(self) -> bool {
+        matches!(
+            (self.first, self.last),
+            (Value::Zero, Value::One) | (Value::One, Value::Zero)
+        )
+    }
+
+    /// Returns `true` for a hazard-free stable waveform (`000` or `111`).
+    #[inline]
+    #[must_use]
+    pub const fn is_stable(self) -> bool {
+        matches!(
+            (self.first, self.mid, self.last),
+            (Value::Zero, Value::Zero, Value::Zero) | (Value::One, Value::One, Value::One)
+        )
+    }
+
+    /// Component-wise negation. Maps rising to falling and vice versa.
+    #[inline]
+    #[must_use]
+    pub const fn negate(self) -> Triple {
+        Triple {
+            first: self.first.negate(),
+            mid: self.mid.negate(),
+            last: self.last.negate(),
+        }
+    }
+
+    /// Component-wise conjunction under the conservative hazard algebra.
+    #[inline]
+    #[must_use]
+    pub const fn and(self, other: Triple) -> Triple {
+        Triple {
+            first: self.first.and(other.first),
+            mid: self.mid.and(other.mid),
+            last: self.last.and(other.last),
+        }
+    }
+
+    /// Component-wise disjunction under the conservative hazard algebra.
+    #[inline]
+    #[must_use]
+    pub const fn or(self, other: Triple) -> Triple {
+        Triple {
+            first: self.first.or(other.first),
+            mid: self.mid.or(other.mid),
+            last: self.last.or(other.last),
+        }
+    }
+
+    /// Component-wise exclusive-or. Note that XOR has no controlling value,
+    /// so any unknown component of either operand makes the corresponding
+    /// output component unknown — XOR never filters hazards.
+    #[inline]
+    #[must_use]
+    pub const fn xor(self, other: Triple) -> Triple {
+        Triple {
+            first: self.first.xor(other.first),
+            mid: self.mid.xor(other.mid),
+            last: self.last.xor(other.last),
+        }
+    }
+
+    /// Returns `true` if `self` (a simulated waveform) satisfies the
+    /// requirement `req` component-wise: every specified component of `req`
+    /// must be matched exactly by `self`.
+    ///
+    /// This is the test used by robust fault simulation: a two-pattern test
+    /// detects a path delay fault `p` iff the simulated triple of every line
+    /// constrained by `A(p)` satisfies its required triple.
+    ///
+    /// ```
+    /// use pdf_logic::Triple;
+    ///
+    /// let req: Triple = "xx0".parse()?; // final value 0, hazard allowed
+    /// assert!(Triple::FALLING.satisfies(req));
+    /// assert!(Triple::STABLE0.satisfies(req));
+    /// assert!(!Triple::STABLE1.satisfies(req));
+    /// # Ok::<(), pdf_logic::ParseTripleError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn satisfies(self, req: Triple) -> bool {
+        self.first.satisfies(req.first)
+            && self.mid.satisfies(req.mid)
+            && self.last.satisfies(req.last)
+    }
+
+    /// Intersects two *requirement* triples component-wise.
+    ///
+    /// Returns `None` if any component conflicts (`0` vs `1`). Merging the
+    /// necessary assignments of all faults targeted by one test uses this
+    /// operation; a `None` means the faults cannot share a test through
+    /// these lines.
+    ///
+    /// ```
+    /// use pdf_logic::Triple;
+    ///
+    /// let a: Triple = "xx0".parse()?;
+    /// let b: Triple = "0xx".parse()?;
+    /// assert_eq!(a.intersect(b), Some("0x0".parse()?));
+    /// assert_eq!(a.intersect(Triple::STABLE1), None);
+    /// # Ok::<(), pdf_logic::ParseTripleError>(())
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn intersect(self, other: Triple) -> Option<Triple> {
+        let first = match self.first.intersect(other.first) {
+            Some(v) => v,
+            None => return None,
+        };
+        let mid = match self.mid.intersect(other.mid) {
+            Some(v) => v,
+            None => return None,
+        };
+        let last = match self.last.intersect(other.last) {
+            Some(v) => v,
+            None => return None,
+        };
+        Some(Triple { first, mid, last })
+    }
+
+    /// Returns `true` if the two triples could describe the same line, i.e.
+    /// [`Triple::intersect`] would succeed.
+    #[inline]
+    #[must_use]
+    pub const fn is_compatible(self, other: Triple) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Counts the specified (non-`x`) components. Used by the value-based
+    /// compaction heuristic to size Δ-sets.
+    #[inline]
+    #[must_use]
+    pub const fn specified_count(self) -> usize {
+        self.first.is_specified() as usize
+            + self.mid.is_specified() as usize
+            + self.last.is_specified() as usize
+    }
+
+    /// The number of specified components `other` demands beyond what
+    /// `self` already demands, assuming the triples are compatible.
+    ///
+    /// This is the per-line contribution to `n_Δ(p_i)` in the value-based
+    /// secondary-target selection heuristic.
+    #[inline]
+    #[must_use]
+    pub const fn delta_count(self, other: Triple) -> usize {
+        (other.first.is_specified() && !self.first.is_specified()) as usize
+            + (other.mid.is_specified() && !self.mid.is_specified()) as usize
+            + (other.last.is_specified() && !self.last.is_specified()) as usize
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.first, self.mid, self.last)
+    }
+}
+
+/// Error returned when parsing a [`Triple`] from a string fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseTripleError;
+
+impl fmt::Display for ParseTripleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid value triple, expected three characters out of {0, 1, x}")
+    }
+}
+
+impl std::error::Error for ParseTripleError {}
+
+impl FromStr for Triple {
+    type Err = ParseTripleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        let (Some(a), Some(b), Some(c), None) =
+            (chars.next(), chars.next(), chars.next(), chars.next())
+        else {
+            return Err(ParseTripleError);
+        };
+        let first = Value::try_from(a).map_err(|_| ParseTripleError)?;
+        let mid = Value::try_from(b).map_err(|_| ParseTripleError)?;
+        let last = Value::try_from(c).map_err(|_| ParseTripleError)?;
+        Ok(Triple { first, mid, last })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Triple {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn constants_have_expected_representation() {
+        assert_eq!(Triple::STABLE0.to_string(), "000");
+        assert_eq!(Triple::STABLE1.to_string(), "111");
+        assert_eq!(Triple::RISING.to_string(), "0x1");
+        assert_eq!(Triple::FALLING.to_string(), "1x0");
+        assert_eq!(Triple::UNKNOWN.to_string(), "xxx");
+    }
+
+    #[test]
+    fn from_patterns_derives_intermediate() {
+        use Value::{One, X, Zero};
+        assert_eq!(Triple::from_patterns(Zero, Zero), Triple::STABLE0);
+        assert_eq!(Triple::from_patterns(One, One), Triple::STABLE1);
+        assert_eq!(Triple::from_patterns(Zero, One), Triple::RISING);
+        assert_eq!(Triple::from_patterns(One, Zero), Triple::FALLING);
+        assert_eq!(Triple::from_patterns(X, One), t("xx1"));
+        assert_eq!(Triple::from_patterns(One, X), t("1xx"));
+        assert_eq!(Triple::from_patterns(X, X), Triple::UNKNOWN);
+    }
+
+    #[test]
+    fn and_filters_and_preserves_hazards() {
+        // Stable non-controlling side value lets a transition through.
+        assert_eq!(Triple::RISING.and(Triple::STABLE1), Triple::RISING);
+        // Stable controlling side value blocks everything.
+        assert_eq!(Triple::RISING.and(Triple::STABLE0), Triple::STABLE0);
+        // Opposing transitions can glitch: 0x0.
+        assert_eq!(Triple::RISING.and(Triple::FALLING), t("0x0"));
+        // A hazard on the side input with final 1 leaves a possible glitch.
+        assert_eq!(Triple::RISING.and(t("1x1")), t("0x1"));
+        assert_eq!(t("1x1").and(Triple::STABLE1), t("1x1"));
+    }
+
+    #[test]
+    fn or_filters_and_preserves_hazards() {
+        assert_eq!(Triple::FALLING.or(Triple::STABLE0), Triple::FALLING);
+        assert_eq!(Triple::FALLING.or(Triple::STABLE1), Triple::STABLE1);
+        assert_eq!(Triple::RISING.or(Triple::FALLING), t("1x1"));
+    }
+
+    #[test]
+    fn xor_never_filters_hazards() {
+        // Even a stable side input keeps the output glitch-capable when the
+        // other input transitions — the mid component stays x.
+        assert_eq!(Triple::RISING.xor(Triple::STABLE0), Triple::RISING);
+        assert_eq!(Triple::RISING.xor(Triple::STABLE1), Triple::FALLING);
+        assert_eq!(Triple::RISING.xor(Triple::RISING), t("0x0"));
+    }
+
+    #[test]
+    fn satisfies_is_componentwise() {
+        assert!(Triple::FALLING.satisfies(t("xx0")));
+        assert!(Triple::STABLE0.satisfies(t("xx0")));
+        assert!(t("0x0").satisfies(t("xx0")));
+        assert!(!t("0x0").satisfies(Triple::STABLE0)); // mid x does not prove hazard-freeness
+        assert!(!Triple::RISING.satisfies(t("xx0")));
+        assert!(Triple::RISING.satisfies(Triple::UNKNOWN));
+        assert!(!Triple::UNKNOWN.satisfies(t("xx0")));
+    }
+
+    #[test]
+    fn intersect_conflicts() {
+        assert_eq!(t("xx0").intersect(t("0xx")), Some(t("0x0")));
+        assert_eq!(t("xx0").intersect(t("xx1")), None);
+        assert_eq!(Triple::STABLE0.intersect(Triple::STABLE0), Some(Triple::STABLE0));
+        assert_eq!(Triple::RISING.intersect(Triple::FALLING), None);
+        assert_eq!(Triple::UNKNOWN.intersect(t("1x0")), Some(t("1x0")));
+    }
+
+    #[test]
+    fn delta_count_counts_new_demands() {
+        assert_eq!(Triple::UNKNOWN.delta_count(t("0x1")), 2);
+        assert_eq!(t("0xx").delta_count(t("0x1")), 1);
+        assert_eq!(t("0x1").delta_count(t("0x1")), 0);
+        assert_eq!(t("000").delta_count(Triple::UNKNOWN), 0);
+    }
+
+    #[test]
+    fn negate_swaps_transitions() {
+        assert_eq!(Triple::RISING.negate(), Triple::FALLING);
+        assert_eq!(Triple::STABLE0.negate(), Triple::STABLE1);
+        assert_eq!(t("0x0").negate(), t("1x1"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Triple>().is_err());
+        assert!("0x".parse::<Triple>().is_err());
+        assert!("0x12".parse::<Triple>().is_err());
+        assert!("02x".parse::<Triple>().is_err());
+    }
+
+    #[test]
+    fn specified_count() {
+        assert_eq!(Triple::UNKNOWN.specified_count(), 0);
+        assert_eq!(t("0xx").specified_count(), 1);
+        assert_eq!(Triple::RISING.specified_count(), 2);
+        assert_eq!(Triple::STABLE1.specified_count(), 3);
+    }
+}

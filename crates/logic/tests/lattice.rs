@@ -1,0 +1,151 @@
+//! Property tests for the lattice structure of the triple algebra — the
+//! monotonicity law the whole justification procedure relies on: making
+//! inputs *more specified* never flips an already-specified simulated
+//! value, so a requirement violation observed on a partial assignment is
+//! permanent.
+
+use proptest::prelude::*;
+
+use pdf_logic::{GateKind, Triple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::Zero), Just(Value::One), Just(Value::X)]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_value(), arb_value(), arb_value()).prop_map(|(a, b, c)| Triple::new(a, b, c))
+}
+
+fn arb_gate() -> impl Strategy<Value = GateKind> {
+    prop_oneof![
+        Just(GateKind::And),
+        Just(GateKind::Nand),
+        Just(GateKind::Or),
+        Just(GateKind::Nor),
+        Just(GateKind::Xor),
+        Just(GateKind::Xnor),
+    ]
+}
+
+/// `a ⊑ b`: b refines a (agrees on every specified component of a).
+fn refines_value(a: Value, b: Value) -> bool {
+    a == Value::X || a == b
+}
+
+fn refines(a: Triple, b: Triple) -> bool {
+    refines_value(a.first(), b.first())
+        && refines_value(a.mid(), b.mid())
+        && refines_value(a.last(), b.last())
+}
+
+/// A pair `(coarse, fine)` with `coarse ⊑ fine`, built constructively:
+/// the fine triple fills the coarse one's `x` components at random.
+fn arb_refinement() -> impl Strategy<Value = (Triple, Triple)> {
+    (arb_triple(), arb_value(), arb_value(), arb_value()).prop_map(|(a, f1, f2, f3)| {
+        let fill = |coarse: Value, fine: Value| if coarse == Value::X { fine } else { coarse };
+        let b = Triple::new(
+            fill(a.first(), f1),
+            fill(a.mid(), f2),
+            fill(a.last(), f3),
+        );
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn gate_evaluation_is_monotone_in_specification(
+        kind in arb_gate(),
+        (a, a2) in arb_refinement(),
+        b in arb_triple(),
+    ) {
+        let coarse = kind.eval_triples([a, b]);
+        let fine = kind.eval_triples([a2, b]);
+        prop_assert!(
+            refines(coarse, fine),
+            "{}: eval({},{})={} not refined by eval({},{})={}",
+            kind, a, b, coarse, a2, b, fine
+        );
+    }
+
+    #[test]
+    fn intersect_is_the_lattice_meet(a in arb_triple(), b in arb_triple()) {
+        match a.intersect(b) {
+            Some(m) => {
+                // The meet refines both operands' constraints: it agrees
+                // with every specified component of each.
+                prop_assert!(refines(a, m));
+                prop_assert!(refines(b, m));
+                // Meeting again with an operand is a no-op.
+                prop_assert_eq!(m.intersect(a), Some(m));
+            }
+            None => {
+                // Conflicts are symmetric and genuine: some component is
+                // specified differently in both.
+                prop_assert_eq!(b.intersect(a), None);
+                let clash = a
+                    .components()
+                    .iter()
+                    .zip(b.components().iter())
+                    .any(|(&x, &y)| {
+                        x.is_specified() && y.is_specified() && x != y
+                    });
+                prop_assert!(clash);
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_is_antitone_in_the_requirement(
+        sim in arb_triple(),
+        (weaker, req) in arb_refinement(),
+    ) {
+        // If sim satisfies req, it satisfies any requirement req refines.
+        if sim.satisfies(req) {
+            prop_assert!(sim.satisfies(weaker));
+        }
+    }
+
+    #[test]
+    fn violation_is_permanent_under_refinement(
+        (sim, finer) in arb_refinement(),
+        req in arb_triple(),
+    ) {
+        // The early-exit rule of the justifier: once a (partially
+        // simulated) value is incompatible with a requirement, no further
+        // specification can recover it.
+        if !sim.is_compatible(req) {
+            prop_assert!(!finer.is_compatible(req));
+        }
+    }
+
+    #[test]
+    fn negation_is_an_involution_and_de_morgan_holds(
+        a in arb_triple(),
+        b in arb_triple(),
+    ) {
+        prop_assert_eq!(a.negate().negate(), a);
+        prop_assert_eq!(a.and(b).negate(), a.negate().or(b.negate()));
+        prop_assert_eq!(a.or(b).negate(), a.negate().and(b.negate()));
+    }
+
+    #[test]
+    fn and_or_are_commutative_and_associative(
+        a in arb_triple(),
+        b in arb_triple(),
+        c in arb_triple(),
+    ) {
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+        prop_assert_eq!(a.xor(b), b.xor(a));
+    }
+
+    #[test]
+    fn satisfies_implies_compatible(sim in arb_triple(), req in arb_triple()) {
+        if sim.satisfies(req) {
+            prop_assert!(sim.is_compatible(req));
+        }
+    }
+}

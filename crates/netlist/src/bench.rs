@@ -1,0 +1,302 @@
+//! Reader and writer for the ISCAS `.bench` netlist format.
+//!
+//! The format, as used by the ISCAS-85/89 and ITC-99 benchmark
+//! distributions:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G14 = NOT(G0)
+//! G8  = AND(G14, G6)
+//! G5  = DFF(G10)
+//! ```
+
+use std::fmt;
+
+use pdf_logic::GateKind;
+
+use crate::{Netlist, NetlistBuilder, NetlistError};
+
+/// Error produced while parsing a `.bench` file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BenchParseError {
+    /// A line could not be recognized.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An unknown gate function was referenced.
+    UnknownFunction {
+        /// 1-based line number.
+        line: usize,
+        /// The function name.
+        function: String,
+    },
+    /// A `DFF` was declared with other than one input.
+    BadDffArity {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Netlist-level validation failed after parsing.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for BenchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchParseError::Syntax { line, text } => {
+                write!(f, "line {line}: unrecognized syntax `{text}`")
+            }
+            BenchParseError::UnknownFunction { line, function } => {
+                write!(f, "line {line}: unknown function `{function}`")
+            }
+            BenchParseError::BadDffArity { line } => {
+                write!(f, "line {line}: DFF must have exactly one input")
+            }
+            BenchParseError::Netlist(e) => write!(f, "netlist validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchParseError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for BenchParseError {
+    fn from(e: NetlistError) -> Self {
+        BenchParseError::Netlist(e)
+    }
+}
+
+/// Parses `.bench` text into a [`Netlist`] called `name`.
+///
+/// # Errors
+///
+/// Returns a [`BenchParseError`] on unrecognized syntax, unknown gate
+/// functions, or netlist validation failure (multiple drivers, undriven
+/// signals, combinational cycles).
+///
+/// # Example
+///
+/// ```
+/// let text = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(z)
+/// z = NAND(a, b)
+/// ";
+/// let netlist = pdf_netlist::parse_bench(text, "demo")?;
+/// assert_eq!(netlist.gate_count(), 1);
+/// # Ok::<(), pdf_netlist::BenchParseError>(())
+/// ```
+pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, BenchParseError> {
+    let mut b = NetlistBuilder::new(name);
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = parse_call(line, "INPUT") {
+            b.input(inner.trim());
+            continue;
+        }
+        if let Some(inner) = parse_call(line, "OUTPUT") {
+            b.output(inner.trim());
+            continue;
+        }
+        // `out = FUNC(in1, in2, ...)`
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(BenchParseError::Syntax {
+                line: lineno,
+                text: line.to_owned(),
+            });
+        };
+        let out = lhs.trim();
+        let rhs = rhs.trim();
+        let (Some(open), Some(close)) = (rhs.find('('), rhs.rfind(')')) else {
+            return Err(BenchParseError::Syntax {
+                line: lineno,
+                text: line.to_owned(),
+            });
+        };
+        if close < open || !rhs[close + 1..].trim().is_empty() {
+            return Err(BenchParseError::Syntax {
+                line: lineno,
+                text: line.to_owned(),
+            });
+        }
+        let func = rhs[..open].trim();
+        let args: Vec<&str> = rhs[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if func.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(BenchParseError::BadDffArity { line: lineno });
+            }
+            b.dff(out, args[0]);
+            continue;
+        }
+        let kind: GateKind = func.parse().map_err(|_| BenchParseError::UnknownFunction {
+            line: lineno,
+            function: func.to_owned(),
+        })?;
+        b.gate(kind, out, &args);
+    }
+    Ok(b.finish()?)
+}
+
+fn parse_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest)
+}
+
+/// Serializes a [`Netlist`] to `.bench` text. Parsing the output with
+/// [`parse_bench`] reproduces an equivalent netlist.
+#[must_use]
+pub fn to_bench_string(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+
+    let mut s = String::new();
+    let _ = writeln!(s, "# {}", netlist.name());
+    for &i in netlist.inputs() {
+        let _ = writeln!(s, "INPUT({})", netlist.signal_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(s, "OUTPUT({})", netlist.signal_name(o));
+    }
+    for dff in netlist.dffs() {
+        let _ = writeln!(
+            s,
+            "{} = DFF({})",
+            netlist.signal_name(dff.q),
+            netlist.signal_name(dff.d)
+        );
+    }
+    for gate in netlist.gates() {
+        let args: Vec<&str> = gate
+            .inputs
+            .iter()
+            .map(|&i| netlist.signal_name(i))
+            .collect();
+        let _ = writeln!(
+            s,
+            "{} = {}({})",
+            netlist.signal_name(gate.output),
+            gate.kind,
+            args.join(", ")
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_BENCH: &str = "\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+    #[test]
+    fn parses_s27() {
+        let n = parse_bench(S27_BENCH, "s27").unwrap();
+        assert_eq!(n.input_count(), 4);
+        assert_eq!(n.output_count(), 1);
+        assert_eq!(n.dff_count(), 3);
+        assert_eq!(n.gate_count(), 10);
+        let core = n.combinational_core();
+        assert_eq!(core.input_count(), 7);
+        assert_eq!(core.output_count(), 4);
+        // The paper's line-level s27 has 26 lines.
+        let circuit = core.to_circuit().unwrap();
+        assert_eq!(circuit.line_count(), 26);
+        assert_eq!(circuit.critical_delay(), 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nINPUT(a)  # trailing\nOUTPUT(z)\nz = NOT(a)\n";
+        let n = parse_bench(text, "t").unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let n = parse_bench(S27_BENCH, "s27").unwrap();
+        let text = to_bench_string(&n);
+        let n2 = parse_bench(&text, "s27").unwrap();
+        assert_eq!(n.gate_count(), n2.gate_count());
+        assert_eq!(n.dff_count(), n2.dff_count());
+        assert_eq!(n.input_count(), n2.input_count());
+        assert_eq!(n.output_count(), n2.output_count());
+        let c1 = n.combinational_core().to_circuit().unwrap();
+        let c2 = n2.combinational_core().to_circuit().unwrap();
+        assert_eq!(c1.line_count(), c2.line_count());
+        assert_eq!(c1.path_count(), c2.path_count());
+    }
+
+    #[test]
+    fn syntax_errors_are_located() {
+        let err = parse_bench("INPUT(a)\nwhat is this\n", "t").unwrap_err();
+        match err {
+            BenchParseError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_function_reported() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(z)\nz = MAJ(a, a, a)\n", "t").unwrap_err();
+        match err {
+            BenchParseError::UnknownFunction { function, .. } => assert_eq!(function, "MAJ"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dff_arity_checked() {
+        let err = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n", "t").unwrap_err();
+        assert!(matches!(err, BenchParseError::BadDffArity { line: 3 }));
+    }
+
+    #[test]
+    fn aliases_buff_and_inv() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(z)\nm = BUFF(a)\nz = INV(m)\n", "t").unwrap();
+        assert_eq!(n.gate_count(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Path enumeration with capped fault stores for path delay fault test
+//! generation.
+//!
+//! Circuits of practical size have far too many paths to target every path
+//! delay fault, so test generation restricts itself to the faults on the
+//! *longest* paths. This crate implements the enumeration machinery of
+//! Pomeranz & Reddy (DATE 2002, Sec. 3.1):
+//!
+//! * [`Path`] — a physical path as a sequence of lines (fanout branches
+//!   included), with delays and the `len(p)` extension bound;
+//! * [`PathEnumerator`] — capped enumeration of the longest paths, in both
+//!   the moderate work-list variant and the distance-guided best-first
+//!   variant;
+//! * [`PathStore`] / [`LengthHistogram`] — the retained path population
+//!   and its per-length fault counts (`n_p(L_i)`, `N_p(L_i)`), the basis
+//!   for selecting the target sets `P_0` and `P_1`.
+//!
+//! # Example
+//!
+//! ```
+//! use pdf_netlist::iscas::s27;
+//! use pdf_paths::PathEnumerator;
+//!
+//! let circuit = s27();
+//! let result = PathEnumerator::new(&circuit).with_cap(10_000).enumerate();
+//! // s27 is small: every complete path is retained.
+//! assert_eq!(result.store.len() as u64, circuit.path_count());
+//! let histogram = result.store.histogram(2); // two faults per path
+//! assert_eq!(histogram.classes()[0].length, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enumerate;
+mod path;
+mod select;
+mod spectrum;
+mod store;
+
+pub use enumerate::{
+    EnumEvent, Enumeration, EnumerationStats, PathEnumerator, SnapshotPath, Strategy,
+};
+pub use path::{Path, PathError};
+pub use select::{select_line_cover, LineCoverSelection};
+pub use spectrum::PathSpectrum;
+pub use store::{LengthClass, LengthHistogram, PathStore, StoredPath};
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use crate::{LengthHistogram, Path, PathEnumerator, PathSpectrum, PathStore, Strategy};
+    pub use crate::select_line_cover;
+}

@@ -1,0 +1,266 @@
+//! Non-enumerative path counting by length.
+//!
+//! The paper sizes its fault stores by "considering the number of paths of
+//! every length" and cites the authors' non-enumerative coverage
+//! estimation work (its reference \[2\]). This module provides that
+//! substrate: the exact number of complete paths of every delay, computed
+//! by dynamic programming over the line graph **without enumerating a
+//! single path** — time `O(lines × distinct delays)`, even when the
+//! circuit has astronomically many paths.
+//!
+//! It doubles as a differential oracle for the enumerator: on circuits
+//! small enough to enumerate, the per-length counts must match exactly.
+
+use std::collections::BTreeMap;
+
+use pdf_netlist::{Circuit, LineId};
+
+/// The number of complete input-to-output paths per total delay.
+///
+/// Counts saturate at `u64::MAX` (flagged by [`PathSpectrum::saturated`]).
+///
+/// # Example
+///
+/// ```
+/// use pdf_netlist::iscas::s27;
+/// use pdf_paths::PathSpectrum;
+///
+/// let spectrum = PathSpectrum::of(&s27());
+/// assert_eq!(spectrum.total(), 28);            // s27 has 28 paths
+/// assert_eq!(spectrum.count_at(10), 4);        // four critical paths
+/// assert_eq!(spectrum.count_at_least(7), 18);  // the walkthrough's 18
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSpectrum {
+    /// delay -> number of complete paths of exactly that delay.
+    counts: BTreeMap<u32, u64>,
+    saturated: bool,
+}
+
+impl PathSpectrum {
+    /// Computes the spectrum of `circuit`.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> PathSpectrum {
+        // suffix[l] : delay -> number of line sequences from l (inclusive)
+        // to an output, where the delay includes l's own delay.
+        let mut suffix: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); circuit.line_count()];
+        let mut saturated = false;
+        for &id in circuit.topo_order().iter().rev() {
+            let line = circuit.line(id);
+            let mut map = BTreeMap::new();
+            if line.is_output() {
+                map.insert(line.delay(), 1u64);
+            } else {
+                for &f in line.fanout() {
+                    // Clone keeps the borrow checker happy; suffix maps are
+                    // small (one entry per distinct delay).
+                    let child = suffix[f.index()].clone();
+                    for (d, n) in child {
+                        let entry = map.entry(d + line.delay()).or_insert(0u64);
+                        let (sum, overflow) = entry.overflowing_add(n);
+                        *entry = if overflow { u64::MAX } else { sum };
+                        saturated |= overflow || *entry == u64::MAX && n == u64::MAX;
+                    }
+                }
+            }
+            suffix[id.index()] = map;
+        }
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for &i in circuit.inputs() {
+            for (&d, &n) in &suffix[i.index()] {
+                let entry = counts.entry(d).or_insert(0);
+                let (sum, overflow) = entry.overflowing_add(n);
+                *entry = if overflow { u64::MAX } else { sum };
+                saturated |= overflow;
+            }
+        }
+        PathSpectrum { counts, saturated }
+    }
+
+    /// The number of complete paths of exactly `delay`.
+    #[must_use]
+    pub fn count_at(&self, delay: u32) -> u64 {
+        self.counts.get(&delay).copied().unwrap_or(0)
+    }
+
+    /// The number of complete paths of delay `delay` or more.
+    #[must_use]
+    pub fn count_at_least(&self, delay: u32) -> u64 {
+        self.counts
+            .range(delay..)
+            .fold(0u64, |acc, (_, &n)| acc.saturating_add(n))
+    }
+
+    /// Total number of complete paths.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().fold(0u64, |acc, &n| acc.saturating_add(n))
+    }
+
+    /// The largest path delay (`L_0`), or `None` for a pathless circuit.
+    #[must_use]
+    pub fn max_delay(&self) -> Option<u32> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// The smallest path delay, or `None` for a pathless circuit.
+    #[must_use]
+    pub fn min_delay(&self) -> Option<u32> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Iterates `(delay, count)` pairs in decreasing delay order.
+    pub fn iter_desc(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().rev().map(|(&d, &n)| (d, n))
+    }
+
+    /// `true` if any count saturated at `u64::MAX` (the circuit has more
+    /// than 2⁶⁴−1 paths of some length).
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// The smallest delay `L` such that counting `units` faults per path,
+    /// the population at delay `L` or longer reaches `threshold` — the
+    /// non-enumerative way to choose the `P_0` cutoff, useful to size
+    /// `N_P` before enumerating (the paper: "`N_P` can be determined by
+    /// considering the number of paths of every length").
+    #[must_use]
+    pub fn cutoff_delay(&self, units: u64, threshold: u64) -> Option<u32> {
+        let mut acc = 0u64;
+        for (&d, &n) in self.counts.iter().rev() {
+            acc = acc.saturating_add(n.saturating_mul(units));
+            if acc >= threshold {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// The number of complete paths running through `line` (any delay),
+    /// saturating.
+    #[must_use]
+    pub fn paths_through(circuit: &Circuit, line: LineId) -> u64 {
+        // forward[l]: #paths from any input to l; backward[l]: #sequences
+        // from l to any output. Paths through l = forward × backward.
+        let mut forward = vec![0u64; circuit.line_count()];
+        let mut backward = vec![0u64; circuit.line_count()];
+        for &id in circuit.topo_order() {
+            let l = circuit.line(id);
+            forward[id.index()] = if l.kind().is_input() {
+                1
+            } else {
+                l.fanin()
+                    .iter()
+                    .fold(0u64, |a, f| a.saturating_add(forward[f.index()]))
+            };
+        }
+        for &id in circuit.topo_order().iter().rev() {
+            let l = circuit.line(id);
+            backward[id.index()] = if l.is_output() {
+                1
+            } else {
+                l.fanout()
+                    .iter()
+                    .fold(0u64, |a, f| a.saturating_add(backward[f.index()]))
+            };
+        }
+        forward[line.index()].saturating_mul(backward[line.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PathEnumerator;
+    use pdf_netlist::iscas::{c17, s27};
+    use pdf_netlist::SynthProfile;
+
+    #[test]
+    fn s27_spectrum_matches_enumeration() {
+        let c = s27();
+        let spectrum = PathSpectrum::of(&c);
+        let full = PathEnumerator::new(&c).with_cap(1_000_000).enumerate();
+        assert_eq!(spectrum.total(), full.store.len() as u64);
+        for (delay, count) in spectrum.iter_desc() {
+            let enumerated = full.store.iter().filter(|e| e.delay == delay).count() as u64;
+            assert_eq!(count, enumerated, "delay {delay}");
+        }
+        assert_eq!(spectrum.max_delay(), Some(10));
+        assert_eq!(spectrum.min_delay(), Some(2));
+        assert!(!spectrum.saturated());
+    }
+
+    #[test]
+    fn c17_spectrum() {
+        let spectrum = PathSpectrum::of(&c17());
+        assert_eq!(spectrum.total(), 11);
+    }
+
+    #[test]
+    fn random_circuits_match_enumeration() {
+        for seed in 0..10u64 {
+            let c = SynthProfile::new("spec", seed)
+                .with_inputs(6)
+                .with_gates(40)
+                .with_levels(6)
+                .generate()
+                .to_circuit()
+                .unwrap();
+            let spectrum = PathSpectrum::of(&c);
+            assert_eq!(spectrum.total(), c.path_count(), "seed {seed}");
+            let full = PathEnumerator::new(&c).with_cap(10_000_000).enumerate();
+            for (delay, count) in spectrum.iter_desc() {
+                let enumerated =
+                    full.store.iter().filter(|e| e.delay == delay).count() as u64;
+                assert_eq!(count, enumerated, "seed {seed} delay {delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_delay_mirrors_histogram_cutoff() {
+        let c = s27();
+        let spectrum = PathSpectrum::of(&c);
+        // 2 faults per path; find the cutoff for 10 faults.
+        let cutoff = spectrum.cutoff_delay(2, 10).unwrap();
+        // Manually: 4 paths at 10 (8 faults), 2 at 9 (12 faults total).
+        assert_eq!(cutoff, 9);
+        assert_eq!(spectrum.cutoff_delay(2, 8), Some(10));
+        assert_eq!(spectrum.cutoff_delay(2, 100_000), None);
+    }
+
+    #[test]
+    fn paths_through_lines() {
+        let c = s27();
+        // Line 21 (id 20) is on 18 of the 28 paths: all paths through the
+        // NOR stem G11.
+        let through = PathSpectrum::paths_through(&c, pdf_netlist::LineId::new(20));
+        let full = PathEnumerator::new(&c).with_cap(1_000_000).enumerate();
+        let expected = full
+            .store
+            .iter()
+            .filter(|e| e.path.lines().contains(&pdf_netlist::LineId::new(20)))
+            .count() as u64;
+        assert_eq!(through, expected);
+    }
+
+    #[test]
+    fn deep_circuit_does_not_enumerate() {
+        // A circuit with far too many paths to enumerate still gets an
+        // exact spectrum instantly.
+        let c = SynthProfile::new("deep", 1)
+            .with_inputs(12)
+            .with_gates(600)
+            .with_levels(40)
+            .with_adjacent_bias(0.9)
+            .with_pi_bias(0.1)
+            .generate()
+            .to_circuit()
+            .unwrap();
+        let spectrum = PathSpectrum::of(&c);
+        assert_eq!(spectrum.total(), c.path_count());
+        assert!(spectrum.total() > 100_000);
+    }
+}

@@ -1,0 +1,288 @@
+//! The enumerated path store and its length statistics.
+
+use core::fmt;
+
+use crate::Path;
+
+/// A collection of complete paths together with their delays, as produced
+/// by enumeration.
+#[derive(Clone, Debug, Default)]
+pub struct PathStore {
+    entries: Vec<StoredPath>,
+}
+
+/// One path with its cached delay.
+#[derive(Clone, Debug)]
+pub struct StoredPath {
+    /// The physical path.
+    pub path: Path,
+    /// Its delay under the circuit's delay model at enumeration time.
+    pub delay: u32,
+}
+
+impl PathStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> PathStore {
+        PathStore::default()
+    }
+
+    /// Adds a path with its delay.
+    pub fn push(&mut self, path: Path, delay: u32) {
+        self.entries.push(StoredPath { path, delay });
+    }
+
+    /// Number of stored paths.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the store holds no paths.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries, in storage order.
+    #[inline]
+    #[must_use]
+    pub fn entries(&self) -> &[StoredPath] {
+        &self.entries
+    }
+
+    /// Iterates over the stored paths.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredPath> {
+        self.entries.iter()
+    }
+
+    /// The largest stored delay, or `None` when empty.
+    #[must_use]
+    pub fn max_delay(&self) -> Option<u32> {
+        self.entries.iter().map(|e| e.delay).max()
+    }
+
+    /// The smallest stored delay, or `None` when empty.
+    #[must_use]
+    pub fn min_delay(&self) -> Option<u32> {
+        self.entries.iter().map(|e| e.delay).min()
+    }
+
+    /// Sorts entries by descending delay; ties keep storage order
+    /// (stable sort), which keeps downstream fault ordering deterministic.
+    pub fn sort_by_delay_desc(&mut self) {
+        self.entries.sort_by(|a, b| b.delay.cmp(&a.delay));
+    }
+
+    /// Builds the length histogram of the store, counting `units` faults
+    /// per path (two — one slow-to-rise, one slow-to-fall — in the standard
+    /// model).
+    #[must_use]
+    pub fn histogram(&self, units: u32) -> LengthHistogram {
+        LengthHistogram::from_lengths(
+            self.entries
+                .iter()
+                .flat_map(|e| std::iter::repeat(e.delay).take(units as usize)),
+        )
+    }
+}
+
+impl FromIterator<StoredPath> for PathStore {
+    fn from_iter<T: IntoIterator<Item = StoredPath>>(iter: T) -> PathStore {
+        PathStore {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<StoredPath> for PathStore {
+    fn extend<T: IntoIterator<Item = StoredPath>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+/// One row of a [`LengthHistogram`]: a distinct length `L_i` with its fault
+/// counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LengthClass {
+    /// The length `L_i` (lengths are indexed in decreasing order, so row 0
+    /// is the critical length `L_0`).
+    pub length: u32,
+    /// `n_p(L_i)`: the number of faults of exactly this length.
+    pub count: usize,
+    /// `N_p(L_i)`: the number of faults of this length *or longer*
+    /// (cumulative from row 0).
+    pub cumulative: usize,
+}
+
+/// The per-length fault counts `n_p(L_i)` and cumulative counts
+/// `N_p(L_i)`, lengths in decreasing order — the shape of the paper's
+/// Table 2.
+///
+/// # Example
+///
+/// ```
+/// use pdf_paths::LengthHistogram;
+///
+/// let h = LengthHistogram::from_lengths([96, 96, 95, 95, 95, 94]);
+/// assert_eq!(h.classes()[0].length, 96);
+/// assert_eq!(h.classes()[0].cumulative, 2);
+/// assert_eq!(h.classes()[1].cumulative, 5);
+/// // First index whose cumulative count reaches 5:
+/// assert_eq!(h.cutoff(5), Some(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LengthHistogram {
+    classes: Vec<LengthClass>,
+}
+
+impl LengthHistogram {
+    /// Builds the histogram from one length value per fault.
+    #[must_use]
+    pub fn from_lengths<I>(lengths: I) -> LengthHistogram
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for l in lengths {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        let mut classes = Vec::with_capacity(counts.len());
+        let mut cumulative = 0usize;
+        for (&length, &count) in counts.iter().rev() {
+            cumulative += count;
+            classes.push(LengthClass {
+                length,
+                count,
+                cumulative,
+            });
+        }
+        LengthHistogram { classes }
+    }
+
+    /// The length classes, critical length first.
+    #[inline]
+    #[must_use]
+    pub fn classes(&self) -> &[LengthClass] {
+        &self.classes
+    }
+
+    /// Number of distinct lengths.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` if there are no classes.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Total number of faults.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.classes.last().map_or(0, |c| c.cumulative)
+    }
+
+    /// The smallest index `i0` such that `N_p(L_{i0}) >= threshold` — the
+    /// paper's rule for sizing the first target set `P_0` (with
+    /// `threshold = N_P0 = 1000`). Returns `None` when even the full
+    /// population is smaller than `threshold`.
+    #[must_use]
+    pub fn cutoff(&self, threshold: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.cumulative >= threshold)
+    }
+
+    /// The length `L_i` at index `i`, if present.
+    #[must_use]
+    pub fn length_at(&self, i: usize) -> Option<u32> {
+        self.classes.get(i).map(|c| c.length)
+    }
+}
+
+impl fmt::Display for LengthHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>4} {:>8} {:>10}", "i", "L_i", "N_p(L_i)")?;
+        for (i, c) in self.classes.iter().enumerate() {
+            writeln!(f, "{:>4} {:>8} {:>10}", i, c.length, c.cumulative)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_netlist::LineId;
+
+    fn p(ids: &[usize]) -> Path {
+        ids.iter().map(|&k| LineId::new(k)).collect()
+    }
+
+    #[test]
+    fn store_basics() {
+        let mut s = PathStore::new();
+        assert!(s.is_empty());
+        s.push(p(&[0, 1]), 2);
+        s.push(p(&[0, 1, 2]), 3);
+        s.push(p(&[3, 4]), 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_delay(), Some(3));
+        assert_eq!(s.min_delay(), Some(2));
+        s.sort_by_delay_desc();
+        assert_eq!(s.entries()[0].delay, 3);
+        // Stable: the two delay-2 paths keep their relative order.
+        assert_eq!(s.entries()[1].path, p(&[0, 1]));
+    }
+
+    #[test]
+    fn histogram_counts_units_per_path() {
+        let mut s = PathStore::new();
+        s.push(p(&[0, 1]), 5);
+        s.push(p(&[0, 2]), 5);
+        s.push(p(&[0, 3]), 4);
+        let h = s.histogram(2);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.classes()[0], LengthClass { length: 5, count: 4, cumulative: 4 });
+        assert_eq!(h.classes()[1], LengthClass { length: 4, count: 2, cumulative: 6 });
+    }
+
+    #[test]
+    fn cutoff_matches_paper_rule() {
+        // Mimic the paper's Table 2 head: N_p = 4, 12, 22, 36, ...
+        let mut lengths = Vec::new();
+        for (l, n) in [(96u32, 4usize), (95, 8), (94, 10), (93, 14)] {
+            lengths.extend(std::iter::repeat(l).take(n));
+        }
+        let h = LengthHistogram::from_lengths(lengths);
+        assert_eq!(h.cutoff(1), Some(0));
+        assert_eq!(h.cutoff(4), Some(0));
+        assert_eq!(h.cutoff(5), Some(1));
+        assert_eq!(h.cutoff(12), Some(1));
+        assert_eq!(h.cutoff(13), Some(2));
+        assert_eq!(h.cutoff(37), None);
+        assert_eq!(h.length_at(2), Some(94));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LengthHistogram::from_lengths(std::iter::empty());
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.cutoff(1), None);
+    }
+
+    #[test]
+    fn display_has_table2_shape() {
+        let h = LengthHistogram::from_lengths([10, 10, 9]);
+        let text = h.to_string();
+        assert!(text.contains("L_i"));
+        assert!(text.contains("N_p(L_i)"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Facade crate for the *path-delay-atpg* workspace: a full Rust
+//! reproduction of Pomeranz & Reddy, **"Test Enrichment for Path Delay
+//! Faults Using Multiple Sets of Target Faults"** (DATE 2002).
+//!
+//! This crate re-exports the workspace layers so applications can depend on
+//! a single package:
+//!
+//! * [`logic`] — three-valued scalars and two-pattern value triples,
+//! * [`netlist`] — gate-level circuits with explicit fanout-branch lines,
+//! * [`paths`] — longest-path enumeration with capped fault stores,
+//! * [`faults`] — the path delay fault model and robust conditions `A(p)`,
+//! * [`atpg`] — justification, compaction and the test enrichment loop.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use path_delay_atpg::prelude::*;
+//!
+//! // The exact s27 combinational core from the paper's Figure 1.
+//! let circuit = s27();
+//!
+//! // Enumerate the fault population of the longest paths (N_P capped).
+//! let paths = PathEnumerator::new(&circuit).with_cap(10_000).enumerate();
+//! let (faults, _) = FaultList::build(&circuit, &paths.store);
+//!
+//! // Split into P0 (critical) and P1 (next-to-longest) target sets.
+//! let split = TargetSplit::by_cumulative_length(&faults, 10);
+//!
+//! // Run the enrichment ATPG: test count driven by P0, P1 detected free.
+//! let outcome = EnrichmentAtpg::new(&circuit)
+//!     .with_seed(2002)
+//!     .run(&split);
+//! assert!(!outcome.tests().is_empty());
+//! ```
+
+pub use pdf_atpg as atpg;
+pub use pdf_faults as faults;
+pub use pdf_logic as logic;
+pub use pdf_netlist as netlist;
+pub use pdf_paths as paths;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use pdf_atpg::prelude::*;
+    pub use pdf_faults::prelude::*;
+    pub use pdf_logic::{GateKind, Triple, Value};
+    pub use pdf_netlist::prelude::*;
+    pub use pdf_paths::prelude::*;
+}
