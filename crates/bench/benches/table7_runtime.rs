@@ -15,7 +15,11 @@ fn bench_table7(c: &mut Criterion) {
         b.iter(|| BasicAtpg::new(&s.circuit).with_seed(2002).run(s.split.p0()));
     });
     group.bench_function("b09/enrichment", |b| {
-        b.iter(|| EnrichmentAtpg::new(&s.circuit).with_seed(2002).run(&s.split));
+        b.iter(|| {
+            EnrichmentAtpg::new(&s.circuit)
+                .with_seed(2002)
+                .run(&s.split)
+        });
     });
     group.finish();
 }

@@ -1,0 +1,90 @@
+//! Measures scalar vs packed fault-simulation throughput on the largest
+//! bundled stand-in and writes the result to `BENCH_sim.json`.
+//!
+//! The figure of merit is *checks per second*: one check is one
+//! (test, fault) requirement evaluation, so a full coverage pass performs
+//! `tests × faults` of them. Run with `--release`; circuit and workload
+//! can be overridden via `PDF_BENCH_CIRCUIT`, `PDF_BENCH_TESTS`.
+
+use std::time::Instant;
+
+use pdf_atpg::{Justifier, SimBackend, TestSet};
+use pdf_bench::setup;
+use pdf_experiments::json::Json;
+
+fn measure(f: impl Fn() -> usize) -> (f64, usize) {
+    // One warm-up, then the median-ish best of three timed runs.
+    let detected = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let again = f();
+        assert_eq!(again, detected, "nondeterministic coverage");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, detected)
+}
+
+fn main() {
+    let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
+    let n_tests: usize = std::env::var("PDF_BENCH_TESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+
+    let s = setup(&circuit_name, 2_000, 200);
+    let mut justifier = Justifier::new(&s.circuit, 3).with_attempts(2);
+    let base: Vec<_> = s
+        .faults
+        .iter()
+        .filter_map(|e| justifier.justify(&e.assignments))
+        .map(|j| j.test)
+        .collect();
+    assert!(!base.is_empty(), "no justifiable faults on {circuit_name}");
+    let tests: TestSet = (0..n_tests).map(|i| base[i % base.len()].clone()).collect();
+
+    let checks = (tests.len() * s.faults.len()) as f64;
+    let (scalar_s, scalar_det) = measure(|| {
+        tests
+            .coverage_with(SimBackend::Scalar, &s.circuit, &s.faults)
+            .detected_count()
+    });
+    let (packed_s, packed_det) = measure(|| {
+        tests
+            .coverage_with(SimBackend::Packed, &s.circuit, &s.faults)
+            .detected_count()
+    });
+    assert_eq!(scalar_det, packed_det, "backends disagree on coverage");
+
+    let speedup = scalar_s / packed_s;
+    println!(
+        "sim_throughput {circuit_name}: {} tests x {} faults; scalar {:.3e} checks/s, \
+         packed {:.3e} checks/s, speedup {speedup:.1}x",
+        tests.len(),
+        s.faults.len(),
+        checks / scalar_s,
+        checks / packed_s,
+    );
+
+    let report = Json::object()
+        .field("circuit", circuit_name.as_str())
+        .field("lines", s.circuit.line_count())
+        .field("tests", tests.len())
+        .field("faults", s.faults.len())
+        .field("detected", packed_det)
+        .field(
+            "scalar",
+            Json::object()
+                .field("seconds", scalar_s)
+                .field("checks_per_sec", checks / scalar_s),
+        )
+        .field(
+            "packed",
+            Json::object()
+                .field("seconds", packed_s)
+                .field("checks_per_sec", checks / packed_s),
+        )
+        .field("speedup", speedup)
+        .field("threads", pdf_sim::max_threads());
+    std::fs::write("BENCH_sim.json", report.to_pretty()).expect("cannot write BENCH_sim.json");
+}

@@ -197,7 +197,11 @@ pub fn cmd_info(circuit: &Circuit) -> String {
         s,
         "complete paths: {}{}",
         spectrum.total(),
-        if spectrum.saturated() { "+ (saturated)" } else { "" },
+        if spectrum.saturated() {
+            "+ (saturated)"
+        } else {
+            ""
+        },
     );
     let _ = writeln!(
         s,
@@ -214,7 +218,11 @@ pub fn cmd_spectrum(circuit: &Circuit, options: &Options) -> Result<String, CliE
     let top: usize = options.parsed("top", 20)?;
     let spectrum = PathSpectrum::of(circuit);
     let mut s = String::new();
-    let _ = writeln!(s, "{:>4} {:>8} {:>20} {:>20}", "i", "L_i", "paths", "cumulative");
+    let _ = writeln!(
+        s,
+        "{:>4} {:>8} {:>20} {:>20}",
+        "i", "L_i", "paths", "cumulative"
+    );
     let mut cumulative = 0u64;
     for (i, (delay, count)) in spectrum.iter_desc().take(top).enumerate() {
         cumulative = cumulative.saturating_add(count);
@@ -247,7 +255,11 @@ pub fn cmd_paths(circuit: &Circuit, options: &Options) -> Result<String, CliErro
         result.store.len(),
         cap,
         result.stats.removed,
-        if result.stats.overflowed { "; cap overflowed" } else { "" },
+        if result.stats.overflowed {
+            "; cap overflowed"
+        } else {
+            ""
+        },
     );
     for entry in result.store.iter() {
         let _ = writeln!(s, "{:>4}  {}", entry.delay, entry.path);
@@ -265,7 +277,10 @@ pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliErr
     let _ = writeln!(
         s,
         "{} candidates -> {} detectable ({} conflicting conditions, {} by implication)",
-        stats.candidates, faults.len(), stats.rule1_conflicts, stats.rule2_conflicts,
+        stats.candidates,
+        faults.len(),
+        stats.rule1_conflicts,
+        stats.rule2_conflicts,
     );
     let histogram = pdf_paths::LengthHistogram::from_lengths(faults.delays());
     let _ = writeln!(s, "length classes: {}", histogram.len());
@@ -347,11 +362,12 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             .chain(split.p1().iter())
             .cloned()
             .collect();
-        let minimized = tests.minimized(circuit, &everything);
+        let before = tests.len();
+        let minimized = tests.into_minimized(circuit, &everything);
         let _ = writeln!(
             s,
             "static minimization: {} -> {} tests (coverage preserved)",
-            tests.len(),
+            before,
             minimized.len(),
         );
         minimized
@@ -385,7 +401,7 @@ pub fn cmd_sim(circuit: &Circuit, v1: &str, v2: &str) -> Result<String, CliError
     let waves = pdf_netlist::simulate_triples(circuit, &test.to_triples());
     let mut s = String::new();
     let _ = writeln!(s, "test: {test}");
-    let _ = writeln!(s, "{:>5}  {:<16} {:<8} {}", "line", "name", "kind", "waveform");
+    let _ = writeln!(s, "{:>5}  {:<16} {:<8} waveform", "line", "name", "kind");
     for (id, line) in circuit.iter() {
         let kind = match line.kind() {
             LineKind::Input => "input",
@@ -414,7 +430,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_owned());
     }
     let Some(spec) = args.get(1) else {
-        return err(format!("`{command}` requires a circuit argument\n\n{USAGE}"));
+        return err(format!(
+            "`{command}` requires a circuit argument\n\n{USAGE}"
+        ));
     };
     let rest = &args[2..];
     let mut notes = String::new();
@@ -506,7 +524,14 @@ mod tests {
     #[test]
     fn paths_moderate_walkthrough() {
         let out = run(&args(&[
-            "paths", "s27", "--cap", "20", "--units", "1", "--strategy", "moderate",
+            "paths",
+            "s27",
+            "--cap",
+            "20",
+            "--units",
+            "1",
+            "--strategy",
+            "moderate",
         ]))
         .unwrap();
         assert!(out.contains("19 paths retained"), "{out}");
@@ -541,7 +566,13 @@ mod tests {
     #[test]
     fn atpg_minimize_reports_shrinkage() {
         let out = run(&args(&[
-            "atpg", "s27", "--np0", "10", "--minimize", "--heuristic", "uncomp",
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--minimize",
+            "--heuristic",
+            "uncomp",
         ]))
         .unwrap();
         assert!(out.contains("static minimization:"), "{out}");

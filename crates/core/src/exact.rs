@@ -234,7 +234,9 @@ mod tests {
         for e in faults.iter() {
             if j.justify(&e.assignments).is_some() {
                 assert!(
-                    ExactJustifier::new(&c).justify(&e.assignments).is_satisfiable(),
+                    ExactJustifier::new(&c)
+                        .justify(&e.assignments)
+                        .is_satisfiable(),
                     "{}",
                     e.fault
                 );

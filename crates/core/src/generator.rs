@@ -352,8 +352,7 @@ impl<'c, 'f> Session<'c, 'f> {
                 primary_order.swap(i, j);
             }
         }
-        let justifier =
-            Justifier::new(circuit, config.seed).with_attempts(config.justify_attempts);
+        let justifier = Justifier::new(circuit, config.seed).with_attempts(config.justify_attempts);
         Session {
             circuit,
             config,
@@ -374,8 +373,7 @@ impl<'c, 'f> Session<'c, 'f> {
         let mut test_set = TestSet::new();
 
         while let Some(primary) = self.next_primary() {
-            let Some(justified) = self.justifier.justify(&self.faults[primary].assignments)
-            else {
+            let Some(justified) = self.justifier.justify(&self.faults[primary].assignments) else {
                 self.aborted[primary] = true;
                 self.stats.aborted_primaries += 1;
                 continue;
@@ -396,22 +394,16 @@ impl<'c, 'f> Session<'c, 'f> {
             }
 
             // Drop every fault the finished test detects (the paper's
-            // per-test fault simulation), then record the test.
-            for (i, entry) in self.faults.iter().enumerate() {
-                if !self.detected[i] && entry.assignments.satisfied_by(&current.waves) {
-                    self.detected[i] = true;
-                }
+            // per-test fault simulation), fanned out over fault chunks.
+            for i in pdf_sim::newly_satisfied(&current.waves, &self.faults, &self.detected) {
+                self.detected[i] = true;
             }
             debug_assert!(self.detected[primary], "primary must be detected");
             test_set.push(current.test);
         }
 
         self.stats.justify = self.justifier.stats();
-        let set_sizes = self
-            .set_starts
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect();
+        let set_sizes = self.set_starts.windows(2).map(|w| w[1] - w[0]).collect();
         AtpgOutcome {
             test_set,
             detected: self.detected,
@@ -681,7 +673,12 @@ mod tests {
 
         // Test counts are close (identical targets drive both).
         let delta = enriched.tests().len().abs_diff(basic.tests().len());
-        assert!(delta <= 2, "basic {} vs enriched {}", basic.tests().len(), enriched.tests().len());
+        assert!(
+            delta <= 2,
+            "basic {} vs enriched {}",
+            basic.tests().len(),
+            enriched.tests().len()
+        );
 
         // Enrichment must detect at least one P1 fault on this circuit.
         let p1_detected = enriched.detected_total() - enriched.detected_in_set(0);

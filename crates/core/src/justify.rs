@@ -332,9 +332,9 @@ impl<'c> Justifier<'c> {
             self.scratch[id.index()] = match line.kind() {
                 LineKind::Input => continue,
                 LineKind::Branch { stem } => self.scratch[stem.index()],
-                LineKind::Gate(kind) => kind.eval_triples(
-                    line.fanin().iter().map(|f| self.scratch[f.index()]),
-                ),
+                LineKind::Gate(kind) => {
+                    kind.eval_triples(line.fanin().iter().map(|f| self.scratch[f.index()]))
+                }
             };
         }
     }
@@ -504,7 +504,10 @@ mod tests {
     #[test]
     fn justified_test_is_deterministic_per_seed() {
         let c = s27();
-        let f = s27_fault(&[1, 8, 13, 14, 16, 19, 20, 21, 22, 25], Polarity::SlowToRise);
+        let f = s27_fault(
+            &[1, 8, 13, 14, 16, 19, 20, 21, 22, 25],
+            Polarity::SlowToRise,
+        );
         let a = robust_assignments(&c, &f).unwrap();
         let r1 = Justifier::new(&c, 7).justify(&a).unwrap();
         let r2 = Justifier::new(&c, 7).justify(&a).unwrap();
@@ -529,7 +532,9 @@ mod tests {
         // With a handful of attempts, the randomized engine should find a
         // test for every robustly testable fault of this tiny circuit.
         let c = s27();
-        let paths = pdf_paths::PathEnumerator::new(&c).with_cap(100_000).enumerate();
+        let paths = pdf_paths::PathEnumerator::new(&c)
+            .with_cap(100_000)
+            .enumerate();
         let (faults, _) = pdf_faults::FaultList::build(&c, &paths.store);
         let mut j = Justifier::new(&c, 11).with_attempts(8);
         let mut found = 0usize;

@@ -55,6 +55,9 @@ pub use generator::{
 pub use justify::{Justified, Justifier, JustifyStats};
 pub use target::TargetSplit;
 pub use testset::{Coverage, ParseTestSetError, TestSet};
+// The backend selector is part of this crate's public simulation API:
+// `TestSet::coverage_with` / `TestSet::minimized_with` take it.
+pub use pdf_sim::SimBackend;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

@@ -7,8 +7,8 @@
 //! check per fault.
 
 use pdf_faults::FaultList;
-use pdf_logic::Triple;
-use pdf_netlist::{simulate_triples, Circuit, TwoPattern};
+use pdf_netlist::{Circuit, TwoPattern};
+use pdf_sim::SimBackend;
 
 /// An ordered collection of two-pattern tests.
 ///
@@ -75,15 +75,26 @@ impl TestSet {
         &self.tests
     }
 
-    /// Simulates the whole set against a fault list.
+    /// Simulates the whole set against a fault list with the default
+    /// (packed, thread-parallel) backend.
     #[must_use]
     pub fn coverage(&self, circuit: &Circuit, faults: &FaultList) -> Coverage {
-        let mut detected = vec![false; faults.len()];
-        for test in &self.tests {
-            let waves = simulate_triples(circuit, &test.to_triples());
-            mark_detected(&waves, faults, &mut detected);
+        self.coverage_with(SimBackend::default(), circuit, faults)
+    }
+
+    /// Simulates the whole set against a fault list with an explicit
+    /// simulation backend. Both backends produce identical coverage; the
+    /// scalar one exists as a differential-testing oracle.
+    #[must_use]
+    pub fn coverage_with(
+        &self,
+        backend: SimBackend,
+        circuit: &Circuit,
+        faults: &FaultList,
+    ) -> Coverage {
+        Coverage {
+            detected: pdf_sim::coverage_flags(backend, circuit, &self.tests, faults.entries()),
         }
-        Coverage { detected }
     }
 }
 
@@ -98,19 +109,56 @@ impl TestSet {
     /// detects exactly the same faults of `faults` as `self`.
     #[must_use]
     pub fn minimized(&self, circuit: &Circuit, faults: &FaultList) -> TestSet {
-        let per_test: Vec<Vec<usize>> = self
-            .tests
-            .iter()
-            .map(|t| {
-                let waves = simulate_triples(circuit, &t.to_triples());
-                faults
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.assignments.satisfied_by(&waves))
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
+        self.minimized_with(SimBackend::default(), circuit, faults)
+    }
+
+    /// [`TestSet::minimized`] with an explicit simulation backend.
+    #[must_use]
+    pub fn minimized_with(
+        &self,
+        backend: SimBackend,
+        circuit: &Circuit,
+        faults: &FaultList,
+    ) -> TestSet {
+        let keep = self.kept_after_sweep(backend, circuit, faults);
+        TestSet {
+            tests: self
+                .tests
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(t, _)| t.clone())
+                .collect(),
+        }
+    }
+
+    /// Consuming variant of [`TestSet::minimized`]: moves the kept tests
+    /// out instead of cloning them. Preferred when the unminimized set is
+    /// discarded anyway.
+    #[must_use]
+    pub fn into_minimized(self, circuit: &Circuit, faults: &FaultList) -> TestSet {
+        let keep = self.kept_after_sweep(SimBackend::default(), circuit, faults);
+        TestSet {
+            tests: self
+                .tests
+                .into_iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(t, _)| t)
+                .collect(),
+        }
+    }
+
+    /// The reverse-order sweep shared by the minimization entry points:
+    /// which tests survive, as flags aligned with `self.tests`.
+    fn kept_after_sweep(
+        &self,
+        backend: SimBackend,
+        circuit: &Circuit,
+        faults: &FaultList,
+    ) -> Vec<bool> {
+        let per_test =
+            pdf_sim::per_test_detections(backend, circuit, &self.tests, faults.entries());
         let mut covered = vec![false; faults.len()];
         let mut keep = vec![false; self.tests.len()];
         for (k, detections) in per_test.iter().enumerate().rev() {
@@ -121,15 +169,7 @@ impl TestSet {
                 }
             }
         }
-        TestSet {
-            tests: self
-                .tests
-                .iter()
-                .zip(&keep)
-                .filter(|(_, &k)| k)
-                .map(|(t, _)| t.clone())
-                .collect(),
-        }
+        keep
     }
 
     /// Serializes the set to the plain-text interchange format: one test
@@ -184,8 +224,10 @@ impl TestSet {
             let parse = |s: &str| -> Result<Vec<pdf_logic::Value>, ParseTestSetError> {
                 s.chars()
                     .map(|c| {
-                        pdf_logic::Value::try_from(c)
-                            .map_err(|_| ParseTestSetError::BadValue { line: lineno, ch: c })
+                        pdf_logic::Value::try_from(c).map_err(|_| ParseTestSetError::BadValue {
+                            line: lineno,
+                            ch: c,
+                        })
                     })
                     .collect()
             };
@@ -254,15 +296,6 @@ impl<'a> IntoIterator for &'a TestSet {
 
     fn into_iter(self) -> Self::IntoIter {
         self.tests.iter()
-    }
-}
-
-/// Marks every fault whose requirements the waveforms satisfy.
-pub(crate) fn mark_detected(waves: &[Triple], faults: &FaultList, detected: &mut [bool]) {
-    for (i, entry) in faults.iter().enumerate() {
-        if !detected[i] && entry.assignments.satisfied_by(waves) {
-            detected[i] = true;
-        }
     }
 }
 
@@ -359,6 +392,37 @@ mod tests {
         assert_eq!(again.len(), min.len());
         // The one-fault-per-test construction is heavily redundant on s27.
         assert!(min.len() < set.len(), "{} vs {}", min.len(), set.len());
+    }
+
+    #[test]
+    fn backends_agree_on_coverage_and_minimization() {
+        let (c, faults) = setup();
+        let mut j = Justifier::new(&c, 33).with_attempts(2);
+        let set: TestSet = faults
+            .iter()
+            .filter_map(|e| j.justify(&e.assignments))
+            .map(|r| r.test)
+            .collect();
+        let scalar = set.coverage_with(pdf_sim::SimBackend::Scalar, &c, &faults);
+        let packed = set.coverage_with(pdf_sim::SimBackend::Packed, &c, &faults);
+        assert_eq!(scalar, packed);
+        let min_scalar = set.minimized_with(pdf_sim::SimBackend::Scalar, &c, &faults);
+        let min_packed = set.minimized_with(pdf_sim::SimBackend::Packed, &c, &faults);
+        assert_eq!(min_scalar.tests(), min_packed.tests());
+    }
+
+    #[test]
+    fn into_minimized_matches_minimized() {
+        let (c, faults) = setup();
+        let mut j = Justifier::new(&c, 13).with_attempts(2);
+        let set: TestSet = faults
+            .iter()
+            .filter_map(|e| j.justify(&e.assignments))
+            .map(|r| r.test)
+            .collect();
+        let by_ref = set.minimized(&c, &faults);
+        let by_move = set.into_minimized(&c, &faults);
+        assert_eq!(by_ref.tests(), by_move.tests());
     }
 
     #[test]

@@ -36,6 +36,10 @@ fn main() {
     println!();
     println!(
         "max completion length = {max} — the bound is {}",
-        if max == p.max_extension_delay(&c) { "tight" } else { "NOT tight (bug!)" }
+        if max == p.max_extension_delay(&c) {
+            "tight"
+        } else {
+            "NOT tight (bug!)"
+        }
     );
 }

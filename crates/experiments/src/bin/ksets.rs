@@ -55,7 +55,9 @@ fn main() {
         // k-1 thresholds: cut0, then evenly spaced below.
         let mut thresholds = vec![cut0];
         for j in 1..k - 1 {
-            let t = cut0.saturating_sub(span * j as u32 / (k as u32 - 1)).max(bottom + 1);
+            let t = cut0
+                .saturating_sub(span * j as u32 / (k as u32 - 1))
+                .max(bottom + 1);
             if t < *thresholds.last().unwrap() {
                 thresholds.push(t);
             }

@@ -34,7 +34,9 @@ fn main() {
         ("longest paths (N_P)", longest.store.len(), &faults_longest),
         ("line cover [3]", selection.store.len(), &faults_cover),
     ] {
-        let outcome = BasicAtpg::new(&circuit).with_seed(workload.seed).run(faults);
+        let outcome = BasicAtpg::new(&circuit)
+            .with_seed(workload.seed)
+            .run(faults);
         println!(
             "{label:<22} {:>8} {:>10} {:>10} {:>8}",
             store_len,

@@ -8,7 +8,10 @@ use pdf_paths::PathEnumerator;
 
 fn main() {
     let workload = Workload::from_env();
-    println!("robust vs non-robust fault populations (N_P = {})", workload.n_p);
+    println!(
+        "robust vs non-robust fault populations (N_P = {})",
+        workload.n_p
+    );
     println!(
         "{:<8} {:>10} {:>12} {:>14} {:>16}",
         "circuit", "paths", "robust |P|", "nonrobust |P|", "robust share"
@@ -20,7 +23,8 @@ fn main() {
         let enumeration = PathEnumerator::new(&circuit)
             .with_cap(workload.n_p)
             .enumerate();
-        let (robust, _) = FaultList::build_with(&circuit, &enumeration.store, Sensitization::Robust);
+        let (robust, _) =
+            FaultList::build_with(&circuit, &enumeration.store, Sensitization::Robust);
         let (nonrobust, _) =
             FaultList::build_with(&circuit, &enumeration.store, Sensitization::NonRobust);
         let share = if nonrobust.is_empty() {

@@ -11,9 +11,7 @@ use pdf_experiments::{filter_circuits, Workload};
 
 fn main() {
     let workload = Workload::from_env();
-    println!(
-        "secondary-target handling: regenerate (paper) vs freeze-values ([8])"
-    );
+    println!("secondary-target handling: regenerate (paper) vs freeze-values ([8])");
     println!(
         "{:<8} {:>12} {:>10} {:>9} {:>12} {:>10} {:>9}",
         "circuit", "mode", "detected", "tests", "sec.accepts", "det/test", "seconds"

@@ -1,0 +1,216 @@
+//! A dependency-free JSON value and pretty-printer.
+//!
+//! The build environment has no crates.io access (see `vendor/README.md`),
+//! so the archival dumps written by [`crate::report::save_json`] and the
+//! perf trajectory in `BENCH_sim.json` use this tiny writer instead of
+//! `serde_json`. Output is standard JSON, two-space indented, with object
+//! keys in insertion order.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder starting empty.
+    #[must_use]
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integers print without a trailing ".0".
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Num(f64::from(n))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::object()
+            .field("name", "b09")
+            .field("count", 3usize)
+            .field("ratio", 1.5f64)
+            .field("flags", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        let text = j.to_pretty();
+        assert!(text.contains("\"name\": \"b09\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 1.5"));
+        assert!(text.starts_with('{'));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings_and_hides_nan() {
+        let j = Json::object()
+            .field("s", "a\"b\\c\nd")
+            .field("nan", f64::NAN);
+        let text = j.to_pretty();
+        assert!(text.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(text.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(Json::from(42usize).to_pretty(), "42\n");
+        assert_eq!(Json::from(2.25f64).to_pretty(), "2.25\n");
+    }
+}

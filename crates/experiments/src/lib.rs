@@ -29,19 +29,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod paper;
 pub mod report;
 
 use std::time::Instant;
 
-use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, EnrichmentAtpg, TargetSplit};
+use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, EnrichmentAtpg, SimBackend, TargetSplit};
 use pdf_faults::FaultList;
 use pdf_netlist::Circuit;
 use pdf_paths::PathEnumerator;
-use serde::{Deserialize, Serialize};
 
 /// Workload parameters shared by all experiments.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Workload {
     /// The enumeration cap `N_P`, in faults (paper: 10000).
     pub n_p: usize,
@@ -83,6 +83,14 @@ impl Workload {
             attempts: get("PDF_ATTEMPTS", d.attempts),
         }
     }
+}
+
+/// The simulation backend every experiment driver uses: the default
+/// packed engine, overridable via the `PDF_SIM_BACKEND` environment
+/// variable (`scalar` re-runs a table on the reference oracle).
+#[must_use]
+pub fn sim_backend() -> SimBackend {
+    SimBackend::from_env()
 }
 
 /// Applies the `PDF_CIRCUITS` allow-list to a circuit name list.
@@ -143,7 +151,7 @@ pub fn prepare(name: &str, workload: &Workload) -> Option<Prepared> {
 }
 
 /// Measured results of the basic procedure under one heuristic.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HeuristicResult {
     /// Heuristic label (`uncomp`/`arbit`/`length`/`values`).
     pub heuristic: String,
@@ -158,7 +166,7 @@ pub struct HeuristicResult {
 }
 
 /// Measured results of the basic procedure on one circuit (Tables 3–5).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BasicCircuitResult {
     /// Circuit name.
     pub circuit: String,
@@ -205,7 +213,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
         let seconds = start.elapsed().as_secs_f64();
         let accidental = outcome
             .tests()
-            .coverage(&prepared.circuit, &all_faults)
+            .coverage_with(sim_backend(), &prepared.circuit, &all_faults)
             .detected_count();
         heuristics.push(HeuristicResult {
             heuristic: compaction.label().to_owned(),
@@ -227,7 +235,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
 /// Measured results of the enrichment procedure on one circuit (Table 6),
 /// plus the run-time ratio against the value-based basic procedure
 /// (Table 7).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EnrichCircuitResult {
     /// Circuit name.
     pub circuit: String,
@@ -325,7 +333,10 @@ pub fn table1_text() -> String {
 
     let mut s = String::new();
     let _ = writeln!(s, "Table 1: paths of s27 (N_P = 20, path granularity)");
-    for (label, idx) in [("Set 1 (paper Table 1(a))", 0usize), ("Set 2 (paper Table 1(b))", 3)] {
+    for (label, idx) in [
+        ("Set 1 (paper Table 1(a))", 0usize),
+        ("Set 2 (paper Table 1(b))", 3),
+    ] {
         let Some(snapshot) = snapshots.get(idx) else {
             continue;
         };

@@ -120,17 +120,105 @@ pub struct PaperEnrichRow {
 
 /// The paper's Table 6.
 pub const ENRICH_ROWS: [PaperEnrichRow; 11] = [
-    PaperEnrichRow { circuit: "s641", i0: 57, p0_total: 1057, p0_detected: 915, p01_total: 2127, p01_detected: 1815, tests: 127 },
-    PaperEnrichRow { circuit: "s953", i0: 15, p0_total: 1236, p0_detected: 1231, p01_total: 2312, p01_detected: 2063, tests: 315 },
-    PaperEnrichRow { circuit: "s1196", i0: 13, p0_total: 1033, p0_detected: 572, p01_total: 4527, p01_detected: 1932, tests: 174 },
-    PaperEnrichRow { circuit: "s1423", i0: 17, p0_total: 1116, p0_detected: 934, p01_total: 1314, p01_detected: 1039, tests: 332 },
-    PaperEnrichRow { circuit: "s1488", i0: 10, p0_total: 1184, p0_detected: 1148, p01_total: 1918, p01_detected: 1746, tests: 317 },
-    PaperEnrichRow { circuit: "b03", i0: 8, p0_total: 1006, p0_detected: 869, p01_total: 1450, p01_detected: 1178, tests: 95 },
-    PaperEnrichRow { circuit: "b04", i0: 5, p0_total: 1606, p0_detected: 459, p01_total: 8370, p01_detected: 1485, tests: 303 },
-    PaperEnrichRow { circuit: "b09", i0: 1, p0_total: 1432, p0_detected: 944, p01_total: 2207, p01_detected: 1301, tests: 150 },
-    PaperEnrichRow { circuit: "s1423*", i0: 24, p0_total: 1061, p0_detected: 982, p01_total: 1593, p01_detected: 1227, tests: 267 },
-    PaperEnrichRow { circuit: "s5378*", i0: 3, p0_total: 1028, p0_detected: 913, p01_total: 8537, p01_detected: 5469, tests: 441 },
-    PaperEnrichRow { circuit: "s9234*", i0: 7, p0_total: 1158, p0_detected: 1158, p01_total: 9344, p01_detected: 1465, tests: 824 },
+    PaperEnrichRow {
+        circuit: "s641",
+        i0: 57,
+        p0_total: 1057,
+        p0_detected: 915,
+        p01_total: 2127,
+        p01_detected: 1815,
+        tests: 127,
+    },
+    PaperEnrichRow {
+        circuit: "s953",
+        i0: 15,
+        p0_total: 1236,
+        p0_detected: 1231,
+        p01_total: 2312,
+        p01_detected: 2063,
+        tests: 315,
+    },
+    PaperEnrichRow {
+        circuit: "s1196",
+        i0: 13,
+        p0_total: 1033,
+        p0_detected: 572,
+        p01_total: 4527,
+        p01_detected: 1932,
+        tests: 174,
+    },
+    PaperEnrichRow {
+        circuit: "s1423",
+        i0: 17,
+        p0_total: 1116,
+        p0_detected: 934,
+        p01_total: 1314,
+        p01_detected: 1039,
+        tests: 332,
+    },
+    PaperEnrichRow {
+        circuit: "s1488",
+        i0: 10,
+        p0_total: 1184,
+        p0_detected: 1148,
+        p01_total: 1918,
+        p01_detected: 1746,
+        tests: 317,
+    },
+    PaperEnrichRow {
+        circuit: "b03",
+        i0: 8,
+        p0_total: 1006,
+        p0_detected: 869,
+        p01_total: 1450,
+        p01_detected: 1178,
+        tests: 95,
+    },
+    PaperEnrichRow {
+        circuit: "b04",
+        i0: 5,
+        p0_total: 1606,
+        p0_detected: 459,
+        p01_total: 8370,
+        p01_detected: 1485,
+        tests: 303,
+    },
+    PaperEnrichRow {
+        circuit: "b09",
+        i0: 1,
+        p0_total: 1432,
+        p0_detected: 944,
+        p01_total: 2207,
+        p01_detected: 1301,
+        tests: 150,
+    },
+    PaperEnrichRow {
+        circuit: "s1423*",
+        i0: 24,
+        p0_total: 1061,
+        p0_detected: 982,
+        p01_total: 1593,
+        p01_detected: 1227,
+        tests: 267,
+    },
+    PaperEnrichRow {
+        circuit: "s5378*",
+        i0: 3,
+        p0_total: 1028,
+        p0_detected: 913,
+        p01_total: 8537,
+        p01_detected: 5469,
+        tests: 441,
+    },
+    PaperEnrichRow {
+        circuit: "s9234*",
+        i0: 7,
+        p0_total: 1158,
+        p0_detected: 1158,
+        p01_total: 9344,
+        p01_detected: 1465,
+        tests: 824,
+    },
 ];
 
 /// The paper's Table 7: run-time ratio `RT_enrich / RT_basic(values)`.

@@ -23,7 +23,10 @@ fn fmt_pair(measured: usize, paper: Option<usize>) -> String {
 #[must_use]
 pub fn render_table3(rows: &[BasicCircuitResult]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 3: basic test generation using P0 (detected faults)");
+    let _ = writeln!(
+        s,
+        "Table 3: basic test generation using P0 (detected faults)"
+    );
     let _ = writeln!(s, "measured (paper)");
     let _ = writeln!(
         s,
@@ -51,7 +54,10 @@ pub fn render_table3(rows: &[BasicCircuitResult]) -> String {
 #[must_use]
 pub fn render_table4(rows: &[BasicCircuitResult]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 4: basic test generation using P0 (numbers of tests)");
+    let _ = writeln!(
+        s,
+        "Table 4: basic test generation using P0 (numbers of tests)"
+    );
     let _ = writeln!(s, "measured (paper)");
     let _ = writeln!(
         s,
@@ -79,7 +85,10 @@ pub fn render_table4(rows: &[BasicCircuitResult]) -> String {
 #[must_use]
 pub fn render_table5(rows: &[BasicCircuitResult]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 5: simulation of P0 ∪ P1 under the basic test sets");
+    let _ = writeln!(
+        s,
+        "Table 5: simulation of P0 ∪ P1 under the basic test sets"
+    );
     let _ = writeln!(s, "measured (paper)");
     let _ = writeln!(
         s,
@@ -135,7 +144,10 @@ pub fn render_table6(rows: &[EnrichCircuitResult]) -> String {
 #[must_use]
 pub fn render_table7(rows: &[EnrichCircuitResult]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 7: run time ratios (RT_enrich / RT_basic, value-based)");
+    let _ = writeln!(
+        s,
+        "Table 7: run time ratios (RT_enrich / RT_basic, value-based)"
+    );
     let _ = writeln!(s, "measured (paper)");
     let _ = writeln!(s, "{:<8} {:>8} {:>16}", "circuit", "i0", "ratio");
     for r in rows {
@@ -187,12 +199,12 @@ pub fn render_experiments_md(
          numbers therefore differ from the paper; the comparison targets \
          are the *shape* claims listed with each table."
     );
+    let _ = writeln!(s, "* Format: every cell is `measured (paper)`.\n");
+    let _ = writeln!(s, "Regenerate everything with:\n");
     let _ = writeln!(
         s,
-        "* Format: every cell is `measured (paper)`.\n"
+        "```console\n$ cargo run --release -p pdf-experiments --bin all_tables\n```\n"
     );
-    let _ = writeln!(s, "Regenerate everything with:\n");
-    let _ = writeln!(s, "```console\n$ cargo run --release -p pdf-experiments --bin all_tables\n```\n");
 
     let _ = writeln!(s, "## Table 1 — s27 enumeration walkthrough\n");
     let _ = writeln!(
@@ -220,7 +232,10 @@ pub fn render_experiments_md(
     );
     let _ = writeln!(s, "```\n{}```\n", table2_text);
 
-    let _ = writeln!(s, "## Tables 3 & 4 — basic generation, compaction heuristics\n");
+    let _ = writeln!(
+        s,
+        "## Tables 3 & 4 — basic generation, compaction heuristics\n"
+    );
     let _ = writeln!(
         s,
         "Claims reproduced: (a) all three compaction heuristics detect \
@@ -309,19 +324,56 @@ pub fn save_json(
     basic: &[BasicCircuitResult],
     enrich: &[EnrichCircuitResult],
 ) -> std::io::Result<()> {
-    #[derive(serde::Serialize)]
-    struct Dump<'a> {
-        workload: &'a crate::Workload,
-        basic: &'a [BasicCircuitResult],
-        enrich: &'a [EnrichCircuitResult],
-    }
-    let dump = Dump {
-        workload,
-        basic,
-        enrich,
-    };
-    let text = serde_json::to_string_pretty(&dump).expect("results are serializable");
-    std::fs::write(path, text)
+    use crate::json::Json;
+
+    let workload_json = Json::object()
+        .field("n_p", workload.n_p)
+        .field("n_p0", workload.n_p0)
+        .field("seed", workload.seed)
+        .field("attempts", workload.attempts);
+    let basic_json: Vec<Json> = basic
+        .iter()
+        .map(|r| {
+            let heuristics: Vec<Json> = r
+                .heuristics
+                .iter()
+                .map(|h| {
+                    Json::object()
+                        .field("heuristic", h.heuristic.as_str())
+                        .field("p0_detected", h.p0_detected)
+                        .field("tests", h.tests)
+                        .field("p01_detected", h.p01_detected)
+                        .field("seconds", h.seconds)
+                })
+                .collect();
+            Json::object()
+                .field("circuit", r.circuit.as_str())
+                .field("i0", r.i0)
+                .field("p0_total", r.p0_total)
+                .field("p01_total", r.p01_total)
+                .field("heuristics", heuristics)
+        })
+        .collect();
+    let enrich_json: Vec<Json> = enrich
+        .iter()
+        .map(|r| {
+            Json::object()
+                .field("circuit", r.circuit.as_str())
+                .field("i0", r.i0)
+                .field("p0_total", r.p0_total)
+                .field("p0_detected", r.p0_detected)
+                .field("p01_total", r.p01_total)
+                .field("p01_detected", r.p01_detected)
+                .field("tests", r.tests)
+                .field("seconds", r.seconds)
+                .field("basic_seconds", r.basic_seconds)
+        })
+        .collect();
+    let dump = Json::object()
+        .field("workload", workload_json)
+        .field("basic", basic_json)
+        .field("enrich", enrich_json);
+    std::fs::write(path, dump.to_pretty())
 }
 
 #[cfg(test)]

@@ -171,9 +171,9 @@ impl Assignments {
     /// `sim` is indexed by [`LineId::index`].
     #[must_use]
     pub fn violated_by(&self, sim: &[Triple]) -> bool {
-        self.entries.iter().any(|&(line, req)| {
-            !sim[line.index()].is_compatible(req)
-        })
+        self.entries
+            .iter()
+            .any(|&(line, req)| !sim[line.index()].is_compatible(req))
     }
 
     /// Returns `true` if the simulated waveforms *satisfy* every

@@ -70,7 +70,10 @@ impl fmt::Display for ConditionError {
                 write!(f, "path crosses parity gate at line {line}")
             }
             ConditionError::Conflict { line } => {
-                write!(f, "conditions conflict on line {line}; fault is undetectable")
+                write!(
+                    f,
+                    "conditions conflict on line {line}; fault is undetectable"
+                )
             }
         }
     }
@@ -147,14 +150,13 @@ pub fn assignments(
     };
     // Back-project a requirement through a branch onto its stem so that
     // sibling-branch conflicts are caught (rule 1).
-    let require_projected =
-        |a: &mut Assignments, circuit: &Circuit, line: LineId, req: Triple| {
-            require(a, line, req)?;
-            if let LineKind::Branch { stem } = circuit.line(line).kind() {
-                require(a, *stem, req)?;
-            }
-            Ok(())
-        };
+    let require_projected = |a: &mut Assignments, circuit: &Circuit, line: LineId, req: Triple| {
+        require(a, line, req)?;
+        if let LineKind::Branch { stem } = circuit.line(line).kind() {
+            require(a, *stem, req)?;
+        }
+        Ok(())
+    };
 
     let lines = fault.path().lines();
     // Launch transition at the source.

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        let path: Path = [1usize, 8, 9]
-            .iter()
-            .map(|&k| LineId::new(k))
-            .collect();
+        let path: Path = [1usize, 8, 9].iter().map(|&k| LineId::new(k)).collect();
         let fault = PathDelayFault::new(path, Polarity::SlowToRise);
         assert_eq!(fault.to_string(), "(2,9,10)r");
     }

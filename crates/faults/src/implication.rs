@@ -181,8 +181,7 @@ impl<'c> Implicator<'c> {
             LineKind::Branch { stem } => {
                 // Identity in both directions.
                 let stem = *stem;
-                let merged = self
-                    .values[line.index()]
+                let merged = self.values[line.index()]
                     .intersect(self.values[stem.index()])
                     .ok_or(ImplicationConflict { line })?;
                 self.update(line, merged)?;

@@ -234,11 +234,13 @@ impl FromStr for GateKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use Value::{One, X, Zero};
+    use Value::{One, Zero, X};
+
+    type BoolOp = fn(bool, bool) -> bool;
 
     #[test]
     fn two_valued_projection_matches_boolean_logic() {
-        let cases: [(GateKind, fn(bool, bool) -> bool); 6] = [
+        let cases: [(GateKind, BoolOp); 6] = [
             (GateKind::And, |a, b| a && b),
             (GateKind::Nand, |a, b| !(a && b)),
             (GateKind::Or, |a, b| a || b),
@@ -302,7 +304,13 @@ mod tests {
             "0x0".parse().unwrap(),
             "1x1".parse().unwrap(),
         ];
-        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor] {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+        ] {
             for a in triples {
                 for b in triples {
                     let out = kind.eval_triples([a, b]);

@@ -368,7 +368,7 @@ mod tests {
 
     #[test]
     fn from_patterns_derives_intermediate() {
-        use Value::{One, X, Zero};
+        use Value::{One, Zero, X};
         assert_eq!(Triple::from_patterns(Zero, Zero), Triple::STABLE0);
         assert_eq!(Triple::from_patterns(One, One), Triple::STABLE1);
         assert_eq!(Triple::from_patterns(Zero, One), Triple::RISING);
@@ -422,7 +422,10 @@ mod tests {
     fn intersect_conflicts() {
         assert_eq!(t("xx0").intersect(t("0xx")), Some(t("0x0")));
         assert_eq!(t("xx0").intersect(t("xx1")), None);
-        assert_eq!(Triple::STABLE0.intersect(Triple::STABLE0), Some(Triple::STABLE0));
+        assert_eq!(
+            Triple::STABLE0.intersect(Triple::STABLE0),
+            Some(Triple::STABLE0)
+        );
         assert_eq!(Triple::RISING.intersect(Triple::FALLING), None);
         assert_eq!(Triple::UNKNOWN.intersect(t("1x0")), Some(t("1x0")));
     }

@@ -222,7 +222,11 @@ pub struct ParseValueError {
 
 impl fmt::Display for ParseValueError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid logic value `{}`, expected 0, 1 or x", self.found)
+        write!(
+            f,
+            "invalid logic value `{}`, expected 0, 1 or x",
+            self.found
+        )
     }
 }
 
@@ -261,7 +265,7 @@ mod tests {
 
     #[test]
     fn and_truth_table() {
-        use Value::{One, X, Zero};
+        use Value::{One, Zero, X};
         assert_eq!(Zero & Zero, Zero);
         assert_eq!(Zero & One, Zero);
         assert_eq!(One & Zero, Zero);
@@ -275,7 +279,7 @@ mod tests {
 
     #[test]
     fn or_truth_table() {
-        use Value::{One, X, Zero};
+        use Value::{One, Zero, X};
         assert_eq!(Zero | Zero, Zero);
         assert_eq!(Zero | One, One);
         assert_eq!(One | One, One);
@@ -288,7 +292,7 @@ mod tests {
 
     #[test]
     fn xor_truth_table() {
-        use Value::{One, X, Zero};
+        use Value::{One, Zero, X};
         assert_eq!(Zero ^ Zero, Zero);
         assert_eq!(Zero ^ One, One);
         assert_eq!(One ^ Zero, One);

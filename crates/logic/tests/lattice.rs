@@ -43,11 +43,7 @@ fn refines(a: Triple, b: Triple) -> bool {
 fn arb_refinement() -> impl Strategy<Value = (Triple, Triple)> {
     (arb_triple(), arb_value(), arb_value(), arb_value()).prop_map(|(a, f1, f2, f3)| {
         let fill = |coarse: Value, fine: Value| if coarse == Value::X { fine } else { coarse };
-        let b = Triple::new(
-            fill(a.first(), f1),
-            fill(a.mid(), f2),
-            fill(a.last(), f3),
-        );
+        let b = Triple::new(fill(a.first(), f1), fill(a.mid(), f2), fill(a.last(), f3));
         (a, b)
     })
 }

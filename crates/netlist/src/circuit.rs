@@ -394,7 +394,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "output line `{line}` has fanout")
             }
             CircuitError::MissingBranch { line } => {
-                write!(f, "multi-sink stem `{line}` must fan out through branch lines only")
+                write!(
+                    f,
+                    "multi-sink stem `{line}` must fan out through branch lines only"
+                )
             }
             CircuitError::Empty => f.write_str("circuit has no inputs or no outputs"),
             CircuitError::ZeroDelay { line } => write!(f, "line `{line}` has zero delay"),
@@ -515,7 +518,11 @@ impl CircuitBuilder {
             match &line.kind {
                 LineKind::Gate(kind) => {
                     let got = line.fanin.len();
-                    let ok = if kind.is_single_input() { got == 1 } else { got >= 1 };
+                    let ok = if kind.is_single_input() {
+                        got == 1
+                    } else {
+                        got >= 1
+                    };
                     if !ok {
                         return Err(CircuitError::BadArity {
                             line: line.name.clone(),

@@ -52,14 +52,14 @@ pub use circuit::{Circuit, CircuitBuilder, CircuitError, Line, LineId, LineKind}
 pub use dot::to_dot;
 pub use netlist::{Dff, Driver, Gate, Netlist, NetlistBuilder, NetlistError, SignalId};
 pub use rng::SplitMix64;
-pub use sim::{simulate_triples, simulate_values, TwoPattern};
+pub use sim::{simulate_triples, simulate_triples_into, simulate_values, TwoPattern};
 pub use synth::{stand_in_profile, SynthProfile, TABLE3_CIRCUITS, TABLE6_CIRCUITS};
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use crate::iscas::s27;
     pub use crate::{
-        parse_bench, simulate_triples, simulate_values, Circuit, CircuitBuilder, LineId,
-        Netlist, NetlistBuilder, SplitMix64, SynthProfile, TwoPattern,
+        parse_bench, simulate_triples, simulate_values, Circuit, CircuitBuilder, LineId, Netlist,
+        NetlistBuilder, SplitMix64, SynthProfile, TwoPattern,
     };
 }

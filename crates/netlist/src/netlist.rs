@@ -276,7 +276,7 @@ impl Netlist {
         loop {
             let name = format!("__x{}", *counter);
             *counter += 1;
-            if !self.signal_names.iter().any(|n| *n == name) {
+            if !self.signal_names.contains(&name) {
                 let id = SignalId(self.signal_names.len() as u32);
                 self.signal_names.push(name);
                 self.drivers.push(Driver::Undriven);
@@ -405,13 +405,13 @@ impl Netlist {
         let mut output_line: HashMap<usize, LineId> = HashMap::new(); // signal -> PO line
 
         let make_fanout = |b: &mut CircuitBuilder,
-                               sig: usize,
-                               sid: LineId,
-                               name: &str,
-                               sinks: &[(usize, usize)],
-                               is_output: bool,
-                               feed: &mut HashMap<(usize, usize, usize), LineId>,
-                               output_line: &mut HashMap<usize, LineId>| {
+                           sig: usize,
+                           sid: LineId,
+                           name: &str,
+                           sinks: &[(usize, usize)],
+                           is_output: bool,
+                           feed: &mut HashMap<(usize, usize, usize), LineId>,
+                           output_line: &mut HashMap<usize, LineId>| {
             let total = sinks.len() + usize::from(is_output);
             if total == 1 {
                 if is_output {
@@ -783,10 +783,7 @@ mod tests {
         b.gate(GateKind::And, "p", &["a", "q"]);
         b.gate(GateKind::Not, "q", &["p"]);
         b.gate(GateKind::Buf, "z", &["q"]);
-        assert!(matches!(
-            b.finish(),
-            Err(NetlistError::CombinationalCycle)
-        ));
+        assert!(matches!(b.finish(), Err(NetlistError::CombinationalCycle)));
     }
 
     #[test]

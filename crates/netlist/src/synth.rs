@@ -302,7 +302,8 @@ impl SynthProfile {
             }
         }
 
-        b.finish().expect("generated netlist is valid by construction")
+        b.finish()
+            .expect("generated netlist is valid by construction")
     }
 }
 
@@ -468,7 +469,11 @@ mod tests {
     #[test]
     fn depth_tracks_level_parameter() {
         for (name, min_depth) in [("s641", 42), ("s1423", 48), ("s1488", 11)] {
-            let c = stand_in_profile(name).unwrap().generate().to_circuit().unwrap();
+            let c = stand_in_profile(name)
+                .unwrap()
+                .generate()
+                .to_circuit()
+                .unwrap();
             // Critical delay counts lines (gates + branches + the input), so
             // it is at least levels + 1.
             assert!(

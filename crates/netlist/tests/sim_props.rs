@@ -8,17 +8,15 @@ use pdf_logic::Value;
 use pdf_netlist::{simulate_triples, simulate_values, Circuit, LineKind, SynthProfile, TwoPattern};
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (3usize..8, 10usize..50, 3usize..7, any::<u64>()).prop_map(
-        |(inputs, gates, levels, seed)| {
-            SynthProfile::new("sim", seed)
-                .with_inputs(inputs)
-                .with_gates(gates)
-                .with_levels(levels)
-                .generate()
-                .to_circuit()
-                .expect("generated netlists are valid")
-        },
-    )
+    (3usize..8, 10usize..50, 3usize..7, any::<u64>()).prop_map(|(inputs, gates, levels, seed)| {
+        SynthProfile::new("sim", seed)
+            .with_inputs(inputs)
+            .with_gates(gates)
+            .with_levels(levels)
+            .generate()
+            .to_circuit()
+            .expect("generated netlists are valid")
+    })
 }
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -117,8 +115,8 @@ proptest! {
         let v: Vec<Value> = bits.iter().map(|&b| Value::from(b)).collect();
         let test = TwoPattern::new(v.clone(), v);
         let waves = simulate_triples(&c, &test.to_triples());
-        for i in 0..c.line_count() {
-            prop_assert!(waves[i].is_stable(), "line {i}: {}", waves[i]);
+        for (i, w) in waves.iter().enumerate() {
+            prop_assert!(w.is_stable(), "line {i}: {w}");
         }
     }
 

@@ -318,11 +318,11 @@ impl<'c> PathEnumerator<'c> {
         let mut removal: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
 
         let insert = |slab: &mut Vec<Option<Item>>,
-                          len_counts: &mut BTreeMap<u32, usize>,
-                          partials: &mut BinaryHeap<(u32, Reverse<usize>)>,
-                          removal: &mut BinaryHeap<Reverse<(u32, usize)>>,
-                          live: &mut usize,
-                          item: Item| {
+                      len_counts: &mut BTreeMap<u32, usize>,
+                      partials: &mut BinaryHeap<(u32, Reverse<usize>)>,
+                      removal: &mut BinaryHeap<Reverse<(u32, usize)>>,
+                      live: &mut usize,
+                      item: Item| {
             let idx = slab.len();
             let len = item.len;
             if !item.complete {
@@ -663,9 +663,7 @@ mod tests {
     #[test]
     fn s27_uncapped_path_count_consistency() {
         let c = s27();
-        let result = PathEnumerator::new(&c)
-            .with_cap(1_000_000)
-            .enumerate();
+        let result = PathEnumerator::new(&c).with_cap(1_000_000).enumerate();
         assert_eq!(result.store.len() as u64, c.path_count());
         // All 18 kept by the capped run are among the longest here.
         let capped = PathEnumerator::new(&c)

@@ -48,6 +48,6 @@ pub use store::{LengthClass, LengthHistogram, PathStore, StoredPath};
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
-    pub use crate::{LengthHistogram, Path, PathEnumerator, PathSpectrum, PathStore, Strategy};
     pub use crate::select_line_cover;
+    pub use crate::{LengthHistogram, Path, PathEnumerator, PathSpectrum, PathStore, Strategy};
 }

@@ -71,10 +71,7 @@ impl Path {
     /// delays; equals [`Path::line_count`] under the default unit model).
     #[must_use]
     pub fn delay(&self, circuit: &Circuit) -> u32 {
-        self.lines
-            .iter()
-            .map(|&l| circuit.line(l).delay())
-            .sum()
+        self.lines.iter().map(|&l| circuit.line(l).delay()).sum()
     }
 
     /// Returns `true` if the path ends at a (pseudo) primary output.
@@ -111,7 +108,9 @@ impl Path {
             return Err(PathError::UnknownLine);
         }
         if !circuit.line(self.source()).kind().is_input() {
-            return Err(PathError::BadSource { line: self.source() });
+            return Err(PathError::BadSource {
+                line: self.source(),
+            });
         }
         for w in self.lines.windows(2) {
             if !circuit.line(w[1]).fanin().contains(&w[0]) {

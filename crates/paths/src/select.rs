@@ -12,7 +12,6 @@
 //! out of it. For each line, one maximal path through it is reconstructed
 //! greedily (deterministic tie-breaking by line id); duplicates collapse.
 
-
 use pdf_netlist::{Circuit, LineId};
 
 use crate::{Path, PathStore};
@@ -74,15 +73,12 @@ pub fn select_line_cover(circuit: &Circuit) -> LineCoverSelection {
         let mut best = None::<(u32, LineId)>;
         for &f in line.fanout() {
             let candidate = circuit.line(f).delay() + circuit.distance_to_output(f);
-            if best.map_or(true, |(b, _)| candidate > b) {
+            if best.is_none_or(|(b, _)| candidate > b) {
                 best = Some((candidate, f));
             }
         }
         best_succ[id.index()] = best.map(|(_, f)| f);
-        debug_assert_eq!(
-            circuit.distance_to_output(id),
-            best.map_or(0, |(b, _)| b),
-        );
+        debug_assert_eq!(circuit.distance_to_output(id), best.map_or(0, |(b, _)| b),);
     }
 
     // Reconstruct, for every line, one maximal path *through that line*
@@ -138,7 +134,10 @@ mod tests {
             let entry = &selection.store.entries()[slot];
             entry.path.validate(circuit).unwrap();
             assert!(entry.path.is_complete(circuit));
-            assert!(entry.path.lines().contains(&id), "line {id} not on its path");
+            assert!(
+                entry.path.lines().contains(&id),
+                "line {id} not on its path"
+            );
         }
         // Each selected path is a longest path through each line it covers
         // in the "through" sense: delay = prefix + suffix at that line.

@@ -94,7 +94,9 @@ impl PathSpectrum {
     /// Total number of complete paths.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.counts.values().fold(0u64, |acc, &n| acc.saturating_add(n))
+        self.counts
+            .values()
+            .fold(0u64, |acc, &n| acc.saturating_add(n))
     }
 
     /// The largest path delay (`L_0`), or `None` for a pathless circuit.
@@ -212,8 +214,7 @@ mod tests {
             assert_eq!(spectrum.total(), c.path_count(), "seed {seed}");
             let full = PathEnumerator::new(&c).with_cap(10_000_000).enumerate();
             for (delay, count) in spectrum.iter_desc() {
-                let enumerated =
-                    full.store.iter().filter(|e| e.delay == delay).count() as u64;
+                let enumerated = full.store.iter().filter(|e| e.delay == delay).count() as u64;
                 assert_eq!(count, enumerated, "seed {seed} delay {delay}");
             }
         }

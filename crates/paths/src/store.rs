@@ -73,7 +73,7 @@ impl PathStore {
     /// Sorts entries by descending delay; ties keep storage order
     /// (stable sort), which keeps downstream fault ordering deterministic.
     pub fn sort_by_delay_desc(&mut self) {
-        self.entries.sort_by(|a, b| b.delay.cmp(&a.delay));
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.delay));
     }
 
     /// Builds the length histogram of the store, counting `units` faults
@@ -84,7 +84,7 @@ impl PathStore {
         LengthHistogram::from_lengths(
             self.entries
                 .iter()
-                .flat_map(|e| std::iter::repeat(e.delay).take(units as usize)),
+                .flat_map(|e| std::iter::repeat_n(e.delay, units as usize)),
         )
     }
 }
@@ -248,8 +248,22 @@ mod tests {
         s.push(p(&[0, 3]), 4);
         let h = s.histogram(2);
         assert_eq!(h.total(), 6);
-        assert_eq!(h.classes()[0], LengthClass { length: 5, count: 4, cumulative: 4 });
-        assert_eq!(h.classes()[1], LengthClass { length: 4, count: 2, cumulative: 6 });
+        assert_eq!(
+            h.classes()[0],
+            LengthClass {
+                length: 5,
+                count: 4,
+                cumulative: 4
+            }
+        );
+        assert_eq!(
+            h.classes()[1],
+            LengthClass {
+                length: 4,
+                count: 2,
+                cumulative: 6
+            }
+        );
     }
 
     #[test]
@@ -257,7 +271,7 @@ mod tests {
         // Mimic the paper's Table 2 head: N_p = 4, 12, 22, 36, ...
         let mut lengths = Vec::new();
         for (l, n) in [(96u32, 4usize), (95, 8), (94, 10), (93, 14)] {
-            lengths.extend(std::iter::repeat(l).take(n));
+            lengths.extend(std::iter::repeat_n(l, n));
         }
         let h = LengthHistogram::from_lengths(lengths);
         assert_eq!(h.cutoff(1), Some(0));

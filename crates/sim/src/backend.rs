@@ -1,0 +1,107 @@
+//! Selection between the scalar reference engine and the packed kernel.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// Which simulation engine the high-level drivers use.
+///
+/// The two backends are exactly equivalent: the packed kernel implements
+/// the same conservative hazard algebra, bit-for-bit (the differential
+/// property tests in this crate enforce it). [`SimBackend::Scalar`] is kept
+/// as the slow oracle for differential testing and debugging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// One test at a time through [`pdf_netlist::simulate_triples`].
+    Scalar,
+    /// 64 tests per pass through the bit-plane kernel, fanned out over
+    /// worker threads.
+    #[default]
+    Packed,
+}
+
+impl SimBackend {
+    /// Both backends, scalar first.
+    pub const ALL: [SimBackend; 2] = [SimBackend::Scalar, SimBackend::Packed];
+
+    /// Reads the backend from the `PDF_SIM_BACKEND` environment variable
+    /// (`scalar` or `packed`, case-insensitive). Unset or unrecognized
+    /// values fall back to the default packed engine.
+    #[must_use]
+    pub fn from_env() -> SimBackend {
+        std::env::var("PDF_SIM_BACKEND")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    }
+
+    /// A short lowercase label (`"scalar"` / `"packed"`).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SimBackend::Scalar => "scalar",
+            SimBackend::Packed => "packed",
+        }
+    }
+}
+
+impl fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`SimBackend`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError {
+    found: String,
+}
+
+impl ParseBackendError {
+    /// The unrecognized backend name.
+    #[must_use]
+    pub fn found(&self) -> &str {
+        &self.found
+    }
+}
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown simulation backend `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for SimBackend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<SimBackend, ParseBackendError> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(SimBackend::Scalar),
+            "packed" => Ok(SimBackend::Packed),
+            other => Err(ParseBackendError {
+                found: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for b in SimBackend::ALL {
+            assert_eq!(b.label().parse::<SimBackend>().unwrap(), b);
+            assert_eq!(b.to_string(), b.label());
+        }
+        assert_eq!("PACKED".parse::<SimBackend>().unwrap(), SimBackend::Packed);
+        assert_eq!("nope".parse::<SimBackend>().unwrap_err().found(), "nope");
+    }
+
+    #[test]
+    fn default_is_packed() {
+        assert_eq!(SimBackend::default(), SimBackend::Packed);
+    }
+}

@@ -1,0 +1,302 @@
+//! Bit-parallel packed two-pattern fault simulation.
+//!
+//! Robust path-delay-fault simulation reduces to one hazard-conservative
+//! waveform simulation per two-pattern test plus a requirement check per
+//! fault (paper Sec. 2.1). Both halves are embarrassingly data-parallel,
+//! and this crate exploits that twice over:
+//!
+//! * **bit-level** — [`PackedBlock`] packs [`LANES`] (=64) tests into
+//!   `u64` bit-planes (a zero and a one rail per triple component) and
+//!   evaluates every gate for all 64 tests with a handful of word
+//!   operations; requirement checks collapse to one `AND` per specified
+//!   component across all 64 lanes at once;
+//! * **thread-level** — [`par_chunk_map`] fans test blocks (for
+//!   coverage-style sweeps) and fault chunks (for the per-test drop loop
+//!   of the generator) out over `std::thread::scope` workers, merging
+//!   results in deterministic chunk order.
+//!
+//! The scalar engine ([`pdf_netlist::simulate_triples`]) remains available
+//! behind [`SimBackend::Scalar`] as a differential-testing oracle; the
+//! packed kernel is bit-for-bit equivalent (the triple algebra is
+//! component-wise Kleene logic, which the two-rail encoding implements
+//! exactly) and this crate's property tests verify that equivalence on
+//! random circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use pdf_netlist::iscas::s27;
+//! use pdf_paths::PathEnumerator;
+//! use pdf_faults::FaultList;
+//! use pdf_logic::Value;
+//! use pdf_netlist::TwoPattern;
+//! use pdf_sim::SimBackend;
+//!
+//! let circuit = s27();
+//! let paths = PathEnumerator::new(&circuit).enumerate();
+//! let (faults, _) = FaultList::build(&circuit, &paths.store);
+//! let n = circuit.inputs().len();
+//! let tests = vec![TwoPattern::new(vec![Value::Zero; n], vec![Value::One; n])];
+//!
+//! let packed = pdf_sim::coverage_flags(SimBackend::Packed, &circuit, &tests, faults.entries());
+//! let scalar = pdf_sim::coverage_flags(SimBackend::Scalar, &circuit, &tests, faults.entries());
+//! assert_eq!(packed, scalar);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod packed;
+mod parallel;
+
+pub use backend::{ParseBackendError, SimBackend};
+pub use packed::{PackedBlock, LANES};
+pub use parallel::{max_threads, par_chunk_map};
+
+use pdf_faults::{Assignments, FaultEntry};
+use pdf_logic::Triple;
+use pdf_netlist::{simulate_triples_into, Circuit, TwoPattern};
+
+/// Fault chunks smaller than this are checked inline rather than fanned
+/// out to worker threads (a `satisfied_by` call is a few nanoseconds).
+const MIN_FAULT_CHUNK: usize = 512;
+
+/// Anything that carries a necessary-assignment set. Lets the drivers run
+/// over [`FaultList`](pdf_faults::FaultList) entries, borrowed entries, or
+/// plain [`Assignments`] without copying fault lists around.
+pub trait HasAssignments: Sync {
+    /// The fault's necessary assignment set `A(p)`.
+    fn assignments(&self) -> &Assignments;
+}
+
+impl HasAssignments for Assignments {
+    fn assignments(&self) -> &Assignments {
+        self
+    }
+}
+
+impl HasAssignments for FaultEntry {
+    fn assignments(&self) -> &Assignments {
+        &self.assignments
+    }
+}
+
+impl<T: HasAssignments + ?Sized> HasAssignments for &T {
+    fn assignments(&self) -> &Assignments {
+        (**self).assignments()
+    }
+}
+
+/// Simulates `tests` against `faults` and returns the per-fault detection
+/// flags — the kernel behind `TestSet::coverage`.
+///
+/// Both backends return identical flags; the packed one simulates 64
+/// tests per pass and fans blocks out over worker threads.
+#[must_use]
+pub fn coverage_flags<T: HasAssignments>(
+    backend: SimBackend,
+    circuit: &Circuit,
+    tests: &[TwoPattern],
+    faults: &[T],
+) -> Vec<bool> {
+    match backend {
+        SimBackend::Scalar => {
+            let mut detected = vec![false; faults.len()];
+            let mut triples = Vec::new();
+            let mut waves = Vec::new();
+            for test in tests {
+                test.to_triples_into(&mut triples);
+                simulate_triples_into(circuit, &triples, &mut waves);
+                for (i, fault) in faults.iter().enumerate() {
+                    if !detected[i] && fault.assignments().satisfied_by(&waves) {
+                        detected[i] = true;
+                    }
+                }
+            }
+            detected
+        }
+        SimBackend::Packed => {
+            let blocks: Vec<&[TwoPattern]> = tests.chunks(LANES).collect();
+            let partials = par_chunk_map(&blocks, 1, |_, part| {
+                let mut block = PackedBlock::new();
+                let mut local = vec![false; faults.len()];
+                for tests_block in part {
+                    block.load(circuit, tests_block);
+                    for (i, fault) in faults.iter().enumerate() {
+                        if !local[i] && block.satisfied_lanes(fault.assignments()) != 0 {
+                            local[i] = true;
+                        }
+                    }
+                }
+                local
+            });
+            let mut detected = vec![false; faults.len()];
+            for local in partials {
+                for (d, l) in detected.iter_mut().zip(local) {
+                    *d |= l;
+                }
+            }
+            detected
+        }
+    }
+}
+
+/// For every test, the indices of the faults it detects (in increasing
+/// fault order) — the kernel behind static test-set compaction.
+#[must_use]
+pub fn per_test_detections<T: HasAssignments>(
+    backend: SimBackend,
+    circuit: &Circuit,
+    tests: &[TwoPattern],
+    faults: &[T],
+) -> Vec<Vec<usize>> {
+    match backend {
+        SimBackend::Scalar => {
+            let mut triples = Vec::new();
+            let mut waves = Vec::new();
+            tests
+                .iter()
+                .map(|test| {
+                    test.to_triples_into(&mut triples);
+                    simulate_triples_into(circuit, &triples, &mut waves);
+                    faults
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| f.assignments().satisfied_by(&waves))
+                        .map(|(i, _)| i)
+                        .collect()
+                })
+                .collect()
+        }
+        SimBackend::Packed => {
+            let blocks: Vec<&[TwoPattern]> = tests.chunks(LANES).collect();
+            let parts = par_chunk_map(&blocks, 1, |_, part| {
+                let mut block = PackedBlock::new();
+                let mut out: Vec<Vec<usize>> = Vec::new();
+                for tests_block in part {
+                    block.load(circuit, tests_block);
+                    let base = out.len();
+                    out.extend(tests_block.iter().map(|_| Vec::new()));
+                    for (i, fault) in faults.iter().enumerate() {
+                        let mut lanes = block.satisfied_lanes(fault.assignments());
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            lanes &= lanes - 1;
+                            out[base + lane].push(i);
+                        }
+                    }
+                }
+                out
+            });
+            parts.into_iter().flatten().collect()
+        }
+    }
+}
+
+/// The indices of the faults whose requirements `waves` satisfies and
+/// that are not already marked in `already` — the per-test drop loop of
+/// the generator, fanned out over fault chunks.
+///
+/// Results are in increasing index order, identical to a serial scan.
+///
+/// # Panics
+///
+/// Panics if `already.len() != faults.len()`.
+#[must_use]
+pub fn newly_satisfied<T: HasAssignments>(
+    waves: &[Triple],
+    faults: &[T],
+    already: &[bool],
+) -> Vec<usize> {
+    assert_eq!(
+        faults.len(),
+        already.len(),
+        "one detection flag per fault required"
+    );
+    let parts = par_chunk_map(faults, MIN_FAULT_CHUNK, |offset, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .filter(|(k, f)| !already[offset + k] && f.assignments().satisfied_by(waves))
+            .map(|(k, _)| offset + k)
+            .collect::<Vec<usize>>()
+    });
+    parts.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_faults::FaultList;
+    use pdf_logic::Value;
+    use pdf_netlist::iscas::s27;
+    use pdf_netlist::simulate_triples;
+    use pdf_paths::PathEnumerator;
+
+    fn setup() -> (Circuit, FaultList, Vec<TwoPattern>) {
+        let c = s27();
+        let paths = PathEnumerator::new(&c).enumerate();
+        let (faults, _) = FaultList::build(&c, &paths.store);
+        let n = c.inputs().len();
+        // A deterministic spread of 150 tests (more than two blocks).
+        let tests: Vec<TwoPattern> = (0..150u32)
+            .map(|k| {
+                let v1 = (0..n).map(|i| Value::from(k >> i & 1 == 1)).collect();
+                let v2 = (0..n).map(|i| Value::from(k >> (i + 3) & 1 == 0)).collect();
+                TwoPattern::new(v1, v2)
+            })
+            .collect();
+        (c, faults, tests)
+    }
+
+    #[test]
+    fn backends_agree_on_coverage() {
+        let (c, faults, tests) = setup();
+        let scalar = coverage_flags(SimBackend::Scalar, &c, &tests, faults.entries());
+        let packed = coverage_flags(SimBackend::Packed, &c, &tests, faults.entries());
+        assert_eq!(scalar, packed);
+        assert!(scalar.iter().any(|&d| d), "spread must detect something");
+    }
+
+    #[test]
+    fn backends_agree_on_per_test_detections() {
+        let (c, faults, tests) = setup();
+        let scalar = per_test_detections(SimBackend::Scalar, &c, &tests, faults.entries());
+        let packed = per_test_detections(SimBackend::Packed, &c, &tests, faults.entries());
+        assert_eq!(scalar.len(), tests.len());
+        assert_eq!(scalar, packed);
+    }
+
+    #[test]
+    fn newly_satisfied_matches_serial_scan() {
+        let (c, faults, tests) = setup();
+        let waves = simulate_triples(&c, &tests[7].to_triples());
+        let mut already = vec![false; faults.len()];
+        for i in (0..faults.len()).step_by(3) {
+            already[i] = true;
+        }
+        let got = newly_satisfied(&waves, faults.entries(), &already);
+        let want: Vec<usize> = faults
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| !already[*i] && e.assignments.satisfied_by(&waves))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let (c, faults, _) = setup();
+        for backend in SimBackend::ALL {
+            let flags = coverage_flags(backend, &c, &[], faults.entries());
+            assert!(flags.iter().all(|&d| !d));
+            let per: Vec<Vec<usize>> = per_test_detections(backend, &c, &[], faults.entries());
+            assert!(per.is_empty());
+        }
+        let no_faults: &[Assignments] = &[];
+        let waves = vec![Triple::UNKNOWN; c.line_count()];
+        assert!(newly_satisfied(&waves, no_faults, &[]).is_empty());
+    }
+}

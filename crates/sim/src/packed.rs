@@ -1,0 +1,406 @@
+//! The bit-plane packed two-pattern simulation kernel.
+//!
+//! A [`PackedBlock`] simulates up to [`LANES`] two-pattern tests through a
+//! circuit in one topological pass. Every line carries six `u64` planes —
+//! a *zero rail* and a *one rail* for each of the three triple components
+//! `α1 α2 α3` — with bit `j` of a plane describing test lane `j`:
+//!
+//! * zero-rail bit set → the component is a proven `0` for that test,
+//! * one-rail bit set → a proven `1`,
+//! * neither set → `x` (the rails are mutually exclusive by construction).
+//!
+//! Kleene's strong three-valued logic then becomes plain word arithmetic,
+//! applied independently per component:
+//!
+//! ```text
+//! AND:  one = a.one & b.one          OR:   one = a.one | b.one
+//!       zero = a.zero | b.zero             zero = a.zero & b.zero
+//! XOR:  one  = a.zero & b.one  |  a.one & b.zero
+//!       zero = a.zero & b.zero |  a.one & b.one
+//! NOT:  swap the rails
+//! ```
+//!
+//! Because the scalar triple algebra is exactly component-wise Kleene logic
+//! (see `pdf_logic::GateKind::eval_triples`), a packed pass produces
+//! bit-identical waveforms to 64 scalar [`pdf_netlist::simulate_triples`]
+//! calls — the differential property tests of this crate enforce this.
+//!
+//! The plane arena is reused across [`PackedBlock::load`] calls, so a
+//! driver streaming many 64-test blocks through one `PackedBlock` performs
+//! no per-test heap allocation at all.
+
+use pdf_faults::Assignments;
+use pdf_logic::{GateKind, Triple, Value};
+use pdf_netlist::{Circuit, LineId, LineKind, TwoPattern};
+
+/// Number of tests simulated per packed pass: the width of one `u64` plane.
+pub const LANES: usize = 64;
+
+/// Six bit-planes of one line: `[α1⁰, α1¹, α2⁰, α2¹, α3⁰, α3¹]` — a zero
+/// and a one rail per triple component.
+type Planes = [u64; 6];
+
+#[inline]
+fn and6(a: Planes, b: Planes) -> Planes {
+    [
+        a[0] | b[0],
+        a[1] & b[1],
+        a[2] | b[2],
+        a[3] & b[3],
+        a[4] | b[4],
+        a[5] & b[5],
+    ]
+}
+
+#[inline]
+fn or6(a: Planes, b: Planes) -> Planes {
+    [
+        a[0] & b[0],
+        a[1] | b[1],
+        a[2] & b[2],
+        a[3] | b[3],
+        a[4] & b[4],
+        a[5] | b[5],
+    ]
+}
+
+#[inline]
+fn xor6(a: Planes, b: Planes) -> Planes {
+    [
+        (a[0] & b[0]) | (a[1] & b[1]),
+        (a[0] & b[1]) | (a[1] & b[0]),
+        (a[2] & b[2]) | (a[3] & b[3]),
+        (a[2] & b[3]) | (a[3] & b[2]),
+        (a[4] & b[4]) | (a[5] & b[5]),
+        (a[4] & b[5]) | (a[5] & b[4]),
+    ]
+}
+
+#[inline]
+fn not6(a: Planes) -> Planes {
+    [a[1], a[0], a[3], a[2], a[5], a[4]]
+}
+
+/// A reusable arena simulating up to [`LANES`] two-pattern tests at once.
+///
+/// # Example
+///
+/// ```
+/// use pdf_logic::{Triple, Value};
+/// use pdf_netlist::{iscas, TwoPattern};
+/// use pdf_sim::PackedBlock;
+///
+/// let circuit = iscas::c17();
+/// let n = circuit.inputs().len();
+/// let tests = vec![
+///     TwoPattern::new(vec![Value::Zero; n], vec![Value::One; n]),
+///     TwoPattern::new(vec![Value::One; n], vec![Value::One; n]),
+/// ];
+/// let mut block = PackedBlock::new();
+/// block.load(&circuit, &tests);
+///
+/// // Lane 1 applied stable inputs, so every line is stable.
+/// let scalar = pdf_netlist::simulate_triples(&circuit, &tests[1].to_triples());
+/// for (id, _) in circuit.iter() {
+///     assert_eq!(block.triple(id, 1), scalar[id.index()]);
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PackedBlock {
+    planes: Vec<Planes>,
+    loaded: u64,
+    count: usize,
+}
+
+impl PackedBlock {
+    /// Creates an empty arena; the first [`PackedBlock::load`] sizes it.
+    #[must_use]
+    pub fn new() -> PackedBlock {
+        PackedBlock::default()
+    }
+
+    /// Number of tests loaded by the last [`PackedBlock::load`].
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if no tests are loaded.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The mask of valid lanes: bit `j` set iff test `j` is loaded.
+    #[inline]
+    #[must_use]
+    pub fn lanes(&self) -> u64 {
+        self.loaded
+    }
+
+    /// Loads a block of tests and simulates them through the circuit in
+    /// one topological pass. Previously loaded state is replaced; the
+    /// plane arena is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] tests are given, or if a test's width
+    /// differs from the circuit's input count.
+    pub fn load(&mut self, circuit: &Circuit, tests: &[TwoPattern]) {
+        assert!(
+            tests.len() <= LANES,
+            "a packed block holds at most {LANES} tests, got {}",
+            tests.len()
+        );
+        self.planes.clear();
+        self.planes.resize(circuit.line_count(), [0u64; 6]);
+        self.count = tests.len();
+        self.loaded = match tests.len() {
+            LANES => u64::MAX,
+            n => (1u64 << n) - 1,
+        };
+
+        for (lane, test) in tests.iter().enumerate() {
+            assert_eq!(
+                test.len(),
+                circuit.inputs().len(),
+                "one value per primary input required"
+            );
+            let bit = 1u64 << lane;
+            for (pos, &id) in circuit.inputs().iter().enumerate() {
+                let tri = Triple::from_patterns(test.first()[pos], test.second()[pos]);
+                let p = &mut self.planes[id.index()];
+                for (c, v) in tri.components().into_iter().enumerate() {
+                    match v {
+                        Value::Zero => p[2 * c] |= bit,
+                        Value::One => p[2 * c + 1] |= bit,
+                        Value::X => {}
+                    }
+                }
+            }
+        }
+        self.propagate(circuit);
+    }
+
+    fn propagate(&mut self, circuit: &Circuit) {
+        for &id in circuit.topo_order() {
+            let line = circuit.line(id);
+            let out = match line.kind() {
+                LineKind::Input => continue,
+                LineKind::Branch { stem } => self.planes[stem.index()],
+                LineKind::Gate(kind) => {
+                    let fanin = line.fanin();
+                    let first = self.planes[fanin[0].index()];
+                    let folded = match kind {
+                        GateKind::And | GateKind::Nand => fanin[1..]
+                            .iter()
+                            .fold(first, |acc, f| and6(acc, self.planes[f.index()])),
+                        GateKind::Or | GateKind::Nor => fanin[1..]
+                            .iter()
+                            .fold(first, |acc, f| or6(acc, self.planes[f.index()])),
+                        GateKind::Xor | GateKind::Xnor => fanin[1..]
+                            .iter()
+                            .fold(first, |acc, f| xor6(acc, self.planes[f.index()])),
+                        GateKind::Not | GateKind::Buf => first,
+                    };
+                    if kind.inverts() {
+                        not6(folded)
+                    } else {
+                        folded
+                    }
+                }
+            };
+            self.planes[id.index()] = out;
+        }
+    }
+
+    /// The simulated waveform of `line` in test lane `lane` — the packed
+    /// equivalent of `simulate_triples(..)[line.index()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not a loaded lane or `line` is out of range.
+    #[must_use]
+    pub fn triple(&self, line: LineId, lane: usize) -> Triple {
+        assert!(
+            lane < self.count,
+            "lane {lane} not loaded ({} tests in block)",
+            self.count
+        );
+        let p = &self.planes[line.index()];
+        let bit = 1u64 << lane;
+        let comp = |c: usize| {
+            if p[2 * c] & bit != 0 {
+                Value::Zero
+            } else if p[2 * c + 1] & bit != 0 {
+                Value::One
+            } else {
+                Value::X
+            }
+        };
+        Triple::new(comp(0), comp(1), comp(2))
+    }
+
+    /// The lanes whose simulated waveforms satisfy every requirement of
+    /// `req` — the packed equivalent of 64 `Assignments::satisfied_by`
+    /// calls, one word operation per specified requirement component.
+    #[must_use]
+    pub fn satisfied_lanes(&self, req: &Assignments) -> u64 {
+        let mut lanes = self.loaded;
+        for (line, tri) in req.iter() {
+            let p = &self.planes[line.index()];
+            for (c, v) in tri.components().into_iter().enumerate() {
+                match v {
+                    Value::Zero => lanes &= p[2 * c],
+                    Value::One => lanes &= p[2 * c + 1],
+                    Value::X => {}
+                }
+            }
+            if lanes == 0 {
+                return 0;
+            }
+        }
+        lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_netlist::{iscas, simulate_triples};
+
+    fn exhaustive_two_patterns(n: usize, limit: usize) -> Vec<TwoPattern> {
+        // All fully-specified two-pattern tests over n inputs, capped.
+        let total = 1usize << (2 * n);
+        (0..total.min(limit))
+            .map(|bits| {
+                let v1 = (0..n).map(|i| Value::from(bits >> i & 1 == 1)).collect();
+                let v2 = (0..n)
+                    .map(|i| Value::from(bits >> (n + i) & 1 == 1))
+                    .collect();
+                TwoPattern::new(v1, v2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_simulation_exhaustively_on_s27() {
+        let c = iscas::s27();
+        let mut block = PackedBlock::new();
+        for chunk in exhaustive_two_patterns(c.inputs().len(), 256).chunks(LANES) {
+            block.load(&c, chunk);
+            assert_eq!(block.len(), chunk.len());
+            for (lane, t) in chunk.iter().enumerate() {
+                let waves = simulate_triples(&c, &t.to_triples());
+                for (id, _) in c.iter() {
+                    assert_eq!(
+                        block.triple(id, lane),
+                        waves[id.index()],
+                        "line {id} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_tests_with_x_inputs_match_scalar() {
+        let c = iscas::c17();
+        let n = c.inputs().len();
+        // A mix of x, 0, 1 across both patterns.
+        let vals = [Value::X, Value::Zero, Value::One];
+        let tests: Vec<TwoPattern> = (0..3usize.pow(n as u32))
+            .map(|mut k| {
+                let mut v1 = Vec::new();
+                let mut v2 = Vec::new();
+                for _ in 0..n {
+                    v1.push(vals[k % 3]);
+                    v2.push(vals[(k / 3) % 3]);
+                    k /= 2; // deliberately irregular mixing
+                }
+                TwoPattern::new(v1, v2)
+            })
+            .collect();
+        let mut block = PackedBlock::new();
+        for chunk in tests.chunks(LANES) {
+            block.load(&c, chunk);
+            for (lane, t) in chunk.iter().enumerate() {
+                let waves = simulate_triples(&c, &t.to_triples());
+                for (id, _) in c.iter() {
+                    assert_eq!(block.triple(id, lane), waves[id.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn satisfied_lanes_matches_scalar_satisfied_by() {
+        use pdf_paths::PathEnumerator;
+
+        let c = iscas::s27();
+        let paths = PathEnumerator::new(&c).enumerate();
+        let (faults, _) = pdf_faults::FaultList::build(&c, &paths.store);
+        let tests = exhaustive_two_patterns(c.inputs().len(), 128);
+        let mut block = PackedBlock::new();
+        for (b, chunk) in tests.chunks(LANES).enumerate() {
+            block.load(&c, chunk);
+            for entry in faults.iter() {
+                let lanes = block.satisfied_lanes(&entry.assignments);
+                for (lane, t) in chunk.iter().enumerate() {
+                    let waves = simulate_triples(&c, &t.to_triples());
+                    assert_eq!(
+                        lanes >> lane & 1 == 1,
+                        entry.assignments.satisfied_by(&waves),
+                        "block {b} lane {lane} fault {}",
+                        entry.assignments
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unloaded_lanes_never_satisfy() {
+        let c = iscas::c17();
+        let n = c.inputs().len();
+        let tests = vec![TwoPattern::new(vec![Value::One; n], vec![Value::One; n]); 3];
+        let mut block = PackedBlock::new();
+        block.load(&c, &tests);
+        assert_eq!(block.lanes(), 0b111);
+        // The empty requirement is satisfied by exactly the loaded lanes.
+        assert_eq!(block.satisfied_lanes(&Assignments::new()), 0b111);
+    }
+
+    #[test]
+    fn arena_reuse_across_circuits_resizes() {
+        let big = iscas::s27();
+        let small = iscas::c17();
+        let mut block = PackedBlock::new();
+        let t27 = exhaustive_two_patterns(big.inputs().len(), 4);
+        let t17 = exhaustive_two_patterns(small.inputs().len(), 4);
+        block.load(&big, &t27);
+        block.load(&small, &t17);
+        let waves = simulate_triples(&small, &t17[2].to_triples());
+        for (id, _) in small.iter() {
+            assert_eq!(block.triple(id, 2), waves[id.index()]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 tests")]
+    fn oversized_block_panics() {
+        let c = iscas::c17();
+        let n = c.inputs().len();
+        let tests = vec![TwoPattern::unspecified(n); LANES + 1];
+        PackedBlock::new().load(&c, &tests);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per primary input")]
+    fn wrong_width_panics() {
+        let c = iscas::c17();
+        PackedBlock::new().load(&c, &[TwoPattern::unspecified(1)]);
+    }
+}

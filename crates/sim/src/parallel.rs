@@ -1,0 +1,97 @@
+//! Scoped-thread fan-out over slices.
+//!
+//! The build environment has no crates.io access, so instead of `rayon`
+//! this module provides the one primitive the simulation drivers need: map
+//! a function over contiguous chunks of a slice on `std::thread::scope`
+//! workers and collect the per-chunk results in order. Results are merged
+//! in chunk order, so every caller is deterministic regardless of thread
+//! scheduling.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// The number of worker threads fan-outs use: the machine's available
+/// parallelism, or 1 when that cannot be determined.
+#[must_use]
+pub fn max_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over contiguous chunks of `items` in parallel, returning one
+/// result per chunk in slice order.
+///
+/// `f` receives the offset of the chunk's first element within `items` and
+/// the chunk itself. Chunks are sized to give each worker thread one chunk,
+/// but never smaller than `min_chunk` elements — workloads too small to
+/// amortize a thread spawn run inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_chunk_map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(max_threads()).max(min_chunk.max(1));
+    if chunk >= items.len() {
+        return vec![f(0, items)];
+    }
+    thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, part)| scope.spawn(move || f(i * chunk, part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let out: Vec<usize> = par_chunk_map(&[] as &[u32], 1, |_, c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_input_runs_inline_as_one_chunk() {
+        let items = [1u32, 2, 3];
+        let out = par_chunk_map(&items, 100, |off, c| (off, c.to_vec()));
+        assert_eq!(out, vec![(0, vec![1, 2, 3])]);
+    }
+
+    #[test]
+    fn offsets_and_order_are_preserved() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let sums = par_chunk_map(&items, 1, |off, c| {
+            assert_eq!(c[0], off as u64);
+            c.iter().sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+        // Chunk results concatenate back to the original order.
+        let cat: Vec<u64> = par_chunk_map(&items, 1, |_, c| c.to_vec())
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(cat, items);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

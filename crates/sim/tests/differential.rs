@@ -1,0 +1,125 @@
+//! Differential oracle: the packed bit-plane kernel must be bit-for-bit
+//! equivalent to the scalar triple simulator on random circuits — same
+//! waveforms, same satisfied requirements, same coverage flags.
+
+use proptest::prelude::*;
+
+use pdf_faults::FaultList;
+use pdf_logic::Value;
+use pdf_netlist::{simulate_triples, Circuit, SynthProfile, TwoPattern};
+use pdf_paths::PathEnumerator;
+use pdf_sim::{PackedBlock, SimBackend, LANES};
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (3usize..8, 10usize..60, 3usize..8, any::<u64>()).prop_map(|(inputs, gates, levels, seed)| {
+        SynthProfile::new("diff", seed)
+            .with_inputs(inputs)
+            .with_gates(gates)
+            .with_levels(levels)
+            .generate()
+            .to_circuit()
+            .expect("generated netlists are valid")
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::Zero), Just(Value::One), Just(Value::X)]
+}
+
+fn arb_tests(inputs: usize) -> impl Strategy<Value = Vec<TwoPattern>> {
+    proptest::collection::vec(
+        proptest::collection::vec((arb_value(), arb_value()), inputs),
+        1..(LANES + 10),
+    )
+    .prop_map(|tests| {
+        tests
+            .into_iter()
+            .map(|pairs| {
+                TwoPattern::new(
+                    pairs.iter().map(|p| p.0).collect(),
+                    pairs.iter().map(|p| p.1).collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_waveforms_equal_scalar_waveforms(
+        (c, tests) in arb_circuit().prop_flat_map(|c| {
+            let n = c.inputs().len();
+            (Just(c), arb_tests(n))
+        })
+    ) {
+        let mut block = PackedBlock::new();
+        for chunk in tests.chunks(LANES) {
+            block.load(&c, chunk);
+            for (lane, t) in chunk.iter().enumerate() {
+                let waves = simulate_triples(&c, &t.to_triples());
+                for (id, _) in c.iter() {
+                    prop_assert_eq!(
+                        block.triple(id, lane),
+                        waves[id.index()],
+                        "line {} lane {}",
+                        id,
+                        lane
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_coverage_equals_scalar_coverage(
+        (c, tests) in arb_circuit().prop_flat_map(|c| {
+            let n = c.inputs().len();
+            (Just(c), arb_tests(n))
+        })
+    ) {
+        // Real robust fault populations of the random circuit.
+        let paths = PathEnumerator::new(&c).with_cap(200).enumerate();
+        let (faults, _) = FaultList::build(&c, &paths.store);
+        prop_assume!(!faults.is_empty());
+
+        let scalar = pdf_sim::coverage_flags(
+            SimBackend::Scalar, &c, &tests, faults.entries());
+        let packed = pdf_sim::coverage_flags(
+            SimBackend::Packed, &c, &tests, faults.entries());
+        prop_assert_eq!(&scalar, &packed);
+
+        let scalar_per = pdf_sim::per_test_detections(
+            SimBackend::Scalar, &c, &tests, faults.entries());
+        let packed_per = pdf_sim::per_test_detections(
+            SimBackend::Packed, &c, &tests, faults.entries());
+        prop_assert_eq!(scalar_per, packed_per);
+    }
+
+    #[test]
+    fn satisfied_lanes_agrees_with_scalar_requirement_check(
+        (c, tests) in arb_circuit().prop_flat_map(|c| {
+            let n = c.inputs().len();
+            (Just(c), arb_tests(n))
+        })
+    ) {
+        let paths = PathEnumerator::new(&c).with_cap(64).enumerate();
+        let (faults, _) = FaultList::build(&c, &paths.store);
+        prop_assume!(!faults.is_empty());
+
+        let mut block = PackedBlock::new();
+        let chunk = &tests[..tests.len().min(LANES)];
+        block.load(&c, chunk);
+        for entry in faults.iter() {
+            let lanes = block.satisfied_lanes(&entry.assignments);
+            for (lane, t) in chunk.iter().enumerate() {
+                let waves = simulate_triples(&c, &t.to_triples());
+                prop_assert_eq!(
+                    lanes >> lane & 1 == 1,
+                    entry.assignments.satisfied_by(&waves)
+                );
+            }
+        }
+    }
+}

@@ -55,7 +55,12 @@ fn main() {
 
     println!("\nbasic (value-based compaction), targets = P0 only:");
     let basic = BasicAtpg::new(&circuit).with_config(config).run(split.p0());
-    let everything: FaultList = split.p0().iter().chain(split.p1().iter()).cloned().collect();
+    let everything: FaultList = split
+        .p0()
+        .iter()
+        .chain(split.p1().iter())
+        .cloned()
+        .collect();
     let accidental = basic.tests().coverage(&circuit, &everything);
     println!(
         "  {} tests; P0: {}/{}; accidental P0∪P1: {}/{}",
@@ -67,7 +72,9 @@ fn main() {
     );
 
     println!("\nenrichment, targets = P0 then P1:");
-    let enriched = EnrichmentAtpg::new(&circuit).with_config(config).run(&split);
+    let enriched = EnrichmentAtpg::new(&circuit)
+        .with_config(config)
+        .run(&split);
     println!(
         "  {} tests; P0: {}/{}; P0∪P1: {}/{}",
         enriched.tests().len(),

@@ -51,7 +51,12 @@ fn main() {
     );
 
     // ...and how much of P1 those tests catch by accident.
-    let everything: FaultList = split.p0().iter().chain(split.p1().iter()).cloned().collect();
+    let everything: FaultList = split
+        .p0()
+        .iter()
+        .chain(split.p1().iter())
+        .cloned()
+        .collect();
     let accidental = basic.tests().coverage(&circuit, &everything);
     println!(
         "        accidental P0∪P1 coverage: {}/{}",

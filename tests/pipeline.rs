@@ -38,7 +38,9 @@ fn bookkeeping_matches_post_hoc_simulation_for_every_heuristic() {
             justify_attempts: 1,
             secondary_mode: Default::default(),
         };
-        let outcome = BasicAtpg::new(&s.circuit).with_config(config).run(s.split.p0());
+        let outcome = BasicAtpg::new(&s.circuit)
+            .with_config(config)
+            .run(s.split.p0());
         let coverage = outcome.tests().coverage(&s.circuit, s.split.p0());
         assert_eq!(
             coverage.detected(),
@@ -75,8 +77,14 @@ fn compaction_reduces_tests_without_losing_detection() {
             justify_attempts: 1,
             secondary_mode: Default::default(),
         };
-        let outcome = BasicAtpg::new(&s.circuit).with_config(config).run(s.split.p0());
-        results.push((compaction, outcome.tests().len(), outcome.detected_in_set(0)));
+        let outcome = BasicAtpg::new(&s.circuit)
+            .with_config(config)
+            .run(s.split.p0());
+        results.push((
+            compaction,
+            outcome.tests().len(),
+            outcome.detected_in_set(0),
+        ));
     }
     let (_, uncomp_tests, uncomp_detected) = results[0];
     for &(compaction, tests, detected) in &results[1..] {
@@ -100,7 +108,9 @@ fn enrichment_is_free_and_strictly_better_on_p1() {
     assert!(!s.split.p1().is_empty());
     let config = AtpgConfig::default();
 
-    let basic = BasicAtpg::new(&s.circuit).with_config(config).run(s.split.p0());
+    let basic = BasicAtpg::new(&s.circuit)
+        .with_config(config)
+        .run(s.split.p0());
     let everything: Faults = s
         .split
         .p0()
@@ -108,9 +118,14 @@ fn enrichment_is_free_and_strictly_better_on_p1() {
         .chain(s.split.p1().iter())
         .cloned()
         .collect();
-    let accidental = basic.tests().coverage(&s.circuit, &everything).detected_count();
+    let accidental = basic
+        .tests()
+        .coverage(&s.circuit, &everything)
+        .detected_count();
 
-    let enriched = EnrichmentAtpg::new(&s.circuit).with_config(config).run(&s.split);
+    let enriched = EnrichmentAtpg::new(&s.circuit)
+        .with_config(config)
+        .run(&s.split);
 
     assert!(enriched.detected_total() > accidental);
     let delta = enriched.tests().len().abs_diff(basic.tests().len());
@@ -157,7 +172,10 @@ fn different_seeds_vary_only_slightly() {
     let t_spread = tests.iter().max().unwrap() - tests.iter().min().unwrap();
     let d_spread = detected.iter().max().unwrap() - detected.iter().min().unwrap();
     assert!(t_spread * 10 <= *tests.iter().max().unwrap(), "{tests:?}");
-    assert!(d_spread * 10 <= *detected.iter().max().unwrap(), "{detected:?}");
+    assert!(
+        d_spread * 10 <= *detected.iter().max().unwrap(),
+        "{detected:?}"
+    );
 }
 
 #[test]
@@ -216,7 +234,6 @@ fn nonrobust_population_is_superset_of_robust() {
         .unwrap();
     let paths = PathEnumerator::new(&circuit).with_cap(600).enumerate();
     let (robust, _) = FaultList::build_with(&circuit, &paths.store, Sensitization::Robust);
-    let (nonrobust, _) =
-        FaultList::build_with(&circuit, &paths.store, Sensitization::NonRobust);
+    let (nonrobust, _) = FaultList::build_with(&circuit, &paths.store, Sensitization::NonRobust);
     assert!(nonrobust.len() >= robust.len());
 }

@@ -14,17 +14,15 @@ use pdf_paths::Strategy as EnumStrategy;
 
 /// A small random circuit, always valid by construction.
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (2usize..10, 8usize..60, 2usize..8, any::<u64>()).prop_map(
-        |(inputs, gates, levels, seed)| {
-            SynthProfile::new("prop", seed)
-                .with_inputs(inputs)
-                .with_gates(gates)
-                .with_levels(levels)
-                .generate()
-                .to_circuit()
-                .expect("generated netlists are valid")
-        },
-    )
+    (2usize..10, 8usize..60, 2usize..8, any::<u64>()).prop_map(|(inputs, gates, levels, seed)| {
+        SynthProfile::new("prop", seed)
+            .with_inputs(inputs)
+            .with_gates(gates)
+            .with_levels(levels)
+            .generate()
+            .to_circuit()
+            .expect("generated netlists are valid")
+    })
 }
 
 /// A random fully-specified two-pattern test for `n` inputs.

@@ -1,0 +1,173 @@
+//! Minimal offline shim of the `criterion` API.
+//!
+//! Wall-clock measurement only: each benchmark is warmed up, then timed
+//! over `sample_size` samples whose iteration counts are auto-scaled to a
+//! per-sample time floor. Reports mean ns/iter on stdout in a stable
+//! `group/name: <mean> ns/iter (n samples)` format that downstream
+//! tooling (`crates/bench`) parses.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times every
+/// routine call individually, so the hint is accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id.into());
+        match bencher.result {
+            Some(m) => println!("{label}: {:.1} ns/iter ({} samples)", m.mean_ns, m.samples),
+            None => println!("{label}: no measurement recorded"),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    mean_ns: f64,
+    samples: usize,
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+/// Floor on the time spent per sample; iteration counts scale to meet it.
+const SAMPLE_FLOOR: Duration = Duration::from_millis(5);
+
+impl Bencher {
+    /// Times `routine` (the common case).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and per-iter estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (SAMPLE_FLOOR.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0usize;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += iters_per_sample;
+        }
+        self.result = Some(Measurement {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            samples: self.sample_size,
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0usize;
+        // One warm-up call, then `sample_size` timed single-iteration
+        // samples (setup excluded from the clock).
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some(Measurement {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            samples: self.sample_size,
+        });
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
