@@ -26,11 +26,9 @@ fn measure(f: impl Fn() -> usize) -> (f64, usize) {
 }
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
-    let n_tests: usize = std::env::var("PDF_BENCH_TESTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256);
+    let n_tests: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(256);
 
     let s = setup(&circuit_name, 2_000, 200);
     let mut justifier = Justifier::new(&s.circuit, 3).with_attempts(2);

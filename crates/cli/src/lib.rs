@@ -36,11 +36,16 @@ COMMANDS:
                                      the detectable fault population and A(p) sets
     atpg      <circuit> [--cap N] [--np0 N] [--heuristic uncomp|arbit|length|values]
                         [--seed S] [--attempts N] [--enrich] [--minimize]
-                        [--output FILE]
+                        [--output FILE] [--telemetry FILE]
                                      generate a (optionally enriched) robust test set
     sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
     dot       <circuit>              Graphviz export
     bench     <circuit>              emit the netlist as .bench text
+
+ENVIRONMENT:
+    PDF_SIM_BACKEND   `scalar` or `packed` (default); anything else aborts
+    PDF_TELEMETRY     path of a JSON run report written at exit
+                      (--telemetry overrides it for the atpg command)
 
 Sequential netlists are reduced to their combinational core; XOR/XNOR
 gates are decomposed before path analysis. Both transformations print a
@@ -305,6 +310,10 @@ fn heuristic_from(options: &Options) -> Result<Compaction, CliError> {
 
 /// `pdfatpg atpg`.
 pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let _telemetry = options
+        .value("telemetry")
+        .map(pdf_telemetry::Guard::to_path);
+    let backend = sim_backend_from_env()?;
     let cap: usize = options.parsed("cap", 10_000)?;
     let n_p0: usize = options.parsed("np0", 1_000)?;
     let seed: u64 = options.parsed("seed", 2002)?;
@@ -363,7 +372,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             .cloned()
             .collect();
         let before = tests.len();
-        let minimized = tests.into_minimized(circuit, &everything);
+        let minimized = tests.into_minimized_with(backend, circuit, &everything);
         let _ = writeln!(
             s,
             "static minimization: {} -> {} tests (coverage preserved)",
@@ -421,6 +430,12 @@ pub fn cmd_sim(circuit: &Circuit, v1: &str, v2: &str) -> Result<String, CliError
     Ok(s)
 }
 
+/// The `PDF_SIM_BACKEND` selection, as a [`CliError`] naming the bad
+/// value and the accepted ones when the variable is set but unparsable.
+pub fn sim_backend_from_env() -> Result<pdf_sim::SimBackend, CliError> {
+    pdf_sim::SimBackend::from_env().map_err(|e| CliError(format!("PDF_SIM_BACKEND: {e}")))
+}
+
 /// Runs a full command line (without `argv[0]`). Returns the stdout text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
@@ -429,6 +444,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(USAGE.to_owned());
     }
+    // A bad backend override must abort before any work happens, whatever
+    // the command — not surface halfway through a generation run.
+    let _ = sim_backend_from_env()?;
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let Some(spec) = args.get(1) else {
         return err(format!(
             "`{command}` requires a circuit argument\n\n{USAGE}"
@@ -457,7 +476,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "atpg" => {
             let options = Options::parse(
                 rest,
-                &["cap", "np0", "heuristic", "seed", "attempts", "output"],
+                &[
+                    "cap",
+                    "np0",
+                    "heuristic",
+                    "seed",
+                    "attempts",
+                    "output",
+                    "telemetry",
+                ],
                 &["enrich", "minimize"],
             )?;
             cmd_atpg(&circuit, &options)

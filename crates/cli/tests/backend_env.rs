@@ -1,0 +1,74 @@
+//! `PDF_SIM_BACKEND` validation at CLI startup.
+//!
+//! These tests mutate a process-global environment variable, so they live
+//! in their own integration-test binary and serialize on a mutex.
+
+use std::sync::{Mutex, PoisonError};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let saved = std::env::var("PDF_SIM_BACKEND").ok();
+    match value {
+        Some(v) => std::env::set_var("PDF_SIM_BACKEND", v),
+        None => std::env::remove_var("PDF_SIM_BACKEND"),
+    }
+    let result = body();
+    match saved {
+        Some(v) => std::env::set_var("PDF_SIM_BACKEND", v),
+        None => std::env::remove_var("PDF_SIM_BACKEND"),
+    }
+    result
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn misspelled_backend_aborts_any_command_naming_the_accepted_values() {
+    with_backend(Some("scaler"), || {
+        let e = pdf_cli::run(&args(&["info", "s27"])).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("PDF_SIM_BACKEND"), "{msg}");
+        assert!(msg.contains("scaler"), "must name the bad value: {msg}");
+        assert!(msg.contains("`scalar`"), "must name accepted values: {msg}");
+        assert!(msg.contains("`packed`"), "must name accepted values: {msg}");
+    });
+}
+
+#[test]
+fn valid_backends_run_commands_normally() {
+    for backend in [None, Some("scalar"), Some("packed"), Some("SCALAR")] {
+        with_backend(backend, || {
+            let out = pdf_cli::run(&args(&["info", "s27"])).unwrap();
+            assert!(out.contains("critical path delay"), "{backend:?}: {out}");
+        });
+    }
+}
+
+#[test]
+fn atpg_minimize_honours_the_scalar_backend() {
+    // The minimize sweep routes through the env-selected backend; scalar
+    // and packed must keep producing the same test set.
+    let run_with = |backend: &str| {
+        with_backend(Some(backend), || {
+            pdf_cli::run(&args(&[
+                "atpg",
+                "s27",
+                "--np0",
+                "10",
+                "--enrich",
+                "--minimize",
+                "--seed",
+                "7",
+            ]))
+            .unwrap()
+        })
+    };
+    let scalar = run_with("scalar");
+    let packed = run_with("packed");
+    assert_eq!(scalar, packed);
+    assert!(scalar.contains("static minimization:"), "{scalar}");
+}

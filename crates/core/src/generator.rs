@@ -313,6 +313,7 @@ impl<'c> EnrichmentAtpg<'c> {
     /// Runs enrichment over the split's sets.
     #[must_use]
     pub fn run(&self, split: &TargetSplit) -> AtpgOutcome {
+        let _phase = pdf_telemetry::Span::enter("enrich");
         let sets: Vec<&FaultList> = split.sets().iter().collect();
         Session::new(self.circuit, self.config, &sets).run()
     }
@@ -367,12 +368,14 @@ impl<'c, 'f> Session<'c, 'f> {
     }
 
     fn run(mut self) -> AtpgOutcome {
+        let _phase = pdf_telemetry::Span::enter("generate");
         let n = self.faults.len();
         self.detected = vec![false; n];
         self.aborted = vec![false; n];
         let mut test_set = TestSet::new();
 
         while let Some(primary) = self.next_primary() {
+            pdf_telemetry::count(pdf_telemetry::counters::FAULTS_TARGETED, 1);
             let Some(justified) = self.justifier.justify(&self.faults[primary].assignments) else {
                 self.aborted[primary] = true;
                 self.stats.aborted_primaries += 1;
@@ -539,6 +542,7 @@ impl<'c, 'f> Session<'c, 'f> {
             }
             self.detected[i] = true;
             self.stats.free_accepts += 1;
+            pdf_telemetry::count(pdf_telemetry::counters::SECONDARY_DETECTED, 1);
             return grew;
         }
         let Some(merged) = union.merged(a) else {
@@ -572,6 +576,7 @@ impl<'c, 'f> Session<'c, 'f> {
                 *current = justified;
                 self.detected[i] = true;
                 self.stats.secondary_accepts += 1;
+                pdf_telemetry::count(pdf_telemetry::counters::SECONDARY_DETECTED, 1);
                 true
             }
             None => {

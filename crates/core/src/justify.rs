@@ -145,7 +145,10 @@ impl<'c> Justifier<'c> {
     ) -> Option<Justified> {
         self.stats.calls += 1;
         let cone = Cone::build(self.circuit, req);
-        for _ in 0..self.attempts {
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_RETRIES, 1);
+            }
             if let Some(result) = self.attempt(req, &cone, frozen) {
                 self.stats.successes += 1;
                 return Some(result);

@@ -137,7 +137,18 @@ impl TestSet {
     /// discarded anyway.
     #[must_use]
     pub fn into_minimized(self, circuit: &Circuit, faults: &FaultList) -> TestSet {
-        let keep = self.kept_after_sweep(SimBackend::default(), circuit, faults);
+        self.into_minimized_with(SimBackend::default(), circuit, faults)
+    }
+
+    /// [`TestSet::into_minimized`] with an explicit simulation backend.
+    #[must_use]
+    pub fn into_minimized_with(
+        self,
+        backend: SimBackend,
+        circuit: &Circuit,
+        faults: &FaultList,
+    ) -> TestSet {
+        let keep = self.kept_after_sweep(backend, circuit, faults);
         TestSet {
             tests: self
                 .tests
@@ -157,6 +168,7 @@ impl TestSet {
         circuit: &Circuit,
         faults: &FaultList,
     ) -> Vec<bool> {
+        let _phase = pdf_telemetry::Span::enter("compact");
         let per_test =
             pdf_sim::per_test_detections(backend, circuit, &self.tests, faults.entries());
         let mut covered = vec![false; faults.len()];
@@ -169,6 +181,8 @@ impl TestSet {
                 }
             }
         }
+        let dropped = keep.iter().filter(|&&k| !k).count();
+        pdf_telemetry::count(pdf_telemetry::counters::TESTS_DROPPED, dropped as u64);
         keep
     }
 

@@ -4,6 +4,7 @@
 use pdf_netlist::{iscas::s27, LineKind};
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let c = s27();
     println!("Figure 1: ISCAS-89 benchmark circuit s27 (combinational core)");
     println!("line  signal      kind      fanin (paper numbering)");

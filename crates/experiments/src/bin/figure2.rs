@@ -5,6 +5,7 @@ use pdf_netlist::{iscas::s27, LineId};
 use pdf_paths::{Path, PathEnumerator};
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let c = s27();
     let line = |k: usize| LineId::new(k - 1);
     // The partial path p = (1,8,13) of the paper's walkthrough.

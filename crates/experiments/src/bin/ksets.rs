@@ -10,6 +10,7 @@ use pdf_experiments::Workload;
 use pdf_paths::LengthHistogram;
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "b09".to_owned());
     let workload = Workload::from_env();
     let Some(prepared) = pdf_experiments::prepare(&name, &workload) else {

@@ -8,6 +8,7 @@ use pdf_faults::FaultList;
 use pdf_paths::{select_line_cover, PathEnumerator};
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "b09".to_owned());
     let workload = Workload::from_env();
     let Some(circuit) = pdf_experiments::circuit_by_name(&name) else {

@@ -7,6 +7,7 @@ use pdf_faults::{FaultList, Sensitization};
 use pdf_paths::PathEnumerator;
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let workload = Workload::from_env();
     println!(
         "robust vs non-robust fault populations (N_P = {})",

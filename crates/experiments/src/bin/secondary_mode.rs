@@ -10,6 +10,7 @@ use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, SecondaryMode};
 use pdf_experiments::{filter_circuits, Workload};
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let workload = Workload::from_env();
     println!("secondary-target handling: regenerate (paper) vs freeze-values ([8])");
     println!(

@@ -1,6 +1,7 @@
 //! Regenerates the paper's Table 1: the `s27` enumeration walkthrough.
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     print!("{}", pdf_experiments::table1_text());
     println!();
     println!(

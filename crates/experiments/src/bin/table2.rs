@@ -3,6 +3,7 @@
 use pdf_experiments::Workload;
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let workload = Workload::from_env();
     print!("{}", pdf_experiments::table2_text(&workload));
 }

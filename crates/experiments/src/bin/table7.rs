@@ -3,6 +3,7 @@
 use pdf_experiments::{filter_circuits, report, run_enrich, Workload};
 
 fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
     let workload = Workload::from_env();
     let mut rows = Vec::new();
     for name in filter_circuits(&pdf_netlist::TABLE3_CIRCUITS) {

@@ -67,20 +67,45 @@ impl Default for Workload {
 impl Workload {
     /// The defaults, overridden by `PDF_NP`, `PDF_NP0`, `PDF_SEED` and
     /// `PDF_ATTEMPTS` when set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when one of those variables is set to an unparsable value —
+    /// `PDF_NP=10k` must abort the run, not silently fall back to the
+    /// paper's default.
     #[must_use]
     pub fn from_env() -> Workload {
-        fn get<T: std::str::FromStr>(name: &str, default: T) -> T {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(default)
-        }
         let d = Workload::default();
         Workload {
-            n_p: get("PDF_NP", d.n_p),
-            n_p0: get("PDF_NP0", d.n_p0),
-            seed: get("PDF_SEED", d.seed),
-            attempts: get("PDF_ATTEMPTS", d.attempts),
+            n_p: env_parse("PDF_NP").unwrap_or(d.n_p),
+            n_p0: env_parse("PDF_NP0").unwrap_or(d.n_p0),
+            seed: env_parse("PDF_SEED").unwrap_or(d.seed),
+            attempts: env_parse("PDF_ATTEMPTS").unwrap_or(d.attempts),
+        }
+    }
+}
+
+/// Reads and parses the environment variable `name`: `None` when unset.
+///
+/// # Panics
+///
+/// Panics (naming the variable and the offending value) when the variable
+/// is present but does not parse — every `PDF_*` knob fails fast instead
+/// of silently running with a default.
+#[must_use]
+pub fn env_parse<T>(name: &str) -> Option<T>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse() {
+            Ok(v) => Some(v),
+            Err(e) => panic!("invalid {name}=`{raw}`: {e}"),
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("invalid {name}={raw:?}: not valid unicode")
         }
     }
 }
@@ -88,24 +113,56 @@ impl Workload {
 /// The simulation backend every experiment driver uses: the default
 /// packed engine, overridable via the `PDF_SIM_BACKEND` environment
 /// variable (`scalar` re-runs a table on the reference oracle).
+///
+/// # Panics
+///
+/// Panics when `PDF_SIM_BACKEND` is set to an unrecognized backend name —
+/// `scaler` must not masquerade as a packed run.
 #[must_use]
 pub fn sim_backend() -> SimBackend {
-    SimBackend::from_env()
+    SimBackend::from_env().unwrap_or_else(|e| panic!("PDF_SIM_BACKEND: {e}"))
 }
 
-/// Applies the `PDF_CIRCUITS` allow-list to a circuit name list.
+/// Applies the `PDF_CIRCUITS` allow-list to a circuit name list. Each
+/// allow-list entry that matches nothing in `names` draws a warning on
+/// stderr (misspelling a circuit must not silently shrink a table).
+///
+/// # Panics
+///
+/// Panics when `PDF_CIRCUITS` is set but selects none of `names` — an
+/// experiment over zero circuits is never what the user meant.
 #[must_use]
 pub fn filter_circuits(names: &[&'static str]) -> Vec<&'static str> {
     match std::env::var("PDF_CIRCUITS") {
         Ok(list) => {
-            let allowed: Vec<String> = list.split(',').map(|s| s.trim().to_owned()).collect();
-            names
+            let allowed: Vec<&str> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            for a in &allowed {
+                if !names.contains(a) {
+                    eprintln!(
+                        "warning: PDF_CIRCUITS entry `{a}` matches none of the available \
+                         circuits {names:?}"
+                    );
+                }
+            }
+            let kept: Vec<&'static str> = names
                 .iter()
                 .copied()
-                .filter(|n| allowed.iter().any(|a| a == n))
-                .collect()
+                .filter(|n| allowed.contains(n))
+                .collect();
+            assert!(
+                !kept.is_empty(),
+                "PDF_CIRCUITS=`{list}` selects none of the available circuits {names:?}"
+            );
+            kept
         }
-        Err(_) => names.to_vec(),
+        Err(std::env::VarError::NotPresent) => names.to_vec(),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("invalid PDF_CIRCUITS={raw:?}: not valid unicode")
+        }
     }
 }
 

@@ -81,6 +81,7 @@ impl FaultList {
         store: &PathStore,
         kind: Sensitization,
     ) -> (FaultList, FaultListStats) {
+        let _phase = pdf_telemetry::Span::enter("eliminate");
         let mut stats = FaultListStats::default();
         let mut entries = Vec::with_capacity(store.len() * 2);
         for stored in store.iter() {
@@ -107,6 +108,10 @@ impl FaultList {
                 });
             }
         }
+        pdf_telemetry::count(
+            pdf_telemetry::counters::UNDETECTABLE_DROPPED,
+            (stats.rule1_conflicts + stats.rule2_conflicts) as u64,
+        );
         (FaultList { entries }, stats)
     }
 

@@ -197,6 +197,7 @@ impl<'c> PathEnumerator<'c> {
             delay: u32,
             complete: bool,
         }
+        let _phase = pdf_telemetry::Span::enter("enumerate");
         let c = self.circuit;
         let mut stats = EnumerationStats::default();
         let mut list: Vec<Item> = c
@@ -291,6 +292,10 @@ impl<'c> PathEnumerator<'c> {
             store.push(e.path, e.delay);
         }
         store.sort_by_delay_desc();
+        pdf_telemetry::count(
+            pdf_telemetry::counters::STORE_EVICTIONS,
+            stats.removed as u64,
+        );
         Enumeration { store, stats }
     }
 
@@ -304,6 +309,7 @@ impl<'c> PathEnumerator<'c> {
             len: u32,
             complete: bool,
         }
+        let _phase = pdf_telemetry::Span::enter("enumerate");
         let c = self.circuit;
         let mut stats = EnumerationStats::default();
 
@@ -487,6 +493,10 @@ impl<'c> PathEnumerator<'c> {
             store.push(item.path, item.delay);
         }
         store.sort_by_delay_desc();
+        pdf_telemetry::count(
+            pdf_telemetry::counters::STORE_EVICTIONS,
+            stats.removed as u64,
+        );
         Enumeration { store, stats }
     }
 }

@@ -24,14 +24,23 @@ impl SimBackend {
     pub const ALL: [SimBackend; 2] = [SimBackend::Scalar, SimBackend::Packed];
 
     /// Reads the backend from the `PDF_SIM_BACKEND` environment variable
-    /// (`scalar` or `packed`, case-insensitive). Unset or unrecognized
-    /// values fall back to the default packed engine.
-    #[must_use]
-    pub fn from_env() -> SimBackend {
-        std::env::var("PDF_SIM_BACKEND")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_default()
+    /// (`scalar` or `packed`, case-insensitive). Unset means the default
+    /// packed engine; a present-but-unrecognized value is an error —
+    /// `PDF_SIM_BACKEND=scaler` must not masquerade as a packed run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBackendError`] (naming the bad value and the
+    /// accepted ones) when the variable is set to anything other than a
+    /// backend label. Drivers are expected to fail fast on it at startup.
+    pub fn from_env() -> Result<SimBackend, ParseBackendError> {
+        match std::env::var("PDF_SIM_BACKEND") {
+            Ok(v) => v.parse(),
+            Err(std::env::VarError::NotPresent) => Ok(SimBackend::default()),
+            Err(std::env::VarError::NotUnicode(v)) => Err(ParseBackendError {
+                found: v.to_string_lossy().into_owned(),
+            }),
+        }
     }
 
     /// A short lowercase label (`"scalar"` / `"packed"`).
@@ -66,7 +75,11 @@ impl ParseBackendError {
 
 impl fmt::Display for ParseBackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown simulation backend `{}`", self.found)
+        write!(
+            f,
+            "unknown simulation backend `{}` (accepted values: `scalar`, `packed`)",
+            self.found
+        )
     }
 }
 
@@ -79,8 +92,8 @@ impl FromStr for SimBackend {
         match s.to_ascii_lowercase().as_str() {
             "scalar" => Ok(SimBackend::Scalar),
             "packed" => Ok(SimBackend::Packed),
-            other => Err(ParseBackendError {
-                found: other.to_owned(),
+            _ => Err(ParseBackendError {
+                found: s.to_owned(),
             }),
         }
     }

@@ -100,6 +100,8 @@ pub fn coverage_flags<T: HasAssignments>(
     tests: &[TwoPattern],
     faults: &[T],
 ) -> Vec<bool> {
+    let _phase = pdf_telemetry::Span::enter("simulate");
+    pdf_telemetry::count(pdf_telemetry::counters::SIM_PASSES, 1);
     match backend {
         SimBackend::Scalar => {
             let mut detected = vec![false; faults.len()];
@@ -118,6 +120,7 @@ pub fn coverage_flags<T: HasAssignments>(
         }
         SimBackend::Packed => {
             let blocks: Vec<&[TwoPattern]> = tests.chunks(LANES).collect();
+            pdf_telemetry::count(pdf_telemetry::counters::PACKED_BLOCKS, blocks.len() as u64);
             let partials = par_chunk_map(&blocks, 1, |_, part| {
                 let mut block = PackedBlock::new();
                 let mut local = vec![false; faults.len()];
@@ -151,6 +154,8 @@ pub fn per_test_detections<T: HasAssignments>(
     tests: &[TwoPattern],
     faults: &[T],
 ) -> Vec<Vec<usize>> {
+    let _phase = pdf_telemetry::Span::enter("simulate");
+    pdf_telemetry::count(pdf_telemetry::counters::SIM_PASSES, 1);
     match backend {
         SimBackend::Scalar => {
             let mut triples = Vec::new();
@@ -171,6 +176,7 @@ pub fn per_test_detections<T: HasAssignments>(
         }
         SimBackend::Packed => {
             let blocks: Vec<&[TwoPattern]> = tests.chunks(LANES).collect();
+            pdf_telemetry::count(pdf_telemetry::counters::PACKED_BLOCKS, blocks.len() as u64);
             let parts = par_chunk_map(&blocks, 1, |_, part| {
                 let mut block = PackedBlock::new();
                 let mut out: Vec<Vec<usize>> = Vec::new();
@@ -214,6 +220,8 @@ pub fn newly_satisfied<T: HasAssignments>(
         already.len(),
         "one detection flag per fault required"
     );
+    let _phase = pdf_telemetry::Span::enter("simulate");
+    pdf_telemetry::count(pdf_telemetry::counters::SIM_PASSES, 1);
     let parts = par_chunk_map(faults, MIN_FAULT_CHUNK, |offset, chunk| {
         chunk
             .iter()

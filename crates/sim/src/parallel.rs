@@ -29,7 +29,9 @@ pub fn max_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f`.
+/// Propagates panics from `f` with their original payloads (an assertion
+/// message raised on a worker thread reaches the caller's test harness
+/// intact).
 pub fn par_chunk_map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -41,6 +43,7 @@ where
     }
     let chunk = items.len().div_ceil(max_threads()).max(min_chunk.max(1));
     if chunk >= items.len() {
+        pdf_telemetry::count(pdf_telemetry::counters::FANOUT_INLINE, 1);
         return vec![f(0, items)];
     }
     thread::scope(|scope| {
@@ -50,9 +53,14 @@ where
             .enumerate()
             .map(|(i, part)| scope.spawn(move || f(i * chunk, part)))
             .collect();
-        handles
+        pdf_telemetry::count(pdf_telemetry::counters::FANOUT_CHUNKS, handles.len() as u64);
+        // Join every worker before resuming any panic: unwinding out of
+        // the scope while siblings are still running would make the scope
+        // itself panic on the unjoined handles and abort the process.
+        let results: Vec<thread::Result<R>> = handles.into_iter().map(|h| h.join()).collect();
+        results
             .into_iter()
-            .map(|h| h.join().expect("simulation worker panicked"))
+            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
             .collect()
     })
 }
@@ -93,5 +101,33 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        if max_threads() < 2 {
+            return; // single-core: the panic happens inline, trivially intact
+        }
+        let items: Vec<u64> = (0..10_000).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_chunk_map(&items, 1, |off, c| {
+                assert!(off > 0, "chunk offset {off} rejected by the worker");
+                c.len()
+            })
+        }))
+        .expect_err("the offset-0 worker must panic");
+        let message = caught
+            .downcast_ref::<String>()
+            .expect("assert! panics carry their formatted message");
+        assert_eq!(message, "chunk offset 0 rejected by the worker");
+    }
+
+    #[test]
+    fn inline_panic_payload_is_intact_too() {
+        let caught = std::panic::catch_unwind(|| {
+            par_chunk_map(&[1u32], 100, |_, _| -> usize { panic!("inline boom") })
+        })
+        .expect_err("the inline chunk must panic");
+        assert_eq!(*caught.downcast_ref::<&str>().unwrap(), "inline boom");
     }
 }

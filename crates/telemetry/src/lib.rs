@@ -1,0 +1,676 @@
+//! Phase-scoped span timers, monotonic counters and JSON run reports.
+//!
+//! The pipeline crates (`pdf-paths`, `pdf-faults`, `pdf-atpg`, `pdf-sim`)
+//! instrument their phase boundaries with this crate so that a full run
+//! through enumeration → untestable elimination → generation → compaction
+//! → enrichment can report where time goes and how many faults each phase
+//! handled — the per-phase counters Pomeranz & Reddy's evaluation tables
+//! are built on — without any ad-hoc printing.
+//!
+//! Three pieces:
+//!
+//! * [`Span`] — an RAII phase timer on the monotonic clock. Spans nest:
+//!   a span entered while another is active on the same thread becomes
+//!   its child in the report tree. Re-entering the same name under the
+//!   same parent accumulates into one node (`calls` counts entries), so
+//!   a span in a per-test loop stays O(1) in memory.
+//! * [`count`] — named monotonic counters ([`counters`] lists the
+//!   well-known names).
+//! * [`RunReport`] — a snapshot of the span tree and counters that
+//!   serializes to JSON ([`RunReport::to_json`]) and parses back
+//!   ([`RunReport::from_json`]).
+//!
+//! # The no-op sink
+//!
+//! Telemetry is **off by default**: every instrumented call first reads
+//! one relaxed atomic flag and returns immediately when recording is
+//! disabled, so instrumentation on hot paths costs a single branch. Turn
+//! recording on with [`enable`], or let a [`Guard`] do it — [`Guard::from_env`]
+//! honours the `PDF_TELEMETRY=<path>` environment variable and writes the
+//! report when dropped.
+//!
+//! # Example
+//!
+//! ```
+//! let _ = pdf_telemetry::begin_recording();
+//! {
+//!     let _phase = pdf_telemetry::Span::enter("enumerate");
+//!     pdf_telemetry::count("store_evictions", 3);
+//! }
+//! let report = pdf_telemetry::report();
+//! pdf_telemetry::disable();
+//! assert_eq!(report.counter("store_evictions"), Some(3));
+//! assert!(report.span("enumerate").unwrap().seconds > 0.0);
+//! ```
+//!
+//! Global state is process-wide; concurrent tests that enable recording
+//! must serialize (see the crate tests for the pattern).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+
+pub use json::{Json, ParseJsonError};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Well-known counter names used across the workspace.
+///
+/// Counters are open-ended — any `&'static str` works — but the pipeline
+/// crates stick to these so reports stay comparable across runs.
+pub mod counters {
+    /// Primary target faults a generation session attempted.
+    pub const FAULTS_TARGETED: &str = "faults_targeted";
+    /// Secondary target faults detected (accepted or for free).
+    pub const SECONDARY_DETECTED: &str = "secondary_detected";
+    /// Tests removed by static compaction sweeps.
+    pub const TESTS_DROPPED: &str = "tests_dropped";
+    /// Whole-sweep simulation passes (coverage, per-test detection, and
+    /// the generator's drop loop).
+    pub const SIM_PASSES: &str = "sim_passes";
+    /// 64-lane blocks simulated by the packed kernel.
+    pub const PACKED_BLOCKS: &str = "packed_blocks";
+    /// Paths evicted from the capped enumeration store.
+    pub const STORE_EVICTIONS: &str = "store_evictions";
+    /// Chunks dispatched to worker threads by the simulation fan-out.
+    pub const FANOUT_CHUNKS: &str = "fanout_chunks";
+    /// Fan-out calls that ran inline (workload below the spawn threshold).
+    pub const FANOUT_INLINE: &str = "fanout_inline";
+    /// Randomized justification attempts beyond the first per call.
+    pub const JUSTIFY_RETRIES: &str = "justify_retries";
+    /// Fault candidates eliminated as undetectable (rules 1 and 2).
+    pub const UNDETECTABLE_DROPPED: &str = "undetectable_dropped";
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether recording is on. One relaxed load — this is the only cost
+/// instrumented hot paths pay while telemetry is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on. Prefer [`begin_recording`] (which also clears
+/// previously recorded data) or a [`Guard`].
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off. Already-recorded spans and counters are kept
+/// until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans and counters.
+///
+/// Call only while no [`Span`] is active; an active span from before the
+/// reset is dropped silently (its timing is discarded, never misfiled).
+pub fn reset() {
+    let mut s = lock();
+    s.generation += 1;
+    s.nodes.clear();
+    s.roots.clear();
+    s.counters.clear();
+}
+
+/// Clears recorded data and turns recording on: the usual way to start an
+/// instrumented run. Returns the [`RunReport`] state discarded, which is
+/// almost always ignored.
+pub fn begin_recording() -> RunReport {
+    let before = report();
+    reset();
+    enable();
+    before
+}
+
+struct Node {
+    name: &'static str,
+    children: Vec<usize>,
+    calls: u64,
+    total: Duration,
+}
+
+#[derive(Default)]
+struct Store {
+    /// Bumped by [`reset`] so stale span guards cannot misfile timings.
+    generation: u64,
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl Default for Node {
+    fn default() -> Node {
+        Node {
+            name: "",
+            children: Vec::new(),
+            calls: 0,
+            total: Duration::ZERO,
+        }
+    }
+}
+
+fn lock() -> MutexGuard<'static, Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// The stack of active span node ids on this thread, tagged with the
+    /// store generation they belong to.
+    static ACTIVE: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII phase timer. See the crate docs.
+#[must_use = "a span measures the scope it is bound to; binding it to `_` drops it immediately"]
+pub struct Span(Option<SpanInner>);
+
+struct SpanInner {
+    generation: u64,
+    id: usize,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts (or re-enters) the span `name` under the span currently
+    /// active on this thread. A no-op single branch when recording is off.
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span(None);
+        }
+        let (generation, id) = {
+            let mut s = lock();
+            let generation = s.generation;
+            let parent = ACTIVE.with(|a| {
+                a.borrow()
+                    .iter()
+                    .rev()
+                    .find(|&&(g, _)| g == generation)
+                    .map(|&(_, id)| id)
+            });
+            let siblings = match parent {
+                Some(p) => &s.nodes[p].children,
+                None => &s.roots,
+            };
+            let existing = siblings.iter().copied().find(|&c| s.nodes[c].name == name);
+            let id = match existing {
+                Some(id) => id,
+                None => {
+                    let id = s.nodes.len();
+                    s.nodes.push(Node {
+                        name,
+                        ..Node::default()
+                    });
+                    match parent {
+                        Some(p) => s.nodes[p].children.push(id),
+                        None => s.roots.push(id),
+                    }
+                    id
+                }
+            };
+            s.nodes[id].calls += 1;
+            (generation, id)
+        };
+        ACTIVE.with(|a| a.borrow_mut().push((generation, id)));
+        Span(Some(SpanInner {
+            generation,
+            id,
+            start: Instant::now(),
+        }))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else {
+            return;
+        };
+        // Guarantee nonzero durations even on coarse clocks.
+        let elapsed = inner.start.elapsed().max(Duration::from_nanos(1));
+        ACTIVE.with(|a| {
+            let mut a = a.borrow_mut();
+            if let Some(pos) = a
+                .iter()
+                .rposition(|&(g, id)| g == inner.generation && id == inner.id)
+            {
+                a.truncate(pos);
+            }
+        });
+        let mut s = lock();
+        if s.generation == inner.generation {
+            s.nodes[inner.id].total += elapsed;
+        }
+    }
+}
+
+/// Adds `n` to the named monotonic counter. A no-op single branch when
+/// recording is off.
+pub fn count(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut s = lock();
+    match s.counters.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, v)) => *v = v.saturating_add(n),
+        None => s.counters.push((name, n)),
+    }
+}
+
+/// One aggregated span of a [`RunReport`]: total wall-clock time and entry
+/// count for a name at one position of the phase tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanReport {
+    /// The span name.
+    pub name: String,
+    /// How many times the span was entered.
+    pub calls: u64,
+    /// Total wall-clock seconds across all entries (monotonic clock).
+    pub seconds: f64,
+    /// Child spans, in first-entry order.
+    pub children: Vec<SpanReport>,
+}
+
+impl SpanReport {
+    fn find(&self, name: &str) -> Option<&SpanReport> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", self.name.as_str())
+            .field("calls", self.calls)
+            .field("seconds", self.seconds)
+            .field(
+                "children",
+                Json::Arr(self.children.iter().map(SpanReport::to_json).collect()),
+            )
+    }
+
+    fn from_json(j: &Json) -> Result<SpanReport, ParseJsonError> {
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ParseJsonError::schema("span without a `name` string"))?
+            .to_owned();
+        let calls = j
+            .get("calls")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ParseJsonError::schema("span without a `calls` number"))?
+            as u64;
+        let seconds = j
+            .get("seconds")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ParseJsonError::schema("span without a `seconds` number"))?;
+        let children = j
+            .get("children")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(SpanReport::from_json)
+            .collect::<Result<Vec<SpanReport>, ParseJsonError>>()?;
+        Ok(SpanReport {
+            name,
+            calls,
+            seconds,
+            children,
+        })
+    }
+}
+
+/// A snapshot of the recorded span tree and counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Root spans, in first-entry order.
+    pub spans: Vec<SpanReport>,
+    /// Counters, in first-increment order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunReport {
+    /// Finds a span by name anywhere in the tree (depth-first).
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanReport> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// The value of a counter, if it was ever incremented.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// Schema: `{"telemetry": 1, "spans": [{"name", "calls", "seconds",
+    /// "children"}...], "counters": {name: value, ...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Json::object()
+            .field("telemetry", 1u64)
+            .field(
+                "spans",
+                Json::Arr(self.spans.iter().map(SpanReport::to_json).collect()),
+            )
+            .field(
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            )
+            .to_pretty()
+    }
+
+    /// Parses a report previously written by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseJsonError`] on malformed JSON or a document that
+    /// does not follow the report schema.
+    pub fn from_json(text: &str) -> Result<RunReport, ParseJsonError> {
+        let j = Json::parse(text)?;
+        let version = j.get("telemetry").and_then(Json::as_num);
+        if version != Some(1.0) {
+            return Err(ParseJsonError::schema(
+                "not a telemetry report (missing `\"telemetry\": 1`)",
+            ));
+        }
+        let spans = j
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ParseJsonError::schema("missing `spans` array"))?
+            .iter()
+            .map(SpanReport::from_json)
+            .collect::<Result<Vec<SpanReport>, ParseJsonError>>()?;
+        let Some(Json::Obj(counter_fields)) = j.get("counters") else {
+            return Err(ParseJsonError::schema("missing `counters` object"));
+        };
+        let counters = counter_fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_num()
+                    .map(|n| (k.clone(), n as u64))
+                    .ok_or_else(|| ParseJsonError::schema(format!("counter `{k}` is not a number")))
+            })
+            .collect::<Result<Vec<(String, u64)>, ParseJsonError>>()?;
+        Ok(RunReport { spans, counters })
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error on failure.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Snapshots the currently recorded spans and counters. Spans still
+/// active contribute the time of their completed entries only.
+#[must_use]
+pub fn report() -> RunReport {
+    let s = lock();
+    fn build(s: &Store, id: usize) -> SpanReport {
+        let node = &s.nodes[id];
+        SpanReport {
+            name: node.name.to_owned(),
+            calls: node.calls,
+            seconds: node.total.as_secs_f64(),
+            children: node.children.iter().map(|&c| build(s, c)).collect(),
+        }
+    }
+    RunReport {
+        spans: s.roots.iter().map(|&r| build(&s, r)).collect(),
+        counters: s.counters.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+    }
+}
+
+/// Scoped telemetry for a driver run: enables recording on creation and
+/// writes the JSON report to its path when dropped.
+///
+/// Drivers create one at startup — from an explicit `--telemetry <path>`
+/// flag via [`Guard::to_path`], or from the `PDF_TELEMETRY` environment
+/// variable via [`Guard::from_env`] — and let it fall out of scope at
+/// exit. Dropping the guard turns recording back off if this guard turned
+/// it on; write failures are reported on stderr (a failed report must not
+/// fail the run it measured).
+#[must_use = "dropping the guard immediately would end telemetry before the run starts"]
+#[derive(Debug)]
+pub struct Guard {
+    path: Option<String>,
+    owns_enable: bool,
+}
+
+impl Guard {
+    /// Enables recording and arranges for the report to be written to
+    /// `path` when the guard drops.
+    pub fn to_path(path: impl Into<String>) -> Guard {
+        let owns_enable = !enabled();
+        enable();
+        Guard {
+            path: Some(path.into()),
+            owns_enable,
+        }
+    }
+
+    /// Reads `PDF_TELEMETRY`. Set to a path, it behaves like
+    /// [`Guard::to_path`]; unset (or empty, or `0`), the guard is inert
+    /// and recording stays as it was.
+    pub fn from_env() -> Guard {
+        match std::env::var("PDF_TELEMETRY") {
+            Ok(path) if !path.is_empty() && path != "0" => Guard::to_path(path),
+            _ => Guard {
+                path: None,
+                owns_enable: false,
+            },
+        }
+    }
+
+    /// The report destination, if this guard has one.
+    #[must_use]
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            match report().write(path) {
+                Ok(()) => eprintln!("telemetry: run report written to {path}"),
+                Err(e) => eprintln!("telemetry: cannot write {path}: {e}"),
+            }
+        }
+        if self.owns_enable {
+            disable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    /// Telemetry state is process-global: every test that records takes
+    /// this lock first.
+    static SERIAL: TestMutex<()> = TestMutex::new(());
+
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _guard = serialized();
+        reset();
+        disable();
+        {
+            let _s = Span::enter("ignored");
+            count("ignored", 5);
+        }
+        let r = report();
+        assert!(r.spans.is_empty());
+        assert!(r.counters.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate_by_name() {
+        let _guard = serialized();
+        let _ = begin_recording();
+        {
+            let _outer = Span::enter("generate");
+            for _ in 0..3 {
+                let _inner = Span::enter("simulate");
+            }
+            {
+                let _inner = Span::enter("compact");
+                let _deeper = Span::enter("simulate");
+            }
+        }
+        disable();
+        let r = report();
+        let generate = r.span("generate").unwrap();
+        assert_eq!(generate.calls, 1);
+        assert_eq!(generate.children.len(), 2, "{generate:?}");
+        let simulate = &generate.children[0];
+        assert_eq!((simulate.name.as_str(), simulate.calls), ("simulate", 3));
+        let compact = &generate.children[1];
+        assert_eq!(compact.children[0].calls, 1);
+        // Parent time covers child time; everything is nonzero.
+        assert!(generate.seconds >= simulate.seconds);
+        assert!(simulate.seconds > 0.0);
+        // Lookup descends the tree.
+        assert_eq!(r.span("compact").unwrap().name, "compact");
+        assert!(r.span("missing").is_none());
+    }
+
+    #[test]
+    fn sibling_spans_on_worker_threads_become_roots() {
+        let _guard = serialized();
+        let _ = begin_recording();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let _s = Span::enter("worker");
+                });
+            }
+        });
+        disable();
+        let r = report();
+        assert_eq!(r.span("worker").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn counters_are_monotone_and_saturating() {
+        let _guard = serialized();
+        let _ = begin_recording();
+        count("checks", 2);
+        count("checks", 3);
+        let mid = report().counter("checks").unwrap();
+        count("checks", 5);
+        count("checks", u64::MAX);
+        disable();
+        let r = report();
+        assert_eq!(mid, 5);
+        assert_eq!(r.counter("checks"), Some(u64::MAX));
+        assert!(
+            r.counter("checks").unwrap() >= mid,
+            "counters never regress"
+        );
+        assert_eq!(r.counter("never"), None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let _guard = serialized();
+        let _ = begin_recording();
+        {
+            let _outer = Span::enter("enumerate");
+            let _inner = Span::enter("evict");
+        }
+        count(counters::STORE_EVICTIONS, 41);
+        count(counters::SIM_PASSES, 7);
+        disable();
+        let r = report();
+        let text = r.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        // The document is also plain valid JSON.
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn from_json_rejects_non_reports() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("[1, 2]").is_err());
+        assert!(RunReport::from_json("{\"telemetry\": 1}").is_err());
+        assert!(RunReport::from_json(
+            "{\"telemetry\": 1, \"spans\": [{\"calls\": 1}], \"counters\": {}}"
+        )
+        .is_err());
+        assert!(RunReport::from_json(
+            "{\"telemetry\": 1, \"spans\": [], \"counters\": {\"a\": \"b\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn guard_writes_report_and_restores_disabled_state() {
+        let _guard = serialized();
+        reset();
+        disable();
+        let path =
+            std::env::temp_dir().join(format!("pdf-telemetry-test-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+        {
+            let guard = Guard::to_path(path_str.clone());
+            assert_eq!(guard.path(), Some(path_str.as_str()));
+            assert!(enabled());
+            let _s = Span::enter("phase");
+            count("c", 1);
+        }
+        assert!(!enabled(), "guard restores the disabled state");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let r = RunReport::from_json(&text).unwrap();
+        assert!(r.span("phase").is_some());
+        assert_eq!(r.counter("c"), Some(1));
+    }
+
+    #[test]
+    fn reset_discards_stale_span_guards_safely() {
+        let _guard = serialized();
+        let _ = begin_recording();
+        let stale = Span::enter("stale");
+        reset();
+        enable();
+        drop(stale); // generation mismatch: must not misfile or panic
+        {
+            let _fresh = Span::enter("fresh");
+        }
+        disable();
+        let r = report();
+        assert!(r.span("stale").is_none());
+        assert_eq!(r.span("fresh").unwrap().calls, 1);
+    }
+}
