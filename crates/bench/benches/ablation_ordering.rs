@@ -12,10 +12,8 @@ fn bench_ordering(c: &mut Criterion) {
     for compaction in Compaction::ALL {
         group.bench_function(format!("b09/{}", compaction.label()), |b| {
             let config = AtpgConfig {
-                seed: 2002,
                 compaction,
-                justify_attempts: 1,
-                secondary_mode: Default::default(),
+                ..AtpgConfig::default()
             };
             b.iter(|| {
                 BasicAtpg::new(&s.circuit)

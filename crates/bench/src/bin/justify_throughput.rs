@@ -1,0 +1,135 @@
+//! Measures scalar vs packed *justification* throughput on the largest
+//! bundled stand-in and writes the result to `BENCH_justify.json`.
+//!
+//! The figure of merit is *attempts per second*: one attempt is one fully
+//! specified random completion of the necessary-value fixpoint, evaluated
+//! through the requirement cone. The packed backend evaluates 64 of them
+//! per cone simulation; the scalar oracle simulates each individually
+//! (stopping early at the first hit, which the count reflects). Both
+//! backends draw identical random fill words, so they find tests for the
+//! same faults — asserted below.
+//!
+//! Run with `--release`; circuit and workload can be overridden via
+//! `PDF_BENCH_CIRCUIT`, `PDF_BENCH_TESTS` (justification calls here).
+
+use std::time::Instant;
+
+use pdf_atpg::{Justifier, JustifyStats, SimBackend};
+use pdf_bench::setup;
+use pdf_experiments::json::Json;
+
+struct Measured {
+    /// Wall time of the best full run.
+    total_seconds: f64,
+    /// Completion-phase time within that run.
+    completion_seconds: f64,
+    found: usize,
+    stats: JustifyStats,
+}
+
+fn measure(mut f: impl FnMut() -> (usize, JustifyStats, f64)) -> Measured {
+    // One warm-up, then the best of three timed runs.
+    let (found, _, _) = f();
+    let mut best = Measured {
+        total_seconds: f64::INFINITY,
+        completion_seconds: f64::INFINITY,
+        found,
+        stats: JustifyStats::default(),
+    };
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (again, stats, completion_seconds) = f();
+        assert_eq!(again, found, "nondeterministic justification");
+        let total_seconds = start.elapsed().as_secs_f64();
+        if total_seconds < best.total_seconds {
+            best = Measured {
+                total_seconds,
+                completion_seconds,
+                found,
+                stats,
+            };
+        }
+    }
+    best
+}
+
+fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
+    let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
+    let n_calls: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(256);
+
+    let s = setup(&circuit_name, 2_000, 200);
+    let entries: Vec<_> = s.faults.iter().collect();
+    assert!(!entries.is_empty(), "no faults on {circuit_name}");
+    let run = |backend: SimBackend| {
+        let entries = &entries;
+        let circuit = &s.circuit;
+        move || {
+            let mut justifier = Justifier::new(circuit, 3)
+                .with_attempts(4)
+                .with_backend(backend);
+            let mut found = 0usize;
+            for call in 0..n_calls {
+                // Every requirement set is visited twice in a row, so a
+                // healthy cone cache shows a ~50% hit rate.
+                let entry = entries[call / 2 % entries.len()];
+                found += usize::from(justifier.justify(&entry.assignments).is_some());
+            }
+            (found, justifier.stats(), justifier.completion_seconds())
+        }
+    };
+
+    let scalar = measure(run(SimBackend::Scalar));
+    let packed = measure(run(SimBackend::Packed));
+    assert_eq!(scalar.found, packed.found, "backends disagree on outcomes");
+
+    // Attempts/sec of the completion engines themselves; the phases
+    // around them (necessary-value fixpoint, guided fallback) are
+    // backend-independent and would only dilute the comparison.
+    let scalar_rate = scalar.stats.completion_attempts as f64 / scalar.completion_seconds;
+    let packed_rate = packed.stats.completion_attempts as f64 / packed.completion_seconds;
+    let speedup = packed_rate / scalar_rate;
+    let cache_total = packed.stats.cone_hits + packed.stats.cone_misses;
+    let hit_rate = packed.stats.cone_hits as f64 / cache_total.max(1) as f64;
+    println!(
+        "justify_throughput {circuit_name}: {n_calls} calls, {} justified; \
+         scalar {scalar_rate:.3e} attempts/s, packed {packed_rate:.3e} attempts/s, \
+         speedup {speedup:.1}x, cone-cache hit rate {:.0}%, \
+         end-to-end {:.2}s -> {:.2}s",
+        packed.found,
+        hit_rate * 100.0,
+        scalar.total_seconds,
+        packed.total_seconds,
+    );
+
+    let backend_json = |m: &Measured| {
+        Json::object()
+            .field("seconds", m.completion_seconds)
+            .field("total_seconds", m.total_seconds)
+            .field("attempts", m.stats.completion_attempts)
+            .field(
+                "attempts_per_sec",
+                m.stats.completion_attempts as f64 / m.completion_seconds,
+            )
+    };
+    let report = Json::object()
+        .field("circuit", circuit_name.as_str())
+        .field("lines", s.circuit.line_count())
+        .field("calls", n_calls)
+        .field("justified", packed.found)
+        .field("scalar", backend_json(&scalar))
+        .field(
+            "packed",
+            backend_json(&packed).field("blocks", packed.stats.packed_blocks),
+        )
+        .field("speedup", speedup)
+        .field(
+            "cone_cache",
+            Json::object()
+                .field("hits", packed.stats.cone_hits)
+                .field("misses", packed.stats.cone_misses)
+                .field("hit_rate", hit_rate),
+        );
+    std::fs::write("BENCH_justify.json", report.to_pretty())
+        .expect("cannot write BENCH_justify.json");
+}

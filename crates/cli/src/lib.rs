@@ -35,8 +35,8 @@ COMMANDS:
     faults    <circuit> [--cap N] [--limit N]
                                      the detectable fault population and A(p) sets
     atpg      <circuit> [--cap N] [--np0 N] [--heuristic uncomp|arbit|length|values]
-                        [--seed S] [--attempts N] [--enrich] [--minimize]
-                        [--output FILE] [--telemetry FILE]
+                        [--seed S] [--attempts N] [--cone-cache N] [--enrich]
+                        [--minimize] [--output FILE] [--telemetry FILE]
                                      generate a (optionally enriched) robust test set
     sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
     dot       <circuit>              Graphviz export
@@ -318,11 +318,14 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
     let n_p0: usize = options.parsed("np0", 1_000)?;
     let seed: u64 = options.parsed("seed", 2002)?;
     let attempts: u32 = options.parsed("attempts", 1)?;
+    let cone_cache: usize = options.parsed("cone-cache", pdf_atpg::DEFAULT_CONE_CACHE)?;
     let config = AtpgConfig {
         seed,
         compaction: heuristic_from(options)?,
         justify_attempts: attempts,
         secondary_mode: Default::default(),
+        backend,
+        cone_cache,
     };
 
     let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
@@ -482,6 +485,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "heuristic",
                     "seed",
                     "attempts",
+                    "cone-cache",
                     "output",
                     "telemetry",
                 ],

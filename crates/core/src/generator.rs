@@ -15,7 +15,9 @@ use pdf_faults::{Assignments, FaultEntry, FaultList};
 use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineId, SplitMix64};
 
-use crate::{Justified, Justifier, JustifyStats, TargetSplit, TestSet};
+use pdf_sim::SimBackend;
+
+use crate::{Justified, Justifier, JustifyStats, TargetSplit, TestSet, DEFAULT_CONE_CACHE};
 
 /// The compaction heuristic used to order primary and secondary targets
 /// (paper Sec. 2.2).
@@ -95,11 +97,18 @@ pub struct AtpgConfig {
     pub seed: u64,
     /// The compaction heuristic.
     pub compaction: Compaction,
-    /// Randomized attempts per justification call (the paper uses one; a
-    /// few more trade run time for fewer random misses).
+    /// Randomized 64-lane completion blocks per justification call (the
+    /// paper uses one attempt; a few more blocks trade run time for fewer
+    /// random misses).
     pub justify_attempts: u32,
     /// How secondary targets extend the test under construction.
     pub secondary_mode: SecondaryMode,
+    /// The simulation backend the justifier evaluates completion blocks
+    /// with. Coverage per set is backend-independent for a fixed seed.
+    pub backend: SimBackend,
+    /// Capacity of the justifier's cone-topology LRU cache (entries);
+    /// `0` disables caching.
+    pub cone_cache: usize,
 }
 
 impl Default for AtpgConfig {
@@ -109,6 +118,8 @@ impl Default for AtpgConfig {
             compaction: Compaction::ValueBased,
             justify_attempts: 1,
             secondary_mode: SecondaryMode::default(),
+            backend: SimBackend::default(),
+            cone_cache: DEFAULT_CONE_CACHE,
         }
     }
 }
@@ -353,7 +364,10 @@ impl<'c, 'f> Session<'c, 'f> {
                 primary_order.swap(i, j);
             }
         }
-        let justifier = Justifier::new(circuit, config.seed).with_attempts(config.justify_attempts);
+        let justifier = Justifier::new(circuit, config.seed)
+            .with_attempts(config.justify_attempts)
+            .with_backend(config.backend)
+            .with_cone_cache(config.cone_cache);
         Session {
             circuit,
             config,
@@ -602,10 +616,11 @@ mod tests {
 
     fn config(compaction: Compaction) -> AtpgConfig {
         AtpgConfig {
-            seed: 2002,
             compaction,
-            justify_attempts: 1,
-            secondary_mode: Default::default(),
+            // Run the whole generator suite under the backend of the CI
+            // leg (`PDF_SIM_BACKEND`), not just the default.
+            backend: SimBackend::from_env().expect("PDF_SIM_BACKEND must parse"),
+            ..AtpgConfig::default()
         }
     }
 
@@ -703,6 +718,45 @@ mod tests {
             enriched_p0 + 2 >= basic_p0,
             "enriched {enriched_p0} vs basic {basic_p0}"
         );
+    }
+
+    #[test]
+    fn enrichment_coverage_is_backend_independent() {
+        // Both completion engines draw the same random fill words per
+        // block, so for equal seeds the whole multi-set run — tests,
+        // per-set detections, everything — is backend-independent. The
+        // acceptance bar is per-set coverage; test identity is stronger
+        // and currently holds.
+        let synth = pdf_netlist::stand_in_profile("b09")
+            .expect("known stand-in")
+            .generate()
+            .to_circuit()
+            .expect("combinational");
+        for c in [s27(), synth] {
+            let paths = PathEnumerator::new(&c).with_cap(400).enumerate();
+            let (faults, _) = FaultList::build(&c, &paths.store);
+            let split = TargetSplit::by_cumulative_length(&faults, faults.len() / 4);
+            let run = |backend| {
+                EnrichmentAtpg::new(&c)
+                    .with_config(AtpgConfig {
+                        backend,
+                        justify_attempts: 2,
+                        ..AtpgConfig::default()
+                    })
+                    .run(&split)
+            };
+            let scalar = run(SimBackend::Scalar);
+            let packed = run(SimBackend::Packed);
+            for set in 0..2 {
+                assert_eq!(
+                    scalar.detected_in_set(set),
+                    packed.detected_in_set(set),
+                    "set {set}"
+                );
+            }
+            assert_eq!(scalar.detected(), packed.detected());
+            assert_eq!(scalar.tests().tests(), packed.tests().tests());
+        }
     }
 
     #[test]

@@ -10,24 +10,37 @@
 //!    *violate* a requirement (specified-vs-specified mismatch), the other
 //!    value is assigned permanently; if both conflict, justification
 //!    fails;
-//! 3. when no necessary values remain, a **decision** is made: an input
-//!    with exactly one specified pattern value is stabilized (the value is
-//!    copied to the other pattern and the intermediate position), else a
-//!    random unspecified position of a random input is set to a random
-//!    value — then step 2 repeats;
-//! 4. when every relevant input is specified, the waveforms are simulated
-//!    once more and the requirements checked for full *satisfaction*
-//!    (hazard-freeness included). Inputs outside the requirements' cone
-//!    are filled randomly.
+//! 3. **random completion**: the surviving free positions are filled with
+//!    random values, [`pdf_sim::LANES`] (= 64) complete candidate tests at
+//!    a time, and the whole block is simulated through the requirement
+//!    cone in one pass — on the packed backend as a single bit-plane
+//!    sweep, on the scalar oracle as 64 individual cone simulations over
+//!    the *same* random fill words. The lowest lane whose waveforms
+//!    satisfy every requirement (hazard-freeness included) becomes the
+//!    witness, so both backends return the same test;
+//! 4. if no completion block hits, the paper's **guided decision search**
+//!    runs as a fallback: an input with exactly one specified pattern
+//!    value is stabilized, else a random unspecified position of a random
+//!    input is set to a random value — then step 2 repeats until the test
+//!    is fully specified or a conflict proves the union unjustifiable.
 //!
 //! The implementation restricts simulation to the fanin cone of the
 //! constrained lines — a pure optimization: inputs outside the cone cannot
 //! produce or resolve conflicts, exactly as in the paper where they end up
-//! randomly specified.
+//! randomly specified. Cone topologies are memoized in an LRU keyed by the
+//! requirement line-set, so the repeated secondary-candidate trials of a
+//! generation session stop rebuilding the same reachability lists.
+
+use std::collections::HashMap;
+use std::rc::Rc;
 
 use pdf_faults::Assignments;
 use pdf_logic::{Triple, Value};
 use pdf_netlist::{Circuit, LineId, LineKind, SplitMix64, TwoPattern};
+use pdf_sim::{PackedBlock, SimBackend, LANES};
+
+/// Default capacity (entries) of the cone-topology LRU cache.
+pub const DEFAULT_CONE_CACHE: usize = 64;
 
 /// A successful justification: a fully specified two-pattern test plus the
 /// full-circuit waveforms it induces.
@@ -56,14 +69,32 @@ pub struct JustifyStats {
     pub conflicts: usize,
     /// Calls that failed the final hazard/satisfaction check.
     pub unsatisfied: usize,
-    /// Cone simulations performed (the dominant cost).
+    /// Cone simulations performed (a packed 64-lane block counts as one).
     pub simulations: usize,
+    /// Random completions evaluated. The packed backend evaluates all 64
+    /// lanes of a block at once; the scalar oracle stops at the first
+    /// satisfying lane, so its count can be lower for the same calls.
+    pub completion_attempts: usize,
+    /// 64-lane bit-plane completion blocks simulated (packed backend).
+    pub packed_blocks: usize,
+    /// Calls resolved by a random-completion lane rather than the guided
+    /// decision search.
+    pub lane_hits: usize,
+    /// Cone topologies served from the LRU cache.
+    pub cone_hits: usize,
+    /// Cone topologies built from scratch.
+    pub cone_misses: usize,
 }
 
 /// The simulation-based justification engine.
 ///
 /// The engine owns a deterministic RNG: two engines created with the same
-/// seed and fed the same call sequence produce identical tests.
+/// seed and fed the same call sequence produce identical tests. The random
+/// fill words of the completion phase are drawn identically under both
+/// [`SimBackend`]s, so for a fixed seed the scalar oracle and the packed
+/// kernel also agree call by call — on justifiability always, and on the
+/// witness itself in the current implementation (only the former is
+/// contractual; see `DESIGN.md` §10).
 ///
 /// # Example
 ///
@@ -88,31 +119,59 @@ pub struct Justifier<'c> {
     circuit: &'c Circuit,
     rng: SplitMix64,
     attempts: u32,
+    backend: SimBackend,
     stats: JustifyStats,
     /// Scratch waveform buffer, one slot per line.
     scratch: Vec<Triple>,
+    /// Reusable bit-plane arena for packed completion blocks.
+    packed: PackedBlock,
+    cones: ConeCache,
+    /// Wall time spent inside completion blocks (phase 2 only).
+    completion: std::time::Duration,
 }
 
 impl<'c> Justifier<'c> {
-    /// Creates a justifier with the given RNG seed and a single attempt
-    /// per call (the paper's behaviour).
+    /// Creates a justifier with the given RNG seed, a single completion
+    /// block per call, the default packed backend and the default cone
+    /// cache ([`DEFAULT_CONE_CACHE`]).
     #[must_use]
     pub fn new(circuit: &'c Circuit, seed: u64) -> Justifier<'c> {
         Justifier {
             circuit,
             rng: SplitMix64::new(seed),
             attempts: 1,
+            backend: SimBackend::default(),
             stats: JustifyStats::default(),
             scratch: vec![Triple::UNKNOWN; circuit.line_count()],
+            packed: PackedBlock::new(),
+            cones: ConeCache::new(DEFAULT_CONE_CACHE),
+            completion: std::time::Duration::ZERO,
         }
     }
 
-    /// Sets the number of randomized attempts per call (≥ 1). More
-    /// attempts trade run time for fewer random misses — the paper notes
-    /// such misses as the source of its run-to-run variation.
+    /// Sets the number of 64-lane random-completion blocks per call
+    /// (≥ 1). More blocks trade run time for fewer random misses — the
+    /// paper notes such misses as the source of its run-to-run variation.
     #[must_use]
     pub fn with_attempts(mut self, attempts: u32) -> Justifier<'c> {
         self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Selects the engine evaluating completion blocks: the packed
+    /// bit-plane kernel (default) or the scalar oracle. Both agree on
+    /// justifiability for equal seeds; drivers map `PDF_SIM_BACKEND` here.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> Justifier<'c> {
+        self.backend = backend;
+        self
+    }
+
+    /// Resizes the cone-topology LRU (entries); `0` disables caching.
+    /// Drivers map `PDF_CONE_CACHE` here.
+    #[must_use]
+    pub fn with_cone_cache(mut self, capacity: usize) -> Justifier<'c> {
+        self.cones = ConeCache::new(capacity);
         self
     }
 
@@ -120,6 +179,16 @@ impl<'c> Justifier<'c> {
     #[must_use]
     pub fn stats(&self) -> JustifyStats {
         self.stats
+    }
+
+    /// Wall time spent evaluating random-completion blocks, across all
+    /// calls. [`JustifyStats::completion_attempts`] divided by this is the
+    /// completion engine's throughput — the phases around it (the
+    /// necessary-value fixpoint, the guided fallback) are
+    /// backend-independent and excluded.
+    #[must_use]
+    pub fn completion_seconds(&self) -> f64 {
+        self.completion.as_secs_f64()
     }
 
     /// Searches for a fully specified two-pattern test satisfying `req`.
@@ -143,85 +212,201 @@ impl<'c> Justifier<'c> {
         req: &Assignments,
         frozen: &[(LineId, Value, Value)],
     ) -> Option<Justified> {
+        let _span = pdf_telemetry::Span::enter("justify");
         self.stats.calls += 1;
-        let cone = Cone::build(self.circuit, req);
-        for attempt in 0..self.attempts {
-            if attempt > 0 {
-                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_RETRIES, 1);
-            }
-            if let Some(result) = self.attempt(req, &cone, frozen) {
-                self.stats.successes += 1;
-                return Some(result);
-            }
-        }
-        None
-    }
-
-    fn attempt(
-        &mut self,
-        req: &Assignments,
-        cone: &Cone,
-        frozen: &[(LineId, Value, Value)],
-    ) -> Option<Justified> {
-        let n = cone.pis.len();
+        let cone = self.cone(req);
+        let n = cone.topo.pis.len();
         // (first, last) value per cone PI.
         let mut state: Vec<(Value, Value)> = vec![(Value::X, Value::X); n];
         for &(line, v1, v2) in frozen {
-            if let Some(k) = cone.pis.iter().position(|&p| p == line) {
+            if let Some(k) = cone.topo.pis.iter().position(|&p| p == line) {
                 state[k] = (v1, v2);
             }
         }
         // Establish the scratch invariant: scratch = simulation of `state`.
-        self.sim_cone(cone, &state);
+        self.sim_cone(&cone, &state);
         self.stats.simulations += 1;
 
+        // Phase 1 — the necessary-value fixpoint. Purely deterministic,
+        // shared by both backends.
+        if !self.fixpoint(&cone, &mut state) {
+            self.stats.conflicts += 1;
+            return None;
+        }
+        if fully_specified(&state) {
+            if req.satisfied_by(&self.scratch) {
+                self.stats.successes += 1;
+                return Some(self.finish(&cone, &state));
+            }
+            self.stats.unsatisfied += 1;
+            return None;
+        }
+
+        // Phase 2 — random completion, 64 candidates per cone simulation.
+        // Both backends draw the same fill words (one u64 per free slot,
+        // bit j = lane j) and take the lowest satisfying lane, so the
+        // outcome is backend-independent.
+        let open: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..2).map(move |pos| (i, pos)))
+            .filter(|&(i, pos)| !pick(&state[i], pos).is_specified())
+            .collect();
+        let mut fills = vec![0u64; open.len()];
+        for block in 0..self.attempts {
+            if block > 0 {
+                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_RETRIES, 1);
+            }
+            for w in &mut fills {
+                *w = self.rng.next_u64();
+            }
+            if let Some(lane) = self.completion_block(req, &cone, &state, &open, &fills) {
+                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_LANE_HITS, 1);
+                self.stats.lane_hits += 1;
+                let mut full = state;
+                for (k, &(i, pos)) in open.iter().enumerate() {
+                    set(&mut full[i], pos, Value::from(fills[k] >> lane & 1 == 1));
+                }
+                self.stats.successes += 1;
+                return Some(self.finish(&cone, &full));
+            }
+        }
+
+        // Phase 3 — the paper's guided decision search, resumed from the
+        // fixpoint state: insurance for requirements whose satisfying set
+        // is too sparse for random completion to hit.
+        self.sim_cone(&cone, &state); // restore the scratch invariant
+        self.stats.simulations += 1;
+        self.guided(req, &cone, state)
+    }
+
+    /// Builds (or fetches) the cone of `req` and projects the requirement
+    /// triples onto its per-input reachability lists.
+    fn cone(&mut self, req: &Assignments) -> Cone {
+        let topo = self.cones.topo(self.circuit, req, &mut self.stats);
+        Cone::project(topo, req)
+    }
+
+    /// Runs the necessary-value analysis to its fixpoint. Returns `false`
+    /// on a both-values conflict (the requirements are unjustifiable).
+    /// Maintains the scratch invariant.
+    fn fixpoint(&mut self, cone: &Cone, state: &mut [(Value, Value)]) -> bool {
+        let n = cone.topo.pis.len();
         loop {
-            // Necessary-value fixpoint.
-            loop {
-                let mut assigned = false;
-                for i in 0..n {
-                    for pos in 0..2 {
-                        if pick(&state[i], pos).is_specified() {
-                            continue;
+            let mut assigned = false;
+            for i in 0..n {
+                for pos in 0..2 {
+                    if pick(&state[i], pos).is_specified() {
+                        continue;
+                    }
+                    let zero_bad = self.violates(cone, state, i, pos, Value::Zero);
+                    let one_bad = self.violates(cone, state, i, pos, Value::One);
+                    match (zero_bad, one_bad) {
+                        (true, true) => return false,
+                        (true, false) => {
+                            set(&mut state[i], pos, Value::One);
+                            self.apply(cone, state, i);
+                            assigned = true;
                         }
-                        let zero_bad = self.violates(cone, &mut state, i, pos, Value::Zero);
-                        let one_bad = self.violates(cone, &mut state, i, pos, Value::One);
-                        match (zero_bad, one_bad) {
-                            (true, true) => {
-                                self.stats.conflicts += 1;
-                                return None;
-                            }
-                            (true, false) => {
-                                set(&mut state[i], pos, Value::One);
-                                self.apply(cone, &state, i);
-                                assigned = true;
-                            }
-                            (false, true) => {
-                                set(&mut state[i], pos, Value::Zero);
-                                self.apply(cone, &state, i);
-                                assigned = true;
-                            }
-                            (false, false) => {}
+                        (false, true) => {
+                            set(&mut state[i], pos, Value::Zero);
+                            self.apply(cone, state, i);
+                            assigned = true;
                         }
+                        (false, false) => {}
                     }
                 }
-                if !assigned {
-                    break;
-                }
             }
-
-            // All specified? Final satisfaction check.
-            if state
-                .iter()
-                .all(|s| s.0.is_specified() && s.1.is_specified())
-            {
-                if req.satisfied_by(&self.scratch) {
-                    return Some(self.finish(cone, &state));
-                }
-                self.stats.unsatisfied += 1;
-                return None;
+            if !assigned {
+                return true;
             }
+        }
+    }
 
+    /// Evaluates one block of 64 random completions of `state` (free
+    /// slots filled from `fills`: bit `j` of `fills[k]` is lane `j`'s
+    /// value for `open[k]`). Returns the lowest lane satisfying `req`.
+    fn completion_block(
+        &mut self,
+        req: &Assignments,
+        cone: &Cone,
+        state: &[(Value, Value)],
+        open: &[(usize, usize)],
+        fills: &[u64],
+    ) -> Option<usize> {
+        let start = std::time::Instant::now();
+        let lane = self.completion_block_inner(req, cone, state, open, fills);
+        self.completion += start.elapsed();
+        lane
+    }
+
+    fn completion_block_inner(
+        &mut self,
+        req: &Assignments,
+        cone: &Cone,
+        state: &[(Value, Value)],
+        open: &[(usize, usize)],
+        fills: &[u64],
+    ) -> Option<usize> {
+        match self.backend {
+            SimBackend::Packed => {
+                self.stats.packed_blocks += 1;
+                self.stats.completion_attempts += LANES;
+                self.stats.simulations += 1;
+                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_PACKED_BLOCKS, 1);
+                // Broadcast the committed values across all lanes, then
+                // overwrite the free slots with their per-lane fill rails.
+                let mut first: Vec<(u64, u64)> = state.iter().map(|s| broadcast(s.0)).collect();
+                let mut last: Vec<(u64, u64)> = state.iter().map(|s| broadcast(s.1)).collect();
+                for (k, &(i, pos)) in open.iter().enumerate() {
+                    let rails = (!fills[k], fills[k]);
+                    if pos == 0 {
+                        first[i] = rails;
+                    } else {
+                        last[i] = rails;
+                    }
+                }
+                self.packed.begin_block(self.circuit);
+                for (k, &pi) in cone.topo.pis.iter().enumerate() {
+                    self.packed.set_input_rails(pi, first[k], last[k]);
+                }
+                self.packed.propagate_over(self.circuit, &cone.topo.order);
+                let lanes = self.packed.satisfied_lanes(req);
+                (lanes != 0).then(|| lanes.trailing_zeros() as usize)
+            }
+            SimBackend::Scalar => {
+                // The oracle: the same 64 candidates, one cone simulation
+                // each, stopping at the first satisfying lane.
+                let mut lane_state = state.to_vec();
+                for lane in 0..LANES {
+                    for (k, &(i, pos)) in open.iter().enumerate() {
+                        set(
+                            &mut lane_state[i],
+                            pos,
+                            Value::from(fills[k] >> lane & 1 == 1),
+                        );
+                    }
+                    self.sim_cone(cone, &lane_state);
+                    self.stats.simulations += 1;
+                    self.stats.completion_attempts += 1;
+                    if req.satisfied_by(&self.scratch) {
+                        return Some(lane);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The guided decision search (paper steps 2–4), entered with the
+    /// necessary-value fixpoint already reached and the scratch invariant
+    /// holding for `state`.
+    fn guided(
+        &mut self,
+        req: &Assignments,
+        cone: &Cone,
+        mut state: Vec<(Value, Value)>,
+    ) -> Option<Justified> {
+        let n = cone.topo.pis.len();
+        loop {
             // Decision: stabilize a half-specified input if one exists...
             let decided = if let Some(i) = state
                 .iter()
@@ -254,6 +439,18 @@ impl<'c> Justifier<'c> {
                 self.stats.conflicts += 1;
                 return None;
             }
+            if !self.fixpoint(cone, &mut state) {
+                self.stats.conflicts += 1;
+                return None;
+            }
+            if fully_specified(&state) {
+                if req.satisfied_by(&self.scratch) {
+                    self.stats.successes += 1;
+                    return Some(self.finish(cone, &state));
+                }
+                self.stats.unsatisfied += 1;
+                return None;
+            }
         }
     }
 
@@ -275,13 +472,13 @@ impl<'c> Justifier<'c> {
         set(&mut state[pi], pos, value);
         self.stats.simulations += 1;
 
-        let pi_line = cone.pis[pi];
+        let pi_line = cone.topo.pis[pi];
         let mut undo: Vec<(u32, Triple)> = Vec::with_capacity(16);
         let old = self.scratch[pi_line.index()];
         let new = Triple::from_patterns(state[pi].0, state[pi].1);
         undo.push((pi_line.index() as u32, old));
         self.scratch[pi_line.index()] = new;
-        for &id in &cone.reach[pi] {
+        for &id in &cone.topo.reach[pi] {
             let line = self.circuit.line(id);
             let new = match line.kind() {
                 LineKind::Input => unreachable!("reach lists exclude inputs"),
@@ -310,9 +507,9 @@ impl<'c> Justifier<'c> {
     /// `pi` changed.
     fn apply(&mut self, cone: &Cone, state: &[(Value, Value)], pi: usize) {
         self.stats.simulations += 1;
-        let pi_line = cone.pis[pi];
+        let pi_line = cone.topo.pis[pi];
         self.scratch[pi_line.index()] = Triple::from_patterns(state[pi].0, state[pi].1);
-        for &id in &cone.reach[pi] {
+        for &id in &cone.topo.reach[pi] {
             let line = self.circuit.line(id);
             self.scratch[id.index()] = match line.kind() {
                 LineKind::Input => unreachable!("reach lists exclude inputs"),
@@ -327,10 +524,10 @@ impl<'c> Justifier<'c> {
     /// Simulates the whole cone into the scratch buffer (out-of-cone lines
     /// stay unknown).
     fn sim_cone(&mut self, cone: &Cone, state: &[(Value, Value)]) {
-        for (k, &pi) in cone.pis.iter().enumerate() {
+        for (k, &pi) in cone.topo.pis.iter().enumerate() {
             self.scratch[pi.index()] = Triple::from_patterns(state[k].0, state[k].1);
         }
-        for &id in &cone.order {
+        for &id in &cone.topo.order {
             let line = self.circuit.line(id);
             self.scratch[id.index()] = match line.kind() {
                 LineKind::Input => continue,
@@ -348,7 +545,7 @@ impl<'c> Justifier<'c> {
         let mut v1 = vec![Value::X; inputs.len()];
         let mut v2 = vec![Value::X; inputs.len()];
         for (slot, &input) in inputs.iter().enumerate() {
-            if let Some(k) = cone.pis.iter().position(|&p| p == input) {
+            if let Some(k) = cone.topo.pis.iter().position(|&p| p == input) {
                 v1[slot] = state[k].0;
                 v2[slot] = state[k].1;
             } else {
@@ -359,6 +556,7 @@ impl<'c> Justifier<'c> {
         let test = TwoPattern::new(v1, v2);
         let waves = pdf_netlist::simulate_triples(self.circuit, &test.to_triples());
         let assignment = cone
+            .topo
             .pis
             .iter()
             .zip(state)
@@ -390,9 +588,28 @@ fn set(s: &mut (Value, Value), pos: usize, v: Value) {
     }
 }
 
-/// The fanin cone of a requirement set, with per-input forward
-/// reachability for incremental simulation.
-struct Cone {
+#[inline]
+fn fully_specified(state: &[(Value, Value)]) -> bool {
+    state
+        .iter()
+        .all(|s| s.0.is_specified() && s.1.is_specified())
+}
+
+/// A committed value as 64-lane `(zero_rail, one_rail)` broadcast words.
+#[inline]
+fn broadcast(v: Value) -> (u64, u64) {
+    match v {
+        Value::Zero => (u64::MAX, 0),
+        Value::One => (0, u64::MAX),
+        Value::X => (0, 0),
+    }
+}
+
+/// The requirement-independent topology of a fanin cone: every
+/// requirement set over the same line-set shares one of these through the
+/// justifier's LRU cache.
+#[derive(Debug)]
+struct ConeTopo {
     /// Cone lines in circuit topological order (inputs included).
     order: Vec<LineId>,
     /// The cone's primary inputs, in input order.
@@ -400,13 +617,10 @@ struct Cone {
     /// For each cone input: the non-input cone lines it reaches, in
     /// topological order.
     reach: Vec<Vec<LineId>>,
-    /// For each cone input: the requirement lines it reaches, paired with
-    /// their required triples.
-    reach_req: Vec<Vec<(LineId, Triple)>>,
 }
 
-impl Cone {
-    fn build(circuit: &Circuit, req: &Assignments) -> Cone {
+impl ConeTopo {
+    fn build(circuit: &Circuit, req: &Assignments) -> ConeTopo {
         let mut member = vec![false; circuit.line_count()];
         let mut stack: Vec<LineId> = req.lines().collect();
         for &l in &stack {
@@ -440,7 +654,6 @@ impl Cone {
         }
 
         let mut reach = Vec::with_capacity(pis.len());
-        let mut reach_req = Vec::with_capacity(pis.len());
         let mut seen = vec![false; circuit.line_count()];
         for &pi in &pis {
             let mut lines: Vec<LineId> = Vec::new();
@@ -460,19 +673,94 @@ impl Cone {
             }
             seen[pi.index()] = false;
             lines.sort_unstable_by_key(|l| pos[l.index()]);
-            let reqs: Vec<(LineId, Triple)> = std::iter::once(pi)
-                .chain(lines.iter().copied())
-                .filter_map(|l| req.get(l).map(|r| (l, r)))
-                .collect();
             reach.push(lines);
-            reach_req.push(reqs);
         }
-        Cone {
-            order,
-            pis,
-            reach,
-            reach_req,
+        ConeTopo { order, pis, reach }
+    }
+}
+
+/// A cone instantiated for one requirement set: the (possibly cached)
+/// topology plus the requirement triples projected onto each input's
+/// reachability list.
+#[derive(Debug)]
+struct Cone {
+    topo: Rc<ConeTopo>,
+    /// For each cone input: the requirement lines it reaches, paired with
+    /// their required triples.
+    reach_req: Vec<Vec<(LineId, Triple)>>,
+}
+
+impl Cone {
+    fn project(topo: Rc<ConeTopo>, req: &Assignments) -> Cone {
+        let reach_req = topo
+            .pis
+            .iter()
+            .zip(&topo.reach)
+            .map(|(&pi, lines)| {
+                std::iter::once(pi)
+                    .chain(lines.iter().copied())
+                    .filter_map(|l| req.get(l).map(|r| (l, r)))
+                    .collect()
+            })
+            .collect();
+        Cone { topo, reach_req }
+    }
+}
+
+/// An LRU over cone topologies, keyed by the requirement line-set (the
+/// topology depends on nothing else). Eviction is deterministic: the
+/// entry with the oldest last-use tick goes first.
+#[derive(Clone, Debug)]
+struct ConeCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<Box<[u32]>, (u64, Rc<ConeTopo>)>,
+}
+
+impl ConeCache {
+    fn new(capacity: usize) -> ConeCache {
+        ConeCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
         }
+    }
+
+    fn topo(
+        &mut self,
+        circuit: &Circuit,
+        req: &Assignments,
+        stats: &mut JustifyStats,
+    ) -> Rc<ConeTopo> {
+        if self.capacity == 0 {
+            stats.cone_misses += 1;
+            pdf_telemetry::count(pdf_telemetry::counters::CONE_CACHE_MISS, 1);
+            return Rc::new(ConeTopo::build(circuit, req));
+        }
+        let key: Box<[u32]> = req.lines().map(|l| l.index() as u32).collect();
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((t, topo)) = self.entries.get_mut(&key) {
+            *t = tick;
+            stats.cone_hits += 1;
+            pdf_telemetry::count(pdf_telemetry::counters::CONE_CACHE_HIT, 1);
+            return Rc::clone(topo);
+        }
+        stats.cone_misses += 1;
+        pdf_telemetry::count(pdf_telemetry::counters::CONE_CACHE_MISS, 1);
+        let topo = Rc::new(ConeTopo::build(circuit, req));
+        if self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = oldest {
+                self.entries.remove(&k);
+            }
+        }
+        self.entries.insert(key, (tick, Rc::clone(&topo)));
+        topo
     }
 }
 
@@ -492,12 +780,18 @@ mod tests {
         PathDelayFault::new(path, pol)
     }
 
+    /// The backend the test process runs under (`PDF_SIM_BACKEND`), so the
+    /// CI scalar/packed legs exercise both completion engines.
+    fn env_backend() -> SimBackend {
+        SimBackend::from_env().expect("PDF_SIM_BACKEND must parse")
+    }
+
     #[test]
     fn justifies_paper_example() {
         let c = s27();
         let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
         let a = robust_assignments(&c, &f).unwrap();
-        let mut j = Justifier::new(&c, 42);
+        let mut j = Justifier::new(&c, 42).with_backend(env_backend());
         let r = j.justify(&a).expect("testable fault");
         assert!(r.test.is_fully_specified());
         assert!(a.satisfied_by(&r.waves));
@@ -512,9 +806,109 @@ mod tests {
             Polarity::SlowToRise,
         );
         let a = robust_assignments(&c, &f).unwrap();
-        let r1 = Justifier::new(&c, 7).justify(&a).unwrap();
-        let r2 = Justifier::new(&c, 7).justify(&a).unwrap();
-        assert_eq!(r1.test, r2.test);
+        for backend in SimBackend::ALL {
+            let r1 = Justifier::new(&c, 7)
+                .with_backend(backend)
+                .justify(&a)
+                .unwrap();
+            let r2 = Justifier::new(&c, 7)
+                .with_backend(backend)
+                .justify(&a)
+                .unwrap();
+            assert_eq!(r1.test, r2.test, "{backend}");
+        }
+    }
+
+    #[test]
+    fn justify_seeded_is_deterministic_per_seed_and_backend() {
+        // The freeze-values entry point: same seed + same frozen pins must
+        // reproduce the same witness, per backend.
+        let c = s27();
+        let f1 = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let f2 = s27_fault(&[1, 8, 12, 25], Polarity::SlowToRise);
+        let a1 = robust_assignments(&c, &f1).unwrap();
+        let a2 = robust_assignments(&c, &f2).unwrap();
+        let merged = a1.merged(&a2).expect("compatible requirements");
+        for backend in SimBackend::ALL {
+            let run = || {
+                let mut j = Justifier::new(&c, 11).with_backend(backend);
+                let first = j.justify(&a1)?;
+                let r = j.justify_seeded(&merged, &first.assignment)?;
+                Some((first.test, r.test))
+            };
+            assert_eq!(run(), run(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_justifiability_and_witness() {
+        // Equal seeds draw equal completion fill words, so the scalar
+        // oracle and the packed kernel resolve every call identically.
+        let c = s27();
+        let paths = pdf_paths::PathEnumerator::new(&c)
+            .with_cap(100_000)
+            .enumerate();
+        let (faults, _) = pdf_faults::FaultList::build(&c, &paths.store);
+        let mut scalar = Justifier::new(&c, 19).with_backend(SimBackend::Scalar);
+        let mut packed = Justifier::new(&c, 19).with_backend(SimBackend::Packed);
+        for e in faults.iter() {
+            let s = scalar.justify(&e.assignments);
+            let p = packed.justify(&e.assignments);
+            assert_eq!(s.is_some(), p.is_some(), "{}", e.fault);
+            if let (Some(s), Some(p)) = (s, p) {
+                assert_eq!(s.test, p.test, "{}", e.fault);
+                // Every packed witness passes the scalar re-check.
+                assert!(!e.assignments.violated_by(&p.waves));
+                assert!(e.assignments.satisfied_by(&p.waves));
+            }
+        }
+        assert_eq!(scalar.stats().successes, packed.stats().successes);
+        assert!(packed.stats().packed_blocks > 0);
+        assert_eq!(scalar.stats().packed_blocks, 0);
+    }
+
+    #[test]
+    fn cone_cache_hits_on_repeated_requirements() {
+        let c = s27();
+        let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let mut j = Justifier::new(&c, 1).with_backend(env_backend());
+        let _ = j.justify(&a);
+        let _ = j.justify(&a);
+        let _ = j.justify(&a);
+        assert_eq!(j.stats().cone_misses, 1);
+        assert_eq!(j.stats().cone_hits, 2);
+
+        // Capacity 0 disables the cache entirely.
+        let mut uncached = Justifier::new(&c, 1).with_cone_cache(0);
+        let _ = uncached.justify(&a);
+        let _ = uncached.justify(&a);
+        assert_eq!(uncached.stats().cone_hits, 0);
+        assert_eq!(uncached.stats().cone_misses, 2);
+    }
+
+    #[test]
+    fn cone_cache_evicts_deterministically_under_pressure() {
+        let c = s27();
+        let paths = pdf_paths::PathEnumerator::new(&c)
+            .with_cap(100_000)
+            .enumerate();
+        let (faults, _) = pdf_faults::FaultList::build(&c, &paths.store);
+        // A 2-entry cache over many distinct line-sets: plenty of misses,
+        // but behaviour (and hence RNG use) stays deterministic.
+        let run = || {
+            let mut j = Justifier::new(&c, 23).with_cone_cache(2);
+            let tests: Vec<Option<TwoPattern>> = faults
+                .iter()
+                .map(|e| j.justify(&e.assignments).map(|r| r.test))
+                .collect();
+            (tests, j.stats())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        assert!(s1.cone_misses > 2);
     }
 
     #[test]
@@ -525,21 +919,24 @@ mod tests {
         let mut req = pdf_faults::Assignments::new();
         req.require(line(1), Triple::STABLE1).unwrap();
         req.require(line(8), Triple::STABLE1).unwrap();
-        let mut j = Justifier::new(&c, 3);
+        let mut j = Justifier::new(&c, 3).with_backend(env_backend());
         assert!(j.justify(&req).is_none());
         assert!(j.stats().conflicts > 0);
     }
 
     #[test]
     fn every_testable_s27_fault_justifies_with_retries() {
-        // With a handful of attempts, the randomized engine should find a
-        // test for every robustly testable fault of this tiny circuit.
+        // With a handful of completion blocks, the randomized engine
+        // should find a test for every robustly testable fault of this
+        // tiny circuit.
         let c = s27();
         let paths = pdf_paths::PathEnumerator::new(&c)
             .with_cap(100_000)
             .enumerate();
         let (faults, _) = pdf_faults::FaultList::build(&c, &paths.store);
-        let mut j = Justifier::new(&c, 11).with_attempts(8);
+        let mut j = Justifier::new(&c, 11)
+            .with_attempts(8)
+            .with_backend(env_backend());
         let mut found = 0usize;
         for e in faults.iter() {
             if let Some(r) = j.justify(&e.assignments) {
@@ -560,7 +957,9 @@ mod tests {
         let a1 = robust_assignments(&c, &f1).unwrap();
         let a2 = robust_assignments(&c, &f2).unwrap();
         if let Some(merged) = a1.merged(&a2) {
-            let mut j = Justifier::new(&c, 5).with_attempts(4);
+            let mut j = Justifier::new(&c, 5)
+                .with_attempts(4)
+                .with_backend(env_backend());
             if let Some(r) = j.justify(&merged) {
                 assert!(a1.satisfied_by(&r.waves));
                 assert!(a2.satisfied_by(&r.waves));
@@ -574,7 +973,10 @@ mod tests {
         // The fault on (3,15): cone involves inputs 2, 3, 7 only.
         let f = s27_fault(&[3, 15], Polarity::SlowToRise);
         let a = robust_assignments(&c, &f).unwrap();
-        let r = Justifier::new(&c, 9).justify(&a).unwrap();
+        let r = Justifier::new(&c, 9)
+            .with_backend(env_backend())
+            .justify(&a)
+            .unwrap();
         assert!(r.test.is_fully_specified());
         assert_eq!(r.test.len(), 7);
     }
@@ -584,10 +986,11 @@ mod tests {
         let c = s27();
         let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
         let a = robust_assignments(&c, &f).unwrap();
-        let mut j = Justifier::new(&c, 1);
+        let mut j = Justifier::new(&c, 1).with_backend(env_backend());
         let _ = j.justify(&a);
         let _ = j.justify(&a);
         assert_eq!(j.stats().calls, 2);
         assert!(j.stats().simulations > 0);
+        assert_eq!(j.stats().cone_hits + j.stats().cone_misses, 2);
     }
 }

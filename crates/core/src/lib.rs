@@ -52,7 +52,7 @@ pub use exact::{ExactJustifier, ExactOutcome};
 pub use generator::{
     AtpgConfig, AtpgOutcome, AtpgStats, BasicAtpg, Compaction, EnrichmentAtpg, SecondaryMode,
 };
-pub use justify::{Justified, Justifier, JustifyStats};
+pub use justify::{Justified, Justifier, JustifyStats, DEFAULT_CONE_CACHE};
 pub use target::TargetSplit;
 pub use testset::{Coverage, ParseTestSetError, TestSet};
 // The backend selector is part of this crate's public simulation API:

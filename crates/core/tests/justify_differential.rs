@@ -1,0 +1,86 @@
+//! Differential oracle for the justifier's two completion engines: for
+//! equal seeds the packed bit-plane kernel and the scalar per-lane loop
+//! must agree on justifiability (Some/None) for every fault, and every
+//! packed witness must pass the scalar requirement re-check.
+
+use proptest::prelude::*;
+
+use pdf_atpg::Justifier;
+use pdf_faults::FaultList;
+use pdf_netlist::{Circuit, SynthProfile};
+use pdf_paths::PathEnumerator;
+use pdf_sim::SimBackend;
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (3usize..8, 10usize..60, 3usize..8, any::<u64>()).prop_map(|(inputs, gates, levels, seed)| {
+        SynthProfile::new("diff", seed)
+            .with_inputs(inputs)
+            .with_gates(gates)
+            .with_levels(levels)
+            .generate()
+            .to_circuit()
+            .expect("generated netlists are valid")
+    })
+}
+
+/// Justifies every detectable fault of `c` under both backends with the
+/// same seed and cross-checks the outcomes.
+fn check_backends_agree(c: &Circuit, seed: u64, attempts: u32) {
+    let paths = PathEnumerator::new(c).with_cap(300).enumerate();
+    let (faults, _) = FaultList::build(c, &paths.store);
+    let mut scalar = Justifier::new(c, seed)
+        .with_attempts(attempts)
+        .with_backend(SimBackend::Scalar);
+    let mut packed = Justifier::new(c, seed)
+        .with_attempts(attempts)
+        .with_backend(SimBackend::Packed);
+    for entry in faults.iter() {
+        let s = scalar.justify(&entry.assignments);
+        let p = packed.justify(&entry.assignments);
+        assert_eq!(
+            s.is_some(),
+            p.is_some(),
+            "backends disagree on {} (seed {seed})",
+            entry.fault
+        );
+        if let Some(p) = p {
+            // The packed witness must pass the scalar re-check: the
+            // full-circuit waveforms neither violate nor miss any
+            // requirement.
+            assert!(
+                !entry.assignments.violated_by(&p.waves),
+                "packed witness violates {} (seed {seed})",
+                entry.fault
+            );
+            assert!(
+                entry.assignments.satisfied_by(&p.waves),
+                "packed witness does not satisfy {} (seed {seed})",
+                entry.fault
+            );
+            assert_eq!(
+                s.unwrap().test,
+                p.test,
+                "witness mismatch on {} (seed {seed})",
+                entry.fault
+            );
+        }
+    }
+    assert_eq!(scalar.stats().successes, packed.stats().successes);
+}
+
+#[test]
+fn backends_agree_on_s27_across_seeds() {
+    let c = pdf_netlist::iscas::s27();
+    for seed in [1, 2, 7, 2002, 0xDEAD_BEEF] {
+        check_backends_agree(&c, seed, 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn backends_agree_on_synth_circuits(c in arb_circuit(), seed in any::<u64>()) {
+        check_backends_agree(&c, seed, 1);
+    }
+}

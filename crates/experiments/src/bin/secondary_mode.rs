@@ -27,6 +27,8 @@ fn main() {
                 compaction: Compaction::ValueBased,
                 justify_attempts: workload.attempts,
                 secondary_mode: mode,
+                backend: pdf_experiments::sim_backend(),
+                cone_cache: workload.cone_cache,
             };
             let start = std::time::Instant::now();
             let outcome = BasicAtpg::new(&prepared.circuit)

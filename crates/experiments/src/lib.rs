@@ -49,8 +49,10 @@ pub struct Workload {
     pub n_p0: usize,
     /// Master seed for all randomized decisions.
     pub seed: u64,
-    /// Justification attempts per call (paper: 1).
+    /// Justification completion blocks per call (paper: 1 attempt).
     pub attempts: u32,
+    /// Cone-topology LRU capacity of the justifier (0 = no caching).
+    pub cone_cache: usize,
 }
 
 impl Default for Workload {
@@ -60,13 +62,14 @@ impl Default for Workload {
             n_p0: 1_000,
             seed: 2002,
             attempts: 1,
+            cone_cache: pdf_atpg::DEFAULT_CONE_CACHE,
         }
     }
 }
 
 impl Workload {
-    /// The defaults, overridden by `PDF_NP`, `PDF_NP0`, `PDF_SEED` and
-    /// `PDF_ATTEMPTS` when set.
+    /// The defaults, overridden by `PDF_NP`, `PDF_NP0`, `PDF_SEED`,
+    /// `PDF_ATTEMPTS` and `PDF_CONE_CACHE` when set.
     ///
     /// # Panics
     ///
@@ -81,6 +84,7 @@ impl Workload {
             n_p0: env_parse("PDF_NP0").unwrap_or(d.n_p0),
             seed: env_parse("PDF_SEED").unwrap_or(d.seed),
             attempts: env_parse("PDF_ATTEMPTS").unwrap_or(d.attempts),
+            cone_cache: env_parse("PDF_CONE_CACHE").unwrap_or(d.cone_cache),
         }
     }
 }
@@ -262,6 +266,8 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
             compaction,
             justify_attempts: workload.attempts,
             secondary_mode: Default::default(),
+            backend: sim_backend(),
+            cone_cache: workload.cone_cache,
         };
         let start = Instant::now();
         let outcome = BasicAtpg::new(&prepared.circuit)
@@ -342,6 +348,8 @@ pub fn run_enrich_on(prepared: &Prepared, workload: &Workload) -> EnrichCircuitR
         compaction: Compaction::ValueBased,
         justify_attempts: workload.attempts,
         secondary_mode: Default::default(),
+        backend: sim_backend(),
+        cone_cache: workload.cone_cache,
     };
 
     let start = Instant::now();
@@ -489,7 +497,7 @@ mod tests {
             n_p: 300,
             n_p0: 60,
             seed: 7,
-            attempts: 1,
+            ..Workload::default()
         };
         let basic = run_basic("b09", &w).unwrap();
         assert_eq!(basic.heuristics.len(), 4);

@@ -74,10 +74,14 @@ fn workload_from_env_reads_overrides_and_rejects_garbage() {
             ("PDF_NP0", Some("100")),
             ("PDF_SEED", Some("7")),
             ("PDF_ATTEMPTS", Some("3")),
+            ("PDF_CONE_CACHE", Some("16")),
         ],
         || {
             let w = Workload::from_env();
-            assert_eq!((w.n_p, w.n_p0, w.seed, w.attempts), (500, 100, 7, 3));
+            assert_eq!(
+                (w.n_p, w.n_p0, w.seed, w.attempts, w.cone_cache),
+                (500, 100, 7, 3, 16)
+            );
         },
     );
     with_env(
@@ -86,10 +90,12 @@ fn workload_from_env_reads_overrides_and_rejects_garbage() {
             ("PDF_NP0", None),
             ("PDF_SEED", None),
             ("PDF_ATTEMPTS", None),
+            ("PDF_CONE_CACHE", None),
         ],
         || {
             let w = Workload::from_env();
             assert_eq!(w.n_p, Workload::default().n_p);
+            assert_eq!(w.cone_cache, pdf_atpg::DEFAULT_CONE_CACHE);
         },
     );
     for (var, bad) in [
@@ -97,6 +103,7 @@ fn workload_from_env_reads_overrides_and_rejects_garbage() {
         ("PDF_NP0", "1e3"),
         ("PDF_SEED", "twenty"),
         ("PDF_ATTEMPTS", "-1"),
+        ("PDF_CONE_CACHE", "lots"),
     ] {
         with_env(
             &[
@@ -104,6 +111,7 @@ fn workload_from_env_reads_overrides_and_rejects_garbage() {
                 ("PDF_NP0", None),
                 ("PDF_SEED", None),
                 ("PDF_ATTEMPTS", None),
+                ("PDF_CONE_CACHE", None),
                 (var, Some(bad)),
             ],
             || {

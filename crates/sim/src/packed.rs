@@ -184,8 +184,57 @@ impl PackedBlock {
         self.propagate(circuit);
     }
 
-    fn propagate(&mut self, circuit: &Circuit) {
-        for &id in circuit.topo_order() {
+    /// Prepares the arena for a full-width block (all [`LANES`] lanes
+    /// valid) whose inputs will be supplied as raw rail words via
+    /// [`PackedBlock::set_input_rails`] — the entry point of the packed
+    /// justifier, which synthesizes 64 candidate tests per block instead
+    /// of loading materialized [`TwoPattern`]s.
+    ///
+    /// Unlike [`PackedBlock::load`] this does **not** clear the planes:
+    /// only lines written afterwards (inputs via `set_input_rails`, gates
+    /// via [`PackedBlock::propagate_over`]) are defined, everything else
+    /// may hold stale values from a previous block. A fanin-closed cone
+    /// order covers every line it can observe, so the justifier's
+    /// block-per-cone loop stays O(cone), not O(circuit).
+    pub fn begin_block(&mut self, circuit: &Circuit) {
+        if self.planes.len() != circuit.line_count() {
+            self.planes.clear();
+            self.planes.resize(circuit.line_count(), [0u64; 6]);
+        }
+        self.count = LANES;
+        self.loaded = u64::MAX;
+    }
+
+    /// Sets the two pattern values of input `line` for all 64 lanes at
+    /// once. `first` and `last` are `(zero_rail, one_rail)` words: bit `j`
+    /// of a rail proves that value for lane `j`, neither bit set means
+    /// `x`. The intermediate triple component is derived exactly as
+    /// [`Triple::from_patterns`] does — specified only where both pattern
+    /// values agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a rail pair overlaps — a lane cannot
+    /// prove both `0` and `1`.
+    pub fn set_input_rails(&mut self, line: LineId, first: (u64, u64), last: (u64, u64)) {
+        debug_assert_eq!(first.0 & first.1, 0, "overlapping first-pattern rails");
+        debug_assert_eq!(last.0 & last.1, 0, "overlapping last-pattern rails");
+        let p = &mut self.planes[line.index()];
+        p[0] = first.0;
+        p[1] = first.1;
+        p[2] = first.0 & last.0;
+        p[3] = first.1 & last.1;
+        p[4] = last.0;
+        p[5] = last.1;
+    }
+
+    /// Evaluates gates along `order` — any topologically sorted slice of
+    /// the circuit, typically a fanin cone — leaving lines outside `order`
+    /// untouched (`x` after [`PackedBlock::begin_block`]). Input lines in
+    /// `order` are skipped: their planes come from
+    /// [`PackedBlock::set_input_rails`].
+    pub fn propagate_over(&mut self, circuit: &Circuit, order: &[LineId]) {
+        for &id in order {
             let line = circuit.line(id);
             let out = match line.kind() {
                 LineKind::Input => continue,
@@ -214,6 +263,10 @@ impl PackedBlock {
             };
             self.planes[id.index()] = out;
         }
+    }
+
+    fn propagate(&mut self, circuit: &Circuit) {
+        self.propagate_over(circuit, circuit.topo_order());
     }
 
     /// The simulated waveform of `line` in test lane `lane` — the packed
@@ -385,6 +438,45 @@ mod tests {
         let waves = simulate_triples(&small, &t17[2].to_triples());
         for (id, _) in small.iter() {
             assert_eq!(block.triple(id, 2), waves[id.index()]);
+        }
+    }
+
+    #[test]
+    fn rail_blocks_match_loaded_two_patterns() {
+        // A block assembled from raw rail words (the justifier's path)
+        // must equal the same tests loaded as materialized TwoPatterns.
+        let c = iscas::s27();
+        let n = c.inputs().len();
+        let tests = exhaustive_two_patterns(n, LANES);
+        let mut loaded = PackedBlock::new();
+        loaded.load(&c, &tests);
+
+        let mut railed = PackedBlock::new();
+        railed.begin_block(&c);
+        for (pos, &id) in c.inputs().iter().enumerate() {
+            let mut first = (0u64, 0u64);
+            let mut last = (0u64, 0u64);
+            for (lane, t) in tests.iter().enumerate() {
+                let bit = 1u64 << lane;
+                match t.first()[pos] {
+                    Value::Zero => first.0 |= bit,
+                    Value::One => first.1 |= bit,
+                    Value::X => {}
+                }
+                match t.second()[pos] {
+                    Value::Zero => last.0 |= bit,
+                    Value::One => last.1 |= bit,
+                    Value::X => {}
+                }
+            }
+            railed.set_input_rails(id, first, last);
+        }
+        railed.propagate_over(&c, c.topo_order());
+        assert_eq!(railed.lanes(), u64::MAX);
+        for (id, _) in c.iter() {
+            for lane in 0..tests.len() {
+                assert_eq!(railed.triple(id, lane), loaded.triple(id, lane));
+            }
         }
     }
 

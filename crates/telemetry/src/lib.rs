@@ -82,6 +82,15 @@ pub mod counters {
     pub const FANOUT_INLINE: &str = "fanout_inline";
     /// Randomized justification attempts beyond the first per call.
     pub const JUSTIFY_RETRIES: &str = "justify_retries";
+    /// 64-lane random-completion blocks evaluated by the packed justifier.
+    pub const JUSTIFY_PACKED_BLOCKS: &str = "justify_packed_blocks";
+    /// Justification calls resolved by a random-completion lane (either
+    /// backend; the lane index is the witness).
+    pub const JUSTIFY_LANE_HITS: &str = "justify_lane_hits";
+    /// Justification cone topologies served from the LRU cache.
+    pub const CONE_CACHE_HIT: &str = "cone_cache_hit";
+    /// Justification cone topologies built from scratch.
+    pub const CONE_CACHE_MISS: &str = "cone_cache_miss";
     /// Fault candidates eliminated as undetectable (rules 1 and 2).
     pub const UNDETECTABLE_DROPPED: &str = "undetectable_dropped";
 }

@@ -37,10 +37,8 @@ fn main() {
 
     for compaction in Compaction::ALL {
         let config = AtpgConfig {
-            seed: 2002,
             compaction,
-            justify_attempts: 1,
-            secondary_mode: Default::default(),
+            ..AtpgConfig::default()
         };
         let start = std::time::Instant::now();
         let outcome = BasicAtpg::new(&circuit).with_config(config).run(split.p0());

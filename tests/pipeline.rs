@@ -35,8 +35,7 @@ fn bookkeeping_matches_post_hoc_simulation_for_every_heuristic() {
         let config = AtpgConfig {
             seed: 11,
             compaction,
-            justify_attempts: 1,
-            secondary_mode: Default::default(),
+            ..AtpgConfig::default()
         };
         let outcome = BasicAtpg::new(&s.circuit)
             .with_config(config)
@@ -74,8 +73,7 @@ fn compaction_reduces_tests_without_losing_detection() {
         let config = AtpgConfig {
             seed: 5,
             compaction,
-            justify_attempts: 1,
-            secondary_mode: Default::default(),
+            ..AtpgConfig::default()
         };
         let outcome = BasicAtpg::new(&s.circuit)
             .with_config(config)

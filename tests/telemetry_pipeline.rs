@@ -52,6 +52,19 @@ fn pipeline_run_emits_every_phase_span_and_counter() {
     // both the generator's drop loop and the compaction sweep.
     let enrich = report.span("enrich").unwrap();
     assert!(enrich.children.iter().any(|c| c.name == "generate"));
+    // Every justification call runs inside a `justify` span nested under
+    // the generator.
+    let generate = enrich
+        .children
+        .iter()
+        .find(|c| c.name == "generate")
+        .unwrap();
+    let justify = generate
+        .children
+        .iter()
+        .find(|c| c.name == "justify")
+        .unwrap_or_else(|| panic!("missing `justify` span under generate: {report:?}"));
+    assert!(justify.calls >= 1);
 
     assert!(report.counter(counters::FAULTS_TARGETED).unwrap() > 0);
     assert!(
@@ -60,6 +73,16 @@ fn pipeline_run_emits_every_phase_span_and_counter() {
     );
     assert!(report.counter(counters::SIM_PASSES).unwrap() > 0);
     assert!(report.counter(counters::PACKED_BLOCKS).unwrap() > 0);
+    // The packed justifier: every generation session simulates completion
+    // blocks, resolves most s27 calls by a random-completion lane, and
+    // revisits cached cone topologies across secondary trials.
+    assert!(report.counter(counters::JUSTIFY_PACKED_BLOCKS).unwrap() > 0);
+    assert!(report.counter(counters::JUSTIFY_LANE_HITS).unwrap() > 0);
+    assert!(report.counter(counters::CONE_CACHE_MISS).unwrap() > 0);
+    assert!(
+        report.counter(counters::CONE_CACHE_HIT).unwrap() > 0,
+        "repeated secondary-candidate trials must reuse cached cones"
+    );
     // s27 under the default cap has no evictions and the enrichment set
     // may already be minimal, so those counters only need to exist when
     // their events happened; tests_dropped is recorded even when zero.
