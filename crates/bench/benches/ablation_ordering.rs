@@ -17,7 +17,7 @@ fn bench_ordering(c: &mut Criterion) {
             };
             b.iter(|| {
                 BasicAtpg::new(&s.circuit)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run(s.split.p0())
             });
         });

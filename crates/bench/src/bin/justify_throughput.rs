@@ -14,9 +14,23 @@
 
 use std::time::Instant;
 
-use pdf_atpg::{Justifier, JustifyStats, SimBackend};
+use pdf_atpg::{BudgetSpec, Justifier, JustifyStats, RunBudget, SimBackend};
 use pdf_bench::setup;
 use pdf_experiments::json::Json;
+
+/// The optional `PDF_TIME_BUDGET` bound on the sampling loops. The budget
+/// gates *harness repetitions*, never the justifier itself, so the
+/// determinism cross-checks stay meaningful: an exhausted budget means
+/// fewer samples, not different outcomes.
+fn bench_budget() -> RunBudget {
+    match BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")) {
+        Some(spec) => {
+            let now = Instant::now();
+            RunBudget::with_deadline(spec.deadline_for("bench", now, now))
+        }
+        None => RunBudget::unlimited(),
+    }
+}
 
 struct Measured {
     /// Wall time of the best full run.
@@ -27,8 +41,9 @@ struct Measured {
     stats: JustifyStats,
 }
 
-fn measure(mut f: impl FnMut() -> (usize, JustifyStats, f64)) -> Measured {
-    // One warm-up, then the best of three timed runs.
+fn measure(budget: &RunBudget, mut f: impl FnMut() -> (usize, JustifyStats, f64)) -> Measured {
+    // One warm-up, then the best of three timed runs. At least one timed
+    // run always happens; the budget only trims the extra samples.
     let (found, _, _) = f();
     let mut best = Measured {
         total_seconds: f64::INFINITY,
@@ -36,7 +51,11 @@ fn measure(mut f: impl FnMut() -> (usize, JustifyStats, f64)) -> Measured {
         found,
         stats: JustifyStats::default(),
     };
-    for _ in 0..3 {
+    for sample in 0..3 {
+        if sample > 0 && budget.exhausted() {
+            eprintln!("warning: time budget exhausted after {sample} sample(s)");
+            break;
+        }
         let start = Instant::now();
         let (again, stats, completion_seconds) = f();
         assert_eq!(again, found, "nondeterministic justification");
@@ -79,8 +98,9 @@ fn main() {
         }
     };
 
-    let scalar = measure(run(SimBackend::Scalar));
-    let packed = measure(run(SimBackend::Packed));
+    let budget = bench_budget();
+    let scalar = measure(&budget, run(SimBackend::Scalar));
+    let packed = measure(&budget, run(SimBackend::Packed));
     assert_eq!(scalar.found, packed.found, "backends disagree on outcomes");
 
     // Attempts/sec of the completion engines themselves; the phases

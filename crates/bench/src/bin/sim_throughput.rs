@@ -8,15 +8,34 @@
 
 use std::time::Instant;
 
-use pdf_atpg::{Justifier, SimBackend, TestSet};
+use pdf_atpg::{BudgetSpec, Justifier, RunBudget, SimBackend, TestSet};
 use pdf_bench::setup;
 use pdf_experiments::json::Json;
 
-fn measure(f: impl Fn() -> usize) -> (f64, usize) {
-    // One warm-up, then the median-ish best of three timed runs.
+/// The optional `PDF_TIME_BUDGET` bound on the sampling loops. The budget
+/// gates *harness repetitions*, never the simulation itself, so the
+/// determinism cross-checks stay meaningful: an exhausted budget means
+/// fewer samples, not different outcomes.
+fn bench_budget() -> RunBudget {
+    match BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")) {
+        Some(spec) => {
+            let now = Instant::now();
+            RunBudget::with_deadline(spec.deadline_for("bench", now, now))
+        }
+        None => RunBudget::unlimited(),
+    }
+}
+
+fn measure(budget: &RunBudget, f: impl Fn() -> usize) -> (f64, usize) {
+    // One warm-up, then the median-ish best of three timed runs. At least
+    // one timed run always happens; the budget only trims extra samples.
     let detected = f();
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for sample in 0..3 {
+        if sample > 0 && budget.exhausted() {
+            eprintln!("warning: time budget exhausted after {sample} sample(s)");
+            break;
+        }
         let start = Instant::now();
         let again = f();
         assert_eq!(again, detected, "nondeterministic coverage");
@@ -42,12 +61,13 @@ fn main() {
     let tests: TestSet = (0..n_tests).map(|i| base[i % base.len()].clone()).collect();
 
     let checks = (tests.len() * s.faults.len()) as f64;
-    let (scalar_s, scalar_det) = measure(|| {
+    let budget = bench_budget();
+    let (scalar_s, scalar_det) = measure(&budget, || {
         tests
             .coverage_with(SimBackend::Scalar, &s.circuit, &s.faults)
             .detected_count()
     });
-    let (packed_s, packed_det) = measure(|| {
+    let (packed_s, packed_det) = measure(&budget, || {
         tests
             .coverage_with(SimBackend::Packed, &s.circuit, &s.faults)
             .detected_count()

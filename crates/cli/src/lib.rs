@@ -8,8 +8,12 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
-use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, EnrichmentAtpg, TargetSplit};
+use pdf_atpg::{
+    AtpgConfig, BasicAtpg, BudgetSpec, Checkpoint, CheckpointPolicy, Compaction, EnrichmentAtpg,
+    RunBudget, TargetSplit,
+};
 use pdf_faults::FaultList;
 use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineKind, Netlist, TwoPattern};
@@ -37,15 +41,24 @@ COMMANDS:
     atpg      <circuit> [--cap N] [--np0 N] [--heuristic uncomp|arbit|length|values]
                         [--seed S] [--attempts N] [--cone-cache N] [--enrich]
                         [--minimize] [--output FILE] [--telemetry FILE]
+                        [--time-budget SPEC] [--checkpoint FILE]
+                        [--checkpoint-every K] [--resume FILE]
                                      generate a (optionally enriched) robust test set
     sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
     dot       <circuit>              Graphviz export
     bench     <circuit>              emit the netlist as .bench text
 
 ENVIRONMENT:
-    PDF_SIM_BACKEND   `scalar` or `packed` (default); anything else aborts
-    PDF_TELEMETRY     path of a JSON run report written at exit
-                      (--telemetry overrides it for the atpg command)
+    PDF_SIM_BACKEND       `scalar` or `packed` (default); anything else aborts
+    PDF_TELEMETRY         path of a JSON run report written at exit
+                          (--telemetry overrides it for the atpg command)
+    PDF_TIME_BUDGET       wall-clock budget for atpg, e.g. `30s` or
+                          `global=60s,compact=5s` (--time-budget overrides);
+                          on exhaustion the partial test set is finalized
+                          and `budget_exhausted: true` is reported
+    PDF_CHECKPOINT        checkpoint file for atpg (--checkpoint overrides)
+    PDF_CHECKPOINT_EVERY  checkpoint after every K completed primary
+                          targets (default 16; --checkpoint-every overrides)
 
 Sequential netlists are reduced to their combinational core; XOR/XNOR
 gates are decomposed before path analysis. Both transformations print a
@@ -153,14 +166,10 @@ pub fn load_circuit(spec: &str, notes: &mut String) -> Result<Circuit, CliError>
     let netlist: Netlist = if let Some(profile) = pdf_netlist::stand_in_profile(spec) {
         profile.generate()
     } else {
-        let text = std::fs::read_to_string(spec)
-            .map_err(|e| CliError(format!("cannot read `{spec}`: {e}")))?;
-        let name = std::path::Path::new(spec)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or("circuit")
-            .to_owned();
-        pdf_netlist::parse_bench(&text, &name).map_err(|e| CliError(format!("{spec}: {e}")))?
+        // Parse failures surface as `path:line: message` diagnostics and
+        // exit with status 2 (the CliError path in main).
+        pdf_netlist::parse_bench_file(std::path::Path::new(spec))
+            .map_err(|e| CliError(e.to_string()))?
     };
     let netlist = if netlist.dff_count() > 0 {
         let _ = writeln!(
@@ -308,8 +317,56 @@ fn heuristic_from(options: &Options) -> Result<Compaction, CliError> {
     }
 }
 
+/// The atpg run-control options: the generation budget (from
+/// `--time-budget` or `PDF_TIME_BUDGET`), the checkpoint policy (from
+/// `--checkpoint`/`--checkpoint-every` or their environment variables)
+/// and a checkpoint to resume from (`--resume`).
+struct RunControl {
+    budget_spec: Option<BudgetSpec>,
+    checkpoint: Option<CheckpointPolicy>,
+    resume: Option<Checkpoint>,
+}
+
+fn run_control_from(options: &Options) -> Result<RunControl, CliError> {
+    let budget_spec = match options.value("time-budget") {
+        Some(text) => {
+            Some(BudgetSpec::parse(text).map_err(|e| CliError(format!("--time-budget: {e}")))?)
+        }
+        None => BudgetSpec::from_env().map_err(|e| CliError(e.to_string()))?,
+    };
+    let checkpoint = match options.value("checkpoint") {
+        Some(path) => {
+            let every: usize =
+                options.parsed("checkpoint-every", pdf_atpg::DEFAULT_CHECKPOINT_EVERY)?;
+            if every == 0 {
+                return err("--checkpoint-every must be a positive integer");
+            }
+            Some(CheckpointPolicy::new(path, every))
+        }
+        None => {
+            if options.value("checkpoint-every").is_some() {
+                return err("--checkpoint-every requires --checkpoint (or PDF_CHECKPOINT)");
+            }
+            CheckpointPolicy::from_env().map_err(CliError)?
+        }
+    };
+    let resume = match options.value("resume") {
+        Some(path) => Some(
+            Checkpoint::load(std::path::Path::new(path))
+                .map_err(|e| CliError(format!("--resume: {e}")))?,
+        ),
+        None => None,
+    };
+    Ok(RunControl {
+        budget_spec,
+        checkpoint,
+        resume,
+    })
+}
+
 /// `pdfatpg atpg`.
 pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let started = Instant::now();
     let _telemetry = options
         .value("telemetry")
         .map(pdf_telemetry::Guard::to_path);
@@ -319,13 +376,24 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
     let seed: u64 = options.parsed("seed", 2002)?;
     let attempts: u32 = options.parsed("attempts", 1)?;
     let cone_cache: usize = options.parsed("cone-cache", pdf_atpg::DEFAULT_CONE_CACHE)?;
+    let RunControl {
+        budget_spec,
+        checkpoint,
+        resume,
+    } = run_control_from(options)?;
+    let budget = match &budget_spec {
+        Some(spec) => RunBudget::with_deadline(spec.deadline_for("generate", started, started)),
+        None => RunBudget::unlimited(),
+    };
     let config = AtpgConfig {
         seed,
         compaction: heuristic_from(options)?,
         justify_attempts: attempts,
-        secondary_mode: Default::default(),
         backend,
         cone_cache,
+        budget,
+        checkpoint,
+        ..AtpgConfig::default()
     };
 
     let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
@@ -343,8 +411,13 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         split.cutoffs()[0],
         split.p1().len(),
     );
-    let (tests, summary) = if options.has("enrich") {
-        let outcome = EnrichmentAtpg::new(circuit).with_config(config).run(&split);
+    let resume_err = |e: pdf_atpg::ResumeError| CliError(format!("--resume: {e}"));
+    let (outcome, summary) = if options.has("enrich") {
+        let atpg = EnrichmentAtpg::new(circuit).with_config(config.clone());
+        let outcome = match &resume {
+            Some(cp) => atpg.run_resumed(&split, cp).map_err(resume_err)?,
+            None => atpg.run(&split),
+        };
         let summary = format!(
             "enrichment: {} tests; P0 {}/{}; P0∪P1 {}/{}",
             outcome.tests().len(),
@@ -353,9 +426,13 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             outcome.detected_total(),
             split.total(),
         );
-        (outcome.tests().clone(), summary)
+        (outcome, summary)
     } else {
-        let outcome = BasicAtpg::new(circuit).with_config(config).run(split.p0());
+        let atpg = BasicAtpg::new(circuit).with_config(config.clone());
+        let outcome = match &resume {
+            Some(cp) => atpg.run_resumed(split.p0(), cp).map_err(resume_err)?,
+            None => atpg.run(split.p0()),
+        };
         let summary = format!(
             "basic ({}): {} tests; P0 {}/{}",
             config.compaction.label(),
@@ -363,9 +440,16 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             outcome.detected_in_set(0),
             split.p0().len(),
         );
-        (outcome.tests().clone(), summary)
+        (outcome, summary)
     };
     let _ = writeln!(s, "{summary}");
+    let _ = writeln!(s, "budget_exhausted: {}", outcome.budget_exhausted());
+    let _ = writeln!(
+        s,
+        "faults_quarantined: {}",
+        outcome.stats().faults_quarantined
+    );
+    let tests = outcome.tests().clone();
 
     let tests = if options.has("minimize") {
         let everything: FaultList = split
@@ -375,13 +459,28 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             .cloned()
             .collect();
         let before = tests.len();
-        let minimized = tests.into_minimized_with(backend, circuit, &everything);
-        let _ = writeln!(
-            s,
-            "static minimization: {} -> {} tests (coverage preserved)",
-            before,
-            minimized.len(),
-        );
+        let compact_budget = match &budget_spec {
+            Some(spec) => {
+                RunBudget::with_deadline(spec.deadline_for("compact", started, Instant::now()))
+            }
+            None => RunBudget::unlimited(),
+        };
+        let (minimized, cut_short) =
+            tests.minimized_within(&compact_budget, backend, circuit, &everything);
+        if cut_short {
+            let _ = writeln!(
+                s,
+                "static minimization skipped: time budget exhausted ({} tests kept)",
+                minimized.len(),
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "static minimization: {} -> {} tests (coverage preserved)",
+                before,
+                minimized.len(),
+            );
+        }
         minimized
     } else {
         tests
@@ -488,6 +587,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "cone-cache",
                     "output",
                     "telemetry",
+                    "time-budget",
+                    "checkpoint",
+                    "checkpoint-every",
+                    "resume",
                 ],
                 &["enrich", "minimize"],
             )?;
@@ -607,6 +710,76 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("static minimization:"), "{out}");
+    }
+
+    #[test]
+    fn atpg_reports_run_control_state() {
+        let out = run(&args(&["atpg", "s27", "--np0", "10"])).unwrap();
+        assert!(out.contains("budget_exhausted: false"), "{out}");
+        assert!(out.contains("faults_quarantined: 0"), "{out}");
+    }
+
+    #[test]
+    fn atpg_exhausted_budget_finalizes_a_valid_partial_set() {
+        let out = run(&args(&[
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--time-budget",
+            "1us",
+        ]))
+        .unwrap();
+        assert!(out.contains("budget_exhausted: true"), "{out}");
+        // The (possibly empty) partial set still serializes validly.
+        let body: String = out
+            .lines()
+            .skip_while(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(pdf_atpg::TestSet::from_text(&body).is_ok());
+    }
+
+    #[test]
+    fn atpg_rejects_a_malformed_time_budget() {
+        let e = run(&args(&["atpg", "s27", "--time-budget", "soon"])).unwrap_err();
+        assert!(e.0.contains("--time-budget"), "{e}");
+    }
+
+    #[test]
+    fn atpg_checkpoint_then_resume_reproduces_the_run() {
+        let path = std::env::temp_dir().join(format!("pdf_cli_ckpt_{}.json", std::process::id()));
+        let file = path.to_str().unwrap();
+        let plain = run(&args(&["atpg", "s27", "--np0", "10", "--seed", "9"])).unwrap();
+        let with_ckpt = run(&args(&[
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--seed",
+            "9",
+            "--checkpoint",
+            file,
+        ]))
+        .unwrap();
+        assert_eq!(plain, with_ckpt, "checkpointing must not change the run");
+        let resumed = run(&args(&[
+            "atpg", "s27", "--np0", "10", "--seed", "9", "--resume", file,
+        ]))
+        .unwrap();
+        assert_eq!(plain, resumed, "resuming must reproduce the run");
+        let foreign = run(&args(&[
+            "atpg", "s27", "--np0", "10", "--seed", "8", "--resume", file,
+        ]))
+        .unwrap_err();
+        assert!(foreign.0.contains("checkpoint"), "{foreign}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atpg_checkpoint_every_requires_a_checkpoint_file() {
+        let e = run(&args(&["atpg", "s27", "--checkpoint-every", "4"])).unwrap_err();
+        assert!(e.0.contains("--checkpoint"), "{e}");
     }
 
     #[test]

@@ -11,12 +11,16 @@
 //! further sets of a k-set split), so the number of tests stays determined
 //! by `P_0` alone while `P_1` detections come for free.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use pdf_faults::{Assignments, FaultEntry, FaultList};
 use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineId, SplitMix64};
+use pdf_runctl::{Checkpoint, CheckpointPolicy, RunBudget, CHECKPOINT_VERSION};
 
 use pdf_sim::SimBackend;
 
+use crate::testset::ParseTestSetError;
 use crate::{Justified, Justifier, JustifyStats, TargetSplit, TestSet, DEFAULT_CONE_CACHE};
 
 /// The compaction heuristic used to order primary and secondary targets
@@ -89,7 +93,7 @@ impl SecondaryMode {
 }
 
 /// Configuration shared by the basic and enrichment generators.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct AtpgConfig {
     /// Seed for every random choice (justification decisions, the
     /// arbitrary order, leftover input filling). Equal seeds give
@@ -109,6 +113,25 @@ pub struct AtpgConfig {
     /// Capacity of the justifier's cone-topology LRU cache (entries);
     /// `0` disables caching.
     pub cone_cache: usize,
+    /// Cooperative time/cancellation budget. An exhausted budget makes the
+    /// run stop targeting new faults, discard any test still under
+    /// construction, and finalize the partial test set with
+    /// [`AtpgOutcome::budget_exhausted`] set. Exhaustion is polled at
+    /// fault-loop and justification-attempt granularity, so a run degrades
+    /// gracefully rather than overshooting its deadline.
+    pub budget: RunBudget,
+    /// Crash-safe checkpointing: when set, run state is persisted
+    /// atomically to the policy's file after every `every` completed
+    /// primary targets (plus once when the run ends). Feed the file back
+    /// through a `run_resumed` call to continue an interrupted run.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Per-fault panic quarantine. When on (the default), a panic raised
+    /// while processing one fault — justification, the implication
+    /// pre-filter, free-acceptance checks, or the per-test fault
+    /// simulation sweep — is caught, attributed to the offending fault,
+    /// and recorded in [`AtpgOutcome::quarantined`]; the run continues
+    /// with the remaining faults. When off, such panics propagate.
+    pub quarantine: bool,
 }
 
 impl Default for AtpgConfig {
@@ -120,8 +143,25 @@ impl Default for AtpgConfig {
             secondary_mode: SecondaryMode::default(),
             backend: SimBackend::default(),
             cone_cache: DEFAULT_CONE_CACHE,
+            budget: RunBudget::unlimited(),
+            checkpoint: None,
+            quarantine: true,
         }
     }
+}
+
+/// The configuration facets a checkpoint pins: resuming under a different
+/// compaction heuristic, secondary mode, attempt count or backend would
+/// silently diverge from the interrupted run, so resume refuses them.
+#[must_use]
+pub fn config_fingerprint(config: &AtpgConfig) -> String {
+    format!(
+        "{}:{}:{}:{}",
+        config.compaction.label(),
+        config.secondary_mode.label(),
+        config.justify_attempts,
+        config.backend
+    )
 }
 
 /// Counters describing a generation run.
@@ -139,8 +179,55 @@ pub struct AtpgStats {
     /// Secondary candidates rejected because their requirements conflict
     /// with the accumulated union (no justification attempted).
     pub conflict_rejects: usize,
+    /// Faults quarantined after panicking mid-processing.
+    pub faults_quarantined: usize,
+    /// Checkpoint files written (including the final one).
+    pub checkpoints_written: usize,
     /// Justifier counters.
     pub justify: JustifyStats,
+}
+
+/// A checkpoint refused by a `run_resumed` call: the file does not match
+/// the run it is being fed into, or its carried tests do not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResumeError {
+    /// A pinned facet of the checkpoint disagrees with the current run.
+    Mismatch {
+        /// Which facet ("circuit", "seed", "fingerprint", ...).
+        field: &'static str,
+        /// The checkpoint's value.
+        expected: String,
+        /// The current run's value.
+        found: String,
+    },
+    /// The carried test lines do not parse back into a test set.
+    BadTests(ParseTestSetError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint does not match this run: {field} is `{expected}` in the checkpoint \
+                 but `{found}` here"
+            ),
+            ResumeError::BadTests(e) => write!(f, "checkpoint carries malformed tests: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::BadTests(e) => Some(e),
+            ResumeError::Mismatch { .. } => None,
+        }
+    }
 }
 
 /// The result of a generation run over one or more target sets.
@@ -149,8 +236,10 @@ pub struct AtpgOutcome {
     test_set: TestSet,
     detected: Vec<bool>,
     aborted: Vec<bool>,
+    quarantined: Vec<bool>,
     set_sizes: Vec<usize>,
     stats: AtpgStats,
+    budget_exhausted: bool,
 }
 
 impl AtpgOutcome {
@@ -171,6 +260,22 @@ impl AtpgOutcome {
     #[must_use]
     pub fn aborted(&self) -> &[bool] {
         &self.aborted
+    }
+
+    /// Per-fault quarantine flags: faults skipped after panicking
+    /// mid-processing (the reported skip-list).
+    #[must_use]
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Whether the run stopped because its time budget or cancellation
+    /// token fired. The test set is then a valid partial result: every
+    /// test in it is complete and its detections are real, but undetected
+    /// faults were simply never reached.
+    #[must_use]
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
     }
 
     /// The sizes of the target sets, in order.
@@ -262,7 +367,25 @@ impl<'c> BasicAtpg<'c> {
     /// Runs test generation for `targets`.
     #[must_use]
     pub fn run(&self, targets: &FaultList) -> AtpgOutcome {
-        Session::new(self.circuit, self.config, &[targets]).run()
+        Session::new(self.circuit, self.config.clone(), &[targets])
+            .run(None)
+            .expect("a fresh run cannot fail on resume validation")
+    }
+
+    /// Runs test generation for `targets`, continuing from `checkpoint` —
+    /// the crash-recovery entry point. For a fixed seed the resumed run
+    /// produces the identical test set an uninterrupted run would have.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] when the checkpoint does not belong to this
+    /// circuit/configuration/target-set combination.
+    pub fn run_resumed(
+        &self,
+        targets: &FaultList,
+        checkpoint: &Checkpoint,
+    ) -> Result<AtpgOutcome, ResumeError> {
+        Session::new(self.circuit, self.config.clone(), &[targets]).run(Some(checkpoint))
     }
 }
 
@@ -326,7 +449,28 @@ impl<'c> EnrichmentAtpg<'c> {
     pub fn run(&self, split: &TargetSplit) -> AtpgOutcome {
         let _phase = pdf_telemetry::Span::enter("enrich");
         let sets: Vec<&FaultList> = split.sets().iter().collect();
-        Session::new(self.circuit, self.config, &sets).run()
+        Session::new(self.circuit, self.config.clone(), &sets)
+            .run(None)
+            .expect("a fresh run cannot fail on resume validation")
+    }
+
+    /// Runs enrichment over the split's sets, continuing from
+    /// `checkpoint` — the crash-recovery entry point. For a fixed seed the
+    /// resumed run produces the identical test set an uninterrupted run
+    /// would have.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] when the checkpoint does not belong to this
+    /// circuit/configuration/target-split combination.
+    pub fn run_resumed(
+        &self,
+        split: &TargetSplit,
+        checkpoint: &Checkpoint,
+    ) -> Result<AtpgOutcome, ResumeError> {
+        let _phase = pdf_telemetry::Span::enter("enrich");
+        let sets: Vec<&FaultList> = split.sets().iter().collect();
+        Session::new(self.circuit, self.config.clone(), &sets).run(Some(checkpoint))
     }
 }
 
@@ -341,9 +485,23 @@ struct Session<'c, 'f> {
     set_starts: Vec<usize>,
     detected: Vec<bool>,
     aborted: Vec<bool>,
+    quarantined: Vec<bool>,
     /// Primary (and arbit/length secondary) order over set-0 indices.
     primary_order: Vec<usize>,
     stats: AtpgStats,
+    /// Tests pushed so far (checkpoint interval anchor).
+    completed: usize,
+    /// State at the last primary-processed boundary. Budget exhaustion
+    /// mid-test rolls back to it and checkpoints always describe it, so a
+    /// checkpoint never captures a half-built test or a mid-justification
+    /// RNG position.
+    boundary_rng: u64,
+    boundary_detected: Vec<bool>,
+    boundary_aborted: Vec<bool>,
+    boundary_quarantined: Vec<bool>,
+    boundary_stats: AtpgStats,
+    /// A checkpoint write already failed and was reported (warn once).
+    checkpoint_warned: bool,
 }
 
 impl<'c, 'f> Session<'c, 'f> {
@@ -367,7 +525,8 @@ impl<'c, 'f> Session<'c, 'f> {
         let justifier = Justifier::new(circuit, config.seed)
             .with_attempts(config.justify_attempts)
             .with_backend(config.backend)
-            .with_cone_cache(config.cone_cache);
+            .with_cone_cache(config.cone_cache)
+            .with_budget(config.budget.clone());
         Session {
             circuit,
             config,
@@ -376,26 +535,58 @@ impl<'c, 'f> Session<'c, 'f> {
             set_starts,
             detected: vec![false; 0],
             aborted: vec![false; 0],
+            quarantined: vec![false; 0],
             primary_order,
             stats: AtpgStats::default(),
+            completed: 0,
+            boundary_rng: 0,
+            boundary_detected: vec![false; 0],
+            boundary_aborted: vec![false; 0],
+            boundary_quarantined: vec![false; 0],
+            boundary_stats: AtpgStats::default(),
+            checkpoint_warned: false,
         }
     }
 
-    fn run(mut self) -> AtpgOutcome {
+    fn run(mut self, resume: Option<&Checkpoint>) -> Result<AtpgOutcome, ResumeError> {
         let _phase = pdf_telemetry::Span::enter("generate");
         let n = self.faults.len();
         self.detected = vec![false; n];
         self.aborted = vec![false; n];
-        let mut test_set = TestSet::new();
+        self.quarantined = vec![false; n];
+        let mut test_set = match resume {
+            Some(checkpoint) => self.apply_resume(checkpoint)?,
+            None => TestSet::new(),
+        };
+        self.snapshot_boundary();
 
-        while let Some(primary) = self.next_primary() {
+        loop {
+            // The fault-loop granularity poll: budget exhaustion between
+            // tests stops targeting new faults, boundary state intact.
+            if self.config.budget.exhausted() {
+                break;
+            }
+            let Some(primary) = self.next_primary() else {
+                break;
+            };
             pdf_telemetry::count(pdf_telemetry::counters::FAULTS_TARGETED, 1);
-            let Some(justified) = self.justifier.justify(&self.faults[primary].assignments) else {
+            let req = self.faults[primary].assignments.clone();
+            let Some(justified) = self.justify_guarded(primary, &req, None) else {
+                if self.quarantined[primary] {
+                    self.snapshot_boundary();
+                    continue;
+                }
+                if self.config.budget.already_exhausted() {
+                    // A budget-truncated search says nothing about the
+                    // fault: leave it unaborted for the resumed run.
+                    break;
+                }
                 self.aborted[primary] = true;
                 self.stats.aborted_primaries += 1;
+                self.snapshot_boundary();
                 continue;
             };
-            let mut union = self.faults[primary].assignments.clone();
+            let mut union = req;
             // Under the freeze-values mode, input values committed so far
             // are pinned for every later secondary (Goel-Rosales style).
             let mut frozen: Vec<(LineId, Value, Value)> =
@@ -409,34 +600,296 @@ impl<'c, 'f> Session<'c, 'f> {
             if !matches!(self.config.compaction, Compaction::Uncompacted) {
                 self.extend_with_secondaries(primary, &mut union, &mut current, &mut frozen);
             }
+            if self.config.budget.already_exhausted() {
+                // The budget fired mid-construction: the truncated
+                // secondary phase would differ from the uninterrupted
+                // run's, so the in-flight test is discarded outright and
+                // the resumed run rebuilds it from the boundary RNG.
+                self.discard_in_flight();
+                break;
+            }
 
             // Drop every fault the finished test detects (the paper's
             // per-test fault simulation), fanned out over fault chunks.
-            for i in pdf_sim::newly_satisfied(&current.waves, &self.faults, &self.detected) {
-                self.detected[i] = true;
-            }
+            self.sweep(&current.waves);
             debug_assert!(self.detected[primary], "primary must be detected");
             test_set.push(current.test);
+            self.completed += 1;
+            self.snapshot_boundary();
+            let every = self.config.checkpoint.as_ref().map(|p| p.every);
+            if every.is_some_and(|every| self.completed.is_multiple_of(every)) {
+                self.write_checkpoint(&test_set, false);
+            }
         }
 
+        let budget_exhausted = self.config.budget.already_exhausted();
+        if self.config.checkpoint.is_some() {
+            self.write_checkpoint(&test_set, !budget_exhausted);
+        }
         self.stats.justify = self.justifier.stats();
         let set_sizes = self.set_starts.windows(2).map(|w| w[1] - w[0]).collect();
-        AtpgOutcome {
+        Ok(AtpgOutcome {
             test_set,
             detected: self.detected,
             aborted: self.aborted,
+            quarantined: self.quarantined,
             set_sizes,
             stats: self.stats,
+            budget_exhausted,
+        })
+    }
+
+    /// Validates `checkpoint` against this run and installs its state:
+    /// flags, counters, completed-test count and the boundary RNG. Returns
+    /// the carried test set.
+    fn apply_resume(&mut self, checkpoint: &Checkpoint) -> Result<TestSet, ResumeError> {
+        let mismatch = |field: &'static str, expected: String, found: String| {
+            Err(ResumeError::Mismatch {
+                field,
+                expected,
+                found,
+            })
+        };
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return mismatch(
+                "version",
+                checkpoint.version.to_string(),
+                CHECKPOINT_VERSION.to_string(),
+            );
+        }
+        if checkpoint.circuit != self.circuit.name() {
+            return mismatch(
+                "circuit",
+                checkpoint.circuit.clone(),
+                self.circuit.name().to_owned(),
+            );
+        }
+        if checkpoint.seed != self.config.seed {
+            return mismatch(
+                "seed",
+                format!("{:#018x}", checkpoint.seed),
+                format!("{:#018x}", self.config.seed),
+            );
+        }
+        let fingerprint = config_fingerprint(&self.config);
+        if checkpoint.fingerprint != fingerprint {
+            return mismatch("fingerprint", checkpoint.fingerprint.clone(), fingerprint);
+        }
+        let set_sizes: Vec<usize> = self.set_starts.windows(2).map(|w| w[1] - w[0]).collect();
+        if checkpoint.set_sizes != set_sizes {
+            return mismatch(
+                "set_sizes",
+                format!("{:?}", checkpoint.set_sizes),
+                format!("{set_sizes:?}"),
+            );
+        }
+        let n = self.faults.len();
+        for (field, flags) in [
+            ("detected", &checkpoint.detected),
+            ("aborted", &checkpoint.aborted),
+            ("quarantined", &checkpoint.quarantined),
+        ] {
+            if flags.len() != n {
+                return mismatch(
+                    field,
+                    format!("{} flags", flags.len()),
+                    format!("{n} faults"),
+                );
+            }
+        }
+        let test_set =
+            TestSet::from_text(&checkpoint.tests.join("\n")).map_err(ResumeError::BadTests)?;
+        let width = self.circuit.inputs().len();
+        if let Some(t) = test_set.tests().iter().find(|t| t.len() != width) {
+            return mismatch(
+                "test width",
+                t.len().to_string(),
+                format!("{width} circuit inputs"),
+            );
+        }
+        if test_set.len() != checkpoint.completed {
+            return mismatch(
+                "completed",
+                checkpoint.completed.to_string(),
+                format!("{} carried tests", test_set.len()),
+            );
+        }
+        self.detected.copy_from_slice(&checkpoint.detected);
+        self.aborted.copy_from_slice(&checkpoint.aborted);
+        self.quarantined.copy_from_slice(&checkpoint.quarantined);
+        self.completed = checkpoint.completed;
+        self.justifier.set_rng_state(checkpoint.rng_state);
+        self.stats.aborted_primaries = checkpoint.counter("aborted_primaries") as usize;
+        self.stats.secondary_accepts = checkpoint.counter("secondary_accepts") as usize;
+        self.stats.free_accepts = checkpoint.counter("free_accepts") as usize;
+        self.stats.secondary_rejects = checkpoint.counter("secondary_rejects") as usize;
+        self.stats.conflict_rejects = checkpoint.counter("conflict_rejects") as usize;
+        self.stats.faults_quarantined = checkpoint.counter("faults_quarantined") as usize;
+        self.stats.checkpoints_written = checkpoint.counter("checkpoints_written") as usize;
+        Ok(test_set)
+    }
+
+    /// Records the current state as the primary-processed boundary.
+    fn snapshot_boundary(&mut self) {
+        self.boundary_rng = self.justifier.rng_state();
+        self.boundary_detected.clone_from(&self.detected);
+        self.boundary_aborted.clone_from(&self.aborted);
+        self.boundary_quarantined.clone_from(&self.quarantined);
+        self.boundary_stats = self.stats;
+    }
+
+    /// Rolls flags and counters back to the last boundary, abandoning a
+    /// test whose construction the budget truncated.
+    fn discard_in_flight(&mut self) {
+        self.detected.clone_from(&self.boundary_detected);
+        self.aborted.clone_from(&self.boundary_aborted);
+        self.quarantined.clone_from(&self.boundary_quarantined);
+        self.stats = self.boundary_stats;
+    }
+
+    /// Writes a boundary checkpoint through the configured policy. A
+    /// refused write is reported once and the run continues — losing
+    /// crash-recoverability must not fail the run itself.
+    fn write_checkpoint(&mut self, test_set: &TestSet, complete: bool) {
+        let Some(policy) = &self.config.checkpoint else {
+            return;
+        };
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            circuit: self.circuit.name().to_owned(),
+            seed: self.config.seed,
+            fingerprint: config_fingerprint(&self.config),
+            set_sizes: self.set_starts.windows(2).map(|w| w[1] - w[0]).collect(),
+            completed: self.completed,
+            rng_state: self.boundary_rng,
+            detected: self.boundary_detected.clone(),
+            aborted: self.boundary_aborted.clone(),
+            quarantined: self.boundary_quarantined.clone(),
+            tests: test_set
+                .tests()
+                .iter()
+                .map(crate::testset::test_line)
+                .collect(),
+            counters: vec![
+                (
+                    "aborted_primaries".to_owned(),
+                    self.boundary_stats.aborted_primaries as u64,
+                ),
+                (
+                    "secondary_accepts".to_owned(),
+                    self.boundary_stats.secondary_accepts as u64,
+                ),
+                (
+                    "free_accepts".to_owned(),
+                    self.boundary_stats.free_accepts as u64,
+                ),
+                (
+                    "secondary_rejects".to_owned(),
+                    self.boundary_stats.secondary_rejects as u64,
+                ),
+                (
+                    "conflict_rejects".to_owned(),
+                    self.boundary_stats.conflict_rejects as u64,
+                ),
+                (
+                    "faults_quarantined".to_owned(),
+                    self.boundary_stats.faults_quarantined as u64,
+                ),
+                (
+                    "checkpoints_written".to_owned(),
+                    (self.stats.checkpoints_written + 1) as u64,
+                ),
+            ],
+            complete,
+        };
+        match checkpoint.save(&policy.path) {
+            Ok(()) => {
+                self.stats.checkpoints_written += 1;
+                self.boundary_stats.checkpoints_written = self.stats.checkpoints_written;
+            }
+            Err(e) => {
+                if !self.checkpoint_warned {
+                    eprintln!("warning: checkpoint write failed, continuing without: {e}");
+                    self.checkpoint_warned = true;
+                }
+            }
+        }
+    }
+
+    /// Marks fault `i` quarantined: it panicked mid-processing and is
+    /// skipped (never targeted, never offered as a secondary, never swept)
+    /// for the rest of the run.
+    fn quarantine_fault(&mut self, i: usize, context: &str) {
+        if self.quarantined[i] {
+            return;
+        }
+        self.quarantined[i] = true;
+        self.stats.faults_quarantined += 1;
+        pdf_telemetry::count(pdf_telemetry::counters::FAULTS_QUARANTINED, 1);
+        eprintln!(
+            "warning: quarantined fault {} after a panic during {context}",
+            self.faults[i].fault
+        );
+    }
+
+    /// A justification call attributable to fault `i`: under quarantine,
+    /// a panic inside the justifier quarantines the fault and reads as a
+    /// failed call.
+    fn justify_guarded(
+        &mut self,
+        i: usize,
+        req: &Assignments,
+        frozen: Option<&[(LineId, Value, Value)]>,
+    ) -> Option<Justified> {
+        let run = |justifier: &mut Justifier<'c>| match frozen {
+            None => justifier.justify(req),
+            Some(pins) => justifier.justify_seeded(req, pins),
+        };
+        if !self.config.quarantine {
+            return run(&mut self.justifier);
+        }
+        let justifier = &mut self.justifier;
+        match catch_unwind(AssertUnwindSafe(|| run(justifier))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = pdf_sim::panic_message(payload.as_ref()).to_owned();
+                self.quarantine_fault(i, &format!("justification ({message})"));
+                None
+            }
+        }
+    }
+
+    /// The per-test fault simulation sweep, fault panics quarantined.
+    fn sweep(&mut self, waves: &[pdf_logic::Triple]) {
+        if !self.config.quarantine {
+            for i in pdf_sim::newly_satisfied(waves, &self.faults, &self.detected) {
+                self.detected[i] = true;
+            }
+            return;
+        }
+        let skip: Vec<bool> = self
+            .detected
+            .iter()
+            .zip(&self.quarantined)
+            .map(|(&d, &q)| d || q)
+            .collect();
+        let swept = pdf_sim::newly_satisfied_guarded(waves, &self.faults, &skip);
+        for i in swept.satisfied {
+            self.detected[i] = true;
+        }
+        for i in swept.panicked {
+            self.quarantine_fault(i, "fault simulation");
         }
     }
 
     /// The next set-0 fault to build a test around: undetected, not yet
-    /// tried as a primary; longest-first except under the arbitrary order.
+    /// tried as a primary, not quarantined; longest-first except under the
+    /// arbitrary order.
     fn next_primary(&self) -> Option<usize> {
         self.primary_order
             .iter()
             .copied()
-            .find(|&i| !self.detected[i] && !self.aborted[i])
+            .find(|&i| !self.detected[i] && !self.aborted[i] && !self.quarantined[i])
     }
 
     /// Folds secondary targets into the current test, set by set.
@@ -480,6 +933,9 @@ impl<'c, 'f> Session<'c, 'f> {
             (lo..hi).collect()
         };
         for i in order {
+            if self.config.budget.already_exhausted() {
+                return; // the truncated test is discarded by the caller
+            }
             if self.eligible_secondary(i, primary) {
                 self.try_candidate(i, union, current, frozen);
             }
@@ -500,6 +956,9 @@ impl<'c, 'f> Session<'c, 'f> {
         let (lo, hi) = (self.set_starts[set], self.set_starts[set + 1]);
         let mut considered = vec![false; hi - lo];
         loop {
+            if self.config.budget.already_exhausted() {
+                return; // the truncated test is discarded by the caller
+            }
             // Rank all unconsidered candidates by n_Δ against the current
             // union; conflicting candidates are rejected outright.
             let mut ranked: Vec<(usize, usize)> = Vec::new();
@@ -531,7 +990,7 @@ impl<'c, 'f> Session<'c, 'f> {
     }
 
     fn eligible_secondary(&self, i: usize, primary: usize) -> bool {
-        i != primary && !self.detected[i] && !self.aborted[i]
+        i != primary && !self.detected[i] && !self.aborted[i] && !self.quarantined[i]
     }
 
     /// Attempts to add fault `i` to the current test. Returns `true` when
@@ -543,12 +1002,26 @@ impl<'c, 'f> Session<'c, 'f> {
         current: &mut Justified,
         frozen: &mut Vec<(LineId, Value, Value)>,
     ) -> bool {
-        let a = &self.faults[i].assignments;
+        let entry = self.faults[i];
+        let a = &entry.assignments;
         // Free acceptance: the test built so far already detects it. Its
         // requirements still join the union so that later regenerations
         // keep detecting it; if that grows the union, the caller must
         // recompute its Δ ranking (the paper recomputes Δ per selection).
-        if a.satisfied_by(&current.waves) {
+        let satisfied = if self.config.quarantine {
+            let waves = &current.waves;
+            match catch_unwind(AssertUnwindSafe(|| a.satisfied_by(waves))) {
+                Ok(satisfied) => satisfied,
+                Err(payload) => {
+                    let message = pdf_sim::panic_message(payload.as_ref()).to_owned();
+                    self.quarantine_fault(i, &format!("the free-acceptance check ({message})"));
+                    return false;
+                }
+            }
+        } else {
+            a.satisfied_by(&current.waves)
+        };
+        if satisfied {
             let mut grew = false;
             if let Some(merged) = union.merged(a) {
                 grew = merged != *union;
@@ -567,13 +1040,29 @@ impl<'c, 'f> Session<'c, 'f> {
         // for the merged requirements, so the (much costlier) randomized
         // justification is skipped. Sound — it only rejects candidates
         // justification could never accept.
-        if pdf_faults::Implicator::from_assignments(self.circuit, &merged).is_err() {
+        let conflicting = if self.config.quarantine {
+            let circuit = self.circuit;
+            let merged_ref = &merged;
+            match catch_unwind(AssertUnwindSafe(|| {
+                pdf_faults::Implicator::from_assignments(circuit, merged_ref).is_err()
+            })) {
+                Ok(conflicting) => conflicting,
+                Err(payload) => {
+                    let message = pdf_sim::panic_message(payload.as_ref()).to_owned();
+                    self.quarantine_fault(i, &format!("the implication pre-filter ({message})"));
+                    return false;
+                }
+            }
+        } else {
+            pdf_faults::Implicator::from_assignments(self.circuit, &merged).is_err()
+        };
+        if conflicting {
             self.stats.conflict_rejects += 1;
             return false;
         }
         let result = match self.config.secondary_mode {
-            SecondaryMode::Regenerate => self.justifier.justify(&merged),
-            SecondaryMode::FreezeValues => self.justifier.justify_seeded(&merged, frozen),
+            SecondaryMode::Regenerate => self.justify_guarded(i, &merged, None),
+            SecondaryMode::FreezeValues => self.justify_guarded(i, &merged, Some(frozen)),
         };
         match result {
             Some(justified) => {
@@ -594,7 +1083,10 @@ impl<'c, 'f> Session<'c, 'f> {
                 true
             }
             None => {
-                self.stats.secondary_rejects += 1;
+                // A quarantine mid-call is not a justification verdict.
+                if !self.quarantined[i] {
+                    self.stats.secondary_rejects += 1;
+                }
                 false
             }
         }
@@ -799,7 +1291,7 @@ mod tests {
         let (c, faults) = s27_faults();
         let mut cfg = config(Compaction::ValueBased);
         cfg.secondary_mode = SecondaryMode::FreezeValues;
-        let a = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        let a = BasicAtpg::new(&c).with_config(cfg.clone()).run(&faults);
         let b = BasicAtpg::new(&c).with_config(cfg).run(&faults);
         assert_eq!(a.detected(), b.detected());
         assert_eq!(a.tests().len(), b.tests().len());
@@ -813,5 +1305,148 @@ mod tests {
             .run(&faults);
         // On s27, tests routinely detect several faults at once.
         assert!(outcome.stats().free_accepts + outcome.stats().secondary_accepts > 0);
+    }
+
+    /// Replaces the entry at `slot` with one whose assignments constrain
+    /// a line the circuit does not have: simulation lookups, cone
+    /// construction and implication all panic on it.
+    fn poison(faults: &FaultList, slot: usize) -> FaultList {
+        let mut entries: Vec<FaultEntry> = faults.iter().cloned().collect();
+        let mut bad = pdf_faults::Assignments::new();
+        bad.require(LineId::new(9_999), pdf_logic::Triple::RISING)
+            .unwrap();
+        entries[slot].assignments = bad;
+        entries.into_iter().collect()
+    }
+
+    #[test]
+    fn poisoned_secondary_is_quarantined_and_the_run_continues() {
+        let (c, faults) = s27_faults();
+        let slot = faults.len() / 2;
+        let poisoned = poison(&faults, slot);
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&poisoned);
+        assert_eq!(outcome.stats().faults_quarantined, 1);
+        assert!(outcome.quarantined()[slot]);
+        assert_eq!(outcome.quarantined().iter().filter(|&&q| q).count(), 1);
+        assert!(!outcome.detected()[slot]);
+        assert!(!outcome.aborted()[slot], "quarantine is not an abort");
+        // The rest of the population is unaffected.
+        assert!(!outcome.tests().is_empty());
+        assert!(outcome.detected_total() > 0);
+    }
+
+    #[test]
+    fn poisoned_primary_is_quarantined_at_justification() {
+        let (c, faults) = s27_faults();
+        // Slot 0 is the first primary under the length-based order.
+        let poisoned = poison(&faults, 0);
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&poisoned);
+        assert!(outcome.quarantined()[0]);
+        assert_eq!(outcome.stats().faults_quarantined, 1);
+        assert!(!outcome.tests().is_empty());
+    }
+
+    #[test]
+    fn poisoned_fault_is_quarantined_by_the_sweep_without_compaction() {
+        let (c, faults) = s27_faults();
+        let slot = faults.len() / 2;
+        let poisoned = poison(&faults, slot);
+        // Uncompacted: no secondary pass, so the guarded per-test fault
+        // simulation sweep is what trips over the poison.
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(Compaction::Uncompacted))
+            .run(&poisoned);
+        assert!(outcome.quarantined()[slot]);
+        assert_eq!(outcome.stats().faults_quarantined, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_finalizes_a_partial_prefix() {
+        let (c, faults) = s27_faults();
+        let full = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&faults);
+        assert!(!full.budget_exhausted());
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.budget =
+            RunBudget::unlimited().and_cancel(pdf_runctl::CancelToken::cancel_after_polls(5));
+        let partial = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        assert!(partial.budget_exhausted());
+        assert!(partial.tests().len() < full.tests().len());
+        // Every finalized test is real and a prefix of the full run's.
+        let cov = partial.tests().coverage(&c, &faults);
+        assert_eq!(cov.detected(), partial.detected());
+        for (a, b) in partial.tests().tests().iter().zip(full.tests().tests()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn interrupted_resumed_run_reproduces_the_uninterrupted_set() {
+        let (c, faults) = s27_faults();
+        let full = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&faults);
+        let path =
+            std::env::temp_dir().join(format!("pdf_generator_resume_{}.json", std::process::id()));
+        for polls in [1u64, 3, 17, 61, 301] {
+            let mut cfg = config(Compaction::ValueBased);
+            cfg.budget = RunBudget::unlimited()
+                .and_cancel(pdf_runctl::CancelToken::cancel_after_polls(polls));
+            cfg.checkpoint = Some(pdf_runctl::CheckpointPolicy::new(&path, 1));
+            let partial = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+            let checkpoint = pdf_runctl::Checkpoint::load(&path).unwrap();
+            assert_eq!(checkpoint.complete, !partial.budget_exhausted());
+            let resumed = BasicAtpg::new(&c)
+                .with_config(config(Compaction::ValueBased))
+                .run_resumed(&faults, &checkpoint)
+                .unwrap();
+            assert_eq!(
+                resumed.tests().to_text(),
+                full.tests().to_text(),
+                "polls={polls}"
+            );
+            assert_eq!(resumed.detected(), full.detected(), "polls={polls}");
+            assert_eq!(resumed.aborted(), full.aborted(), "polls={polls}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_checkpoint() {
+        let (c, faults) = s27_faults();
+        let path =
+            std::env::temp_dir().join(format!("pdf_generator_reject_{}.json", std::process::id()));
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.checkpoint = Some(pdf_runctl::CheckpointPolicy::new(&path, 4));
+        let _ = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        let checkpoint = pdf_runctl::Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let err = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .with_seed(999)
+            .run_resumed(&faults, &checkpoint)
+            .unwrap_err();
+        assert!(matches!(err, ResumeError::Mismatch { field: "seed", .. }));
+
+        let err = BasicAtpg::new(&c)
+            .with_config(config(Compaction::Arbitrary))
+            .run_resumed(&faults, &checkpoint)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ResumeError::Mismatch {
+                    field: "fingerprint",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

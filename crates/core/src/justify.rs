@@ -37,6 +37,7 @@ use std::rc::Rc;
 use pdf_faults::Assignments;
 use pdf_logic::{Triple, Value};
 use pdf_netlist::{Circuit, LineId, LineKind, SplitMix64, TwoPattern};
+use pdf_runctl::RunBudget;
 use pdf_sim::{PackedBlock, SimBackend, LANES};
 
 /// Default capacity (entries) of the cone-topology LRU cache.
@@ -128,6 +129,9 @@ pub struct Justifier<'c> {
     cones: ConeCache,
     /// Wall time spent inside completion blocks (phase 2 only).
     completion: std::time::Duration,
+    /// Cooperative time/cancellation budget polled at call entry, per
+    /// completion block and per guided-search decision.
+    budget: RunBudget,
 }
 
 impl<'c> Justifier<'c> {
@@ -146,6 +150,7 @@ impl<'c> Justifier<'c> {
             packed: PackedBlock::new(),
             cones: ConeCache::new(DEFAULT_CONE_CACHE),
             completion: std::time::Duration::ZERO,
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -173,6 +178,30 @@ impl<'c> Justifier<'c> {
     pub fn with_cone_cache(mut self, capacity: usize) -> Justifier<'c> {
         self.cones = ConeCache::new(capacity);
         self
+    }
+
+    /// Attaches a cooperative run budget. An exhausted budget makes
+    /// justification calls return `None` early — at call entry, between
+    /// completion blocks and between guided-search decisions — without
+    /// consuming further RNG beyond the aborted phase.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Justifier<'c> {
+        self.budget = budget;
+        self
+    }
+
+    /// The RNG's current internal state — checkpoint material. Feeding it
+    /// back through [`Justifier::set_rng_state`] on a fresh justifier
+    /// resumes the random stream exactly where this one stands.
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores the RNG to a state previously captured with
+    /// [`Justifier::rng_state`].
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = SplitMix64::from_state(state);
     }
 
     /// Accumulated counters.
@@ -214,6 +243,9 @@ impl<'c> Justifier<'c> {
     ) -> Option<Justified> {
         let _span = pdf_telemetry::Span::enter("justify");
         self.stats.calls += 1;
+        if self.budget.exhausted() {
+            return None;
+        }
         let cone = self.cone(req);
         let n = cone.topo.pis.len();
         // (first, last) value per cone PI.
@@ -252,6 +284,9 @@ impl<'c> Justifier<'c> {
             .collect();
         let mut fills = vec![0u64; open.len()];
         for block in 0..self.attempts {
+            if self.budget.exhausted() {
+                return None;
+            }
             if block > 0 {
                 pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_RETRIES, 1);
             }
@@ -407,6 +442,9 @@ impl<'c> Justifier<'c> {
     ) -> Option<Justified> {
         let n = cone.topo.pis.len();
         loop {
+            if self.budget.exhausted() {
+                return None;
+            }
             // Decision: stabilize a half-specified input if one exists...
             let decided = if let Some(i) = state
                 .iter()
@@ -979,6 +1017,45 @@ mod tests {
             .unwrap();
         assert!(r.test.is_fully_specified());
         assert_eq!(r.test.len(), 7);
+    }
+
+    #[test]
+    fn exhausted_budget_fails_justification_without_drawing_rng() {
+        let c = s27();
+        let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let cancel = pdf_runctl::CancelToken::new();
+        cancel.cancel();
+        let mut j = Justifier::new(&c, 42)
+            .with_backend(env_backend())
+            .with_budget(RunBudget::unlimited().and_cancel(cancel));
+        let before = j.rng_state();
+        assert!(j.justify(&a).is_none());
+        assert_eq!(j.stats().calls, 1);
+        assert_eq!(
+            j.rng_state(),
+            before,
+            "an entry-poll abort must not draw RNG"
+        );
+    }
+
+    #[test]
+    fn rng_state_round_trips_across_justifiers() {
+        let c = s27();
+        let f1 = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let f2 = s27_fault(&[1, 8, 12, 25], Polarity::SlowToRise);
+        let a1 = robust_assignments(&c, &f1).unwrap();
+        let a2 = robust_assignments(&c, &f2).unwrap();
+        // One justifier runs both calls; a second is rebuilt mid-stream
+        // from the first's snapshot and must produce the same second test.
+        let mut full = Justifier::new(&c, 77).with_backend(env_backend());
+        let _ = full.justify(&a1);
+        let snapshot = full.rng_state();
+        let t_full = full.justify(&a2).map(|r| r.test);
+        let mut resumed = Justifier::new(&c, 0).with_backend(env_backend());
+        resumed.set_rng_state(snapshot);
+        let t_resumed = resumed.justify(&a2).map(|r| r.test);
+        assert_eq!(t_full, t_resumed);
     }
 
     #[test]

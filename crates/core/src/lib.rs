@@ -50,7 +50,8 @@ mod testset;
 
 pub use exact::{ExactJustifier, ExactOutcome};
 pub use generator::{
-    AtpgConfig, AtpgOutcome, AtpgStats, BasicAtpg, Compaction, EnrichmentAtpg, SecondaryMode,
+    config_fingerprint, AtpgConfig, AtpgOutcome, AtpgStats, BasicAtpg, Compaction, EnrichmentAtpg,
+    ResumeError, SecondaryMode,
 };
 pub use justify::{Justified, Justifier, JustifyStats, DEFAULT_CONE_CACHE};
 pub use target::TargetSplit;
@@ -58,6 +59,12 @@ pub use testset::{Coverage, ParseTestSetError, TestSet};
 // The backend selector is part of this crate's public simulation API:
 // `TestSet::coverage_with` / `TestSet::minimized_with` take it.
 pub use pdf_sim::SimBackend;
+// Run control is part of the public generation API: `AtpgConfig` carries
+// a budget and a checkpoint policy, `run_resumed` consumes a checkpoint.
+pub use pdf_runctl::{
+    BudgetSpec, CancelToken, Checkpoint, CheckpointError, CheckpointPolicy, Deadline,
+    ParseBudgetError, RunBudget, DEFAULT_CHECKPOINT_EVERY,
+};
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

@@ -8,7 +8,23 @@
 
 use pdf_faults::FaultList;
 use pdf_netlist::{Circuit, TwoPattern};
+use pdf_runctl::RunBudget;
 use pdf_sim::SimBackend;
+
+/// One test in the plain-text interchange line format (`v1 v2`), shared
+/// by [`TestSet::to_text`] and the checkpoint writer.
+pub(crate) fn test_line(test: &TwoPattern) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(2 * test.first().len() + 1);
+    for v in test.first() {
+        let _ = write!(s, "{v}");
+    }
+    s.push(' ');
+    for v in test.second() {
+        let _ = write!(s, "{v}");
+    }
+    s
+}
 
 /// An ordered collection of two-pattern tests.
 ///
@@ -160,6 +176,28 @@ impl TestSet {
         }
     }
 
+    /// [`TestSet::minimized_with`] under a cooperative run budget: when
+    /// the budget is (or becomes) exhausted at the compaction boundary,
+    /// the set is returned unminimized — a valid, merely uncompacted,
+    /// result — instead of starting a sweep there is no time for.
+    ///
+    /// Returns the set and whether the budget cut the pass short. The
+    /// budget is polled once on entry (the sweep itself is one bounded
+    /// simulation pass, not an open-ended loop).
+    #[must_use]
+    pub fn minimized_within(
+        &self,
+        budget: &RunBudget,
+        backend: SimBackend,
+        circuit: &Circuit,
+        faults: &FaultList,
+    ) -> (TestSet, bool) {
+        if budget.exhausted() {
+            return (self.clone(), true);
+        }
+        (self.minimized_with(backend, circuit, faults), false)
+    }
+
     /// The reverse-order sweep shared by the minimization entry points:
     /// which tests survive, as flags aligned with `self.tests`.
     fn kept_after_sweep(
@@ -196,16 +234,9 @@ impl TestSet {
     /// ```
     #[must_use]
     pub fn to_text(&self) -> String {
-        use std::fmt::Write as _;
         let mut s = String::from("# path-delay-atpg test set v1\n");
         for t in &self.tests {
-            for v in t.first() {
-                let _ = write!(s, "{v}");
-            }
-            s.push(' ');
-            for v in t.second() {
-                let _ = write!(s, "{v}");
-            }
+            s.push_str(&test_line(t));
             s.push('\n');
         }
         s
@@ -490,6 +521,30 @@ mod tests {
         // Comments, blanks, and x values are fine.
         let ok = TestSet::from_text("# hi\n\n0x1 1x0  # trailing\n").unwrap();
         assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn budgeted_minimization_degrades_to_identity_when_exhausted() {
+        let (c, faults) = setup();
+        let mut j = Justifier::new(&c, 21).with_attempts(2);
+        let set: TestSet = faults
+            .iter()
+            .filter_map(|e| j.justify(&e.assignments))
+            .map(|r| r.test)
+            .collect();
+        let spent =
+            RunBudget::unlimited().and_cancel(pdf_runctl::CancelToken::cancel_after_polls(1));
+        let (kept, cut_short) = set.minimized_within(&spent, SimBackend::default(), &c, &faults);
+        assert!(cut_short);
+        assert_eq!(
+            kept.tests(),
+            set.tests(),
+            "exhausted budget skips the sweep"
+        );
+        let (min, cut_short) =
+            set.minimized_within(&RunBudget::unlimited(), SimBackend::default(), &c, &faults);
+        assert!(!cut_short);
+        assert_eq!(min.tests(), set.minimized(&c, &faults).tests());
     }
 
     #[test]

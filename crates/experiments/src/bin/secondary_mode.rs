@@ -29,6 +29,8 @@ fn main() {
                 secondary_mode: mode,
                 backend: pdf_experiments::sim_backend(),
                 cone_cache: workload.cone_cache,
+                budget: workload.run_budget(),
+                ..AtpgConfig::default()
             };
             let start = std::time::Instant::now();
             let outcome = BasicAtpg::new(&prepared.circuit)

@@ -35,13 +35,16 @@ pub mod report;
 
 use std::time::Instant;
 
-use pdf_atpg::{AtpgConfig, BasicAtpg, Compaction, EnrichmentAtpg, SimBackend, TargetSplit};
+use pdf_atpg::{
+    AtpgConfig, BasicAtpg, BudgetSpec, Compaction, EnrichmentAtpg, RunBudget, SimBackend,
+    TargetSplit,
+};
 use pdf_faults::FaultList;
 use pdf_netlist::Circuit;
 use pdf_paths::PathEnumerator;
 
 /// Workload parameters shared by all experiments.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Workload {
     /// The enumeration cap `N_P`, in faults (paper: 10000).
     pub n_p: usize,
@@ -53,6 +56,10 @@ pub struct Workload {
     pub attempts: u32,
     /// Cone-topology LRU capacity of the justifier (0 = no caching).
     pub cone_cache: usize,
+    /// Optional wall-clock budget per generation run (`PDF_TIME_BUDGET`).
+    /// A budgeted run that exhausts its deadline still reports its partial
+    /// results, flagged on stderr.
+    pub time_budget: Option<BudgetSpec>,
 }
 
 impl Default for Workload {
@@ -63,13 +70,14 @@ impl Default for Workload {
             seed: 2002,
             attempts: 1,
             cone_cache: pdf_atpg::DEFAULT_CONE_CACHE,
+            time_budget: None,
         }
     }
 }
 
 impl Workload {
     /// The defaults, overridden by `PDF_NP`, `PDF_NP0`, `PDF_SEED`,
-    /// `PDF_ATTEMPTS` and `PDF_CONE_CACHE` when set.
+    /// `PDF_ATTEMPTS`, `PDF_CONE_CACHE` and `PDF_TIME_BUDGET` when set.
     ///
     /// # Panics
     ///
@@ -85,6 +93,21 @@ impl Workload {
             seed: env_parse("PDF_SEED").unwrap_or(d.seed),
             attempts: env_parse("PDF_ATTEMPTS").unwrap_or(d.attempts),
             cone_cache: env_parse("PDF_CONE_CACHE").unwrap_or(d.cone_cache),
+            time_budget: BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")),
+        }
+    }
+
+    /// A fresh [`RunBudget`] for one generation run: the workload's time
+    /// budget (generate-phase entry or global) anchored at the call
+    /// instant, or an unlimited budget when none is configured.
+    #[must_use]
+    pub fn run_budget(&self) -> RunBudget {
+        match &self.time_budget {
+            Some(spec) => {
+                let now = Instant::now();
+                RunBudget::with_deadline(spec.deadline_for("generate", now, now))
+            }
+            None => RunBudget::unlimited(),
         }
     }
 }
@@ -211,6 +234,19 @@ pub fn prepare(name: &str, workload: &Workload) -> Option<Prepared> {
     })
 }
 
+/// Flags a budget-truncated run on stderr: the tables still include its
+/// partial numbers, but a reader must know they are a floor, not a
+/// measurement.
+fn note_budget_exhaustion(circuit: &str, label: &str, outcome: &pdf_atpg::AtpgOutcome) {
+    if outcome.budget_exhausted() {
+        eprintln!(
+            "warning: {circuit}/{label}: time budget exhausted after {} tests — \
+             reported coverage is partial",
+            outcome.tests().len()
+        );
+    }
+}
+
 /// Measured results of the basic procedure under one heuristic.
 #[derive(Clone, Debug)]
 pub struct HeuristicResult {
@@ -268,12 +304,15 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
             secondary_mode: Default::default(),
             backend: sim_backend(),
             cone_cache: workload.cone_cache,
+            budget: workload.run_budget(),
+            ..AtpgConfig::default()
         };
         let start = Instant::now();
         let outcome = BasicAtpg::new(&prepared.circuit)
             .with_config(config)
             .run(prepared.split.p0());
         let seconds = start.elapsed().as_secs_f64();
+        note_budget_exhaustion(&prepared.name, compaction.label(), &outcome);
         let accidental = outcome
             .tests()
             .coverage_with(sim_backend(), &prepared.circuit, &all_faults)
@@ -350,20 +389,30 @@ pub fn run_enrich_on(prepared: &Prepared, workload: &Workload) -> EnrichCircuitR
         secondary_mode: Default::default(),
         backend: sim_backend(),
         cone_cache: workload.cone_cache,
+        budget: workload.run_budget(),
+        ..AtpgConfig::default()
     };
 
     let start = Instant::now();
     let basic = BasicAtpg::new(&prepared.circuit)
-        .with_config(config)
+        .with_config(config.clone())
         .run(prepared.split.p0());
     let basic_seconds = start.elapsed().as_secs_f64();
+    note_budget_exhaustion(&prepared.name, "basic", &basic);
     drop(basic);
 
     let start = Instant::now();
+    // The enrichment run gets its own deadline anchor: Table 7 compares
+    // the two runs' wall clocks, so both must start with a full budget.
+    let config = AtpgConfig {
+        budget: workload.run_budget(),
+        ..config
+    };
     let outcome = EnrichmentAtpg::new(&prepared.circuit)
         .with_config(config)
         .run(&prepared.split);
     let seconds = start.elapsed().as_secs_f64();
+    note_budget_exhaustion(&prepared.name, "enrich", &outcome);
 
     EnrichCircuitResult {
         circuit: prepared.name.clone(),

@@ -13,6 +13,7 @@
 //! ```
 
 use std::fmt;
+use std::path::Path;
 
 use pdf_logic::GateKind;
 
@@ -75,6 +76,113 @@ impl From<NetlistError> for BenchParseError {
         BenchParseError::Netlist(e)
     }
 }
+
+/// A netlist parse failure annotated with where it happened: the source
+/// (a file path or an embedded-circuit name), the 1-based line when the
+/// failure is tied to one, and the offending token when one can be
+/// singled out.
+///
+/// This is the error the file-level entry points ([`parse_bench_file`],
+/// [`parse_bench_named`]) report, so that a user-facing tool can print
+/// `path:line: message` diagnostics without re-deriving the context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistParseError {
+    source: String,
+    line: Option<usize>,
+    token: Option<String>,
+    message: String,
+}
+
+impl NetlistParseError {
+    /// Wraps a [`BenchParseError`] with the source it came from.
+    #[must_use]
+    pub fn from_bench(source: impl Into<String>, error: &BenchParseError) -> NetlistParseError {
+        let (line, token, message) = match error {
+            BenchParseError::Syntax { line, text } => (
+                Some(*line),
+                Some(text.clone()),
+                "unrecognized syntax".to_owned(),
+            ),
+            BenchParseError::UnknownFunction { line, function } => (
+                Some(*line),
+                Some(function.clone()),
+                "unknown gate function".to_owned(),
+            ),
+            BenchParseError::BadDffArity { line } => (
+                Some(*line),
+                None,
+                "DFF must have exactly one input".to_owned(),
+            ),
+            BenchParseError::Netlist(e) => {
+                let token = match e {
+                    NetlistError::MultipleDrivers { signal }
+                    | NetlistError::Undriven { signal }
+                    | NetlistError::UnknownSignal { signal } => Some(signal.clone()),
+                    _ => None,
+                };
+                (None, token, e.to_string())
+            }
+        };
+        NetlistParseError {
+            source: source.into(),
+            line,
+            token,
+            message,
+        }
+    }
+
+    /// Wraps an I/O failure (the source could not be read at all).
+    #[must_use]
+    pub fn io(source: impl Into<String>, error: &std::io::Error) -> NetlistParseError {
+        NetlistParseError {
+            source: source.into(),
+            line: None,
+            token: None,
+            message: format!("cannot read: {error}"),
+        }
+    }
+
+    /// The source the text came from (file path or circuit name).
+    #[must_use]
+    pub fn source_name(&self) -> &str {
+        &self.source
+    }
+
+    /// The 1-based line of the failure, when tied to a specific line.
+    #[must_use]
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// The offending token, when one can be singled out.
+    #[must_use]
+    pub fn token(&self) -> Option<&str> {
+        self.token.as_deref()
+    }
+
+    /// The failure description, without the location prefix.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for NetlistParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{line}: {}", self.source, self.message)?,
+            None => write!(f, "{}: {}", self.source, self.message)?,
+        }
+        if let Some(token) = &self.token {
+            if !self.message.contains(token.as_str()) {
+                write!(f, " (near `{token}`)")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for NetlistParseError {}
 
 /// Parses `.bench` text into a [`Netlist`] called `name`.
 ///
@@ -158,6 +266,39 @@ pub fn parse_bench(text: &str, name: &str) -> Result<Netlist, BenchParseError> {
         b.gate(kind, out, &args);
     }
     Ok(b.finish()?)
+}
+
+/// [`parse_bench`] with full source attribution: failures come back as a
+/// [`NetlistParseError`] naming `source` (typically the file path the
+/// text was read from) alongside the line and token context.
+///
+/// # Errors
+///
+/// Returns [`NetlistParseError`] for any [`parse_bench`] failure.
+pub fn parse_bench_named(
+    text: &str,
+    name: &str,
+    source: &str,
+) -> Result<Netlist, NetlistParseError> {
+    parse_bench(text, name).map_err(|e| NetlistParseError::from_bench(source, &e))
+}
+
+/// Reads and parses a `.bench` file. The netlist is named after the file
+/// stem; diagnostics carry the full path.
+///
+/// # Errors
+///
+/// Returns [`NetlistParseError`] when the file cannot be read or its
+/// contents do not parse.
+pub fn parse_bench_file(path: &Path) -> Result<Netlist, NetlistParseError> {
+    let source = path.display().to_string();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| NetlistParseError::io(source.as_str(), &e))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    parse_bench_named(&text, name, &source)
 }
 
 fn parse_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {

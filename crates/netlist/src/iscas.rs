@@ -31,7 +31,7 @@
 
 use pdf_logic::GateKind;
 
-use crate::{parse_bench, Circuit, CircuitBuilder, Netlist};
+use crate::{parse_bench_named, Circuit, CircuitBuilder, Netlist};
 
 /// The original sequential `s27` in `.bench` form.
 pub const S27_BENCH: &str = "\
@@ -64,7 +64,7 @@ G13 = NOR(G2, G12)
 /// Never — the embedded text is valid by construction (covered by tests).
 #[must_use]
 pub fn s27_netlist() -> Netlist {
-    parse_bench(S27_BENCH, "s27").expect("embedded s27 is valid")
+    parse_bench_named(S27_BENCH, "s27", "embedded:s27").expect("embedded s27 is valid")
 }
 
 /// The combinational logic of `s27` at the line level, with lines numbered
@@ -160,7 +160,7 @@ OUTPUT(23)
 /// Never — the embedded text is valid by construction (covered by tests).
 #[must_use]
 pub fn c17() -> Circuit {
-    parse_bench(C17_BENCH, "c17")
+    parse_bench_named(C17_BENCH, "c17", "embedded:c17")
         .expect("embedded c17 is valid")
         .to_circuit()
         .expect("c17 is purely combinational")

@@ -47,7 +47,10 @@ mod rng;
 mod sim;
 mod synth;
 
-pub use bench::{parse_bench, to_bench_string, BenchParseError};
+pub use bench::{
+    parse_bench, parse_bench_file, parse_bench_named, to_bench_string, BenchParseError,
+    NetlistParseError,
+};
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, Line, LineId, LineKind};
 pub use dot::to_dot;
 pub use netlist::{Dff, Driver, Gate, Netlist, NetlistBuilder, NetlistError, SignalId};

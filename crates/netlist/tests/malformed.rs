@@ -1,0 +1,115 @@
+//! Malformed-netlist corpus: every corruption class a `.bench` reader
+//! meets in the wild must be rejected with located, token-bearing
+//! diagnostics — through both the text-level and the file-level parser.
+
+use pdf_netlist::{parse_bench, parse_bench_file, parse_bench_named, BenchParseError};
+
+const GOOD: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+m = AND(a, b)
+z = NOT(m)
+";
+
+/// Each corpus entry: a label, the corrupted text, the expected 1-based
+/// line (None for netlist-level failures detected after parsing) and a
+/// token the diagnostic must name.
+fn corpus() -> Vec<(&'static str, String, Option<usize>, &'static str)> {
+    vec![
+        (
+            "truncated line",
+            GOOD.replace("m = AND(a, b)", "m = AND(a,"),
+            Some(4),
+            "m = AND(a,",
+        ),
+        (
+            "unknown gate",
+            GOOD.replace("AND", "MAJORITY"),
+            Some(4),
+            "MAJORITY",
+        ),
+        (
+            "dangling fanout",
+            GOOD.replace("m = AND(a, b)", "m = AND(a, ghost)"),
+            None,
+            "ghost",
+        ),
+        (
+            "duplicate driver",
+            format!("{GOOD}z = AND(a, b)\n"),
+            None,
+            "z",
+        ),
+    ]
+}
+
+#[test]
+fn the_good_text_is_good() {
+    assert!(parse_bench(GOOD, "good").is_ok());
+}
+
+#[test]
+fn corpus_is_rejected_with_context_by_the_text_parser() {
+    for (label, text, line, token) in corpus() {
+        let err = parse_bench_named(&text, "bad", "corpus.bench")
+            .expect_err(&format!("{label}: must not parse"));
+        assert_eq!(err.source_name(), "corpus.bench", "{label}");
+        assert_eq!(err.line(), line, "{label}: wrong line");
+        assert_eq!(err.token(), Some(token), "{label}: wrong token");
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with("corpus.bench"),
+            "{label}: diagnostic must lead with the source: {rendered}"
+        );
+        assert!(
+            rendered.contains(token),
+            "{label}: diagnostic must name the token: {rendered}"
+        );
+        if let Some(line) = line {
+            assert!(
+                rendered.contains(&format!(":{line}:")),
+                "{label}: diagnostic must name the line: {rendered}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_is_rejected_with_context_by_the_file_parser() {
+    let dir = std::env::temp_dir();
+    for (i, (label, text, line, token)) in corpus().into_iter().enumerate() {
+        let path = dir.join(format!("pdf_malformed_{}_{i}.bench", std::process::id()));
+        std::fs::write(&path, &text).unwrap();
+        let err = parse_bench_file(&path).expect_err(&format!("{label}: must not parse"));
+        assert_eq!(err.source_name(), path.display().to_string(), "{label}");
+        assert_eq!(err.line(), line, "{label}: wrong line");
+        assert_eq!(err.token(), Some(token), "{label}: wrong token");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_diagnostic() {
+    let err = parse_bench_file(std::path::Path::new("/nonexistent/void.bench")).unwrap_err();
+    assert!(err.line().is_none());
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("/nonexistent/void.bench") && rendered.contains("cannot read"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn typed_variants_survive_the_wrapping() {
+    // The low-level error stays reachable for callers that match on it.
+    let err = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n", "t").unwrap_err();
+    assert!(matches!(err, BenchParseError::BadDffArity { line: 3 }));
+    let wrapped = pdf_netlist::NetlistParseError::from_bench("t.bench", &err);
+    assert_eq!(wrapped.line(), Some(3));
+    assert_eq!(wrapped.token(), None);
+    assert_eq!(
+        wrapped.to_string(),
+        "t.bench:3: DFF must have exactly one input"
+    );
+}

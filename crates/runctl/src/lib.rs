@@ -1,0 +1,963 @@
+//! Run control: cooperative cancellation, wall-clock budgets, and
+//! crash-safe checkpointing for deadline-bounded ATPG runs.
+//!
+//! The paper's enrichment procedure is explicitly a budget game — the
+//! `N_P` store cap and the bounded justification attempts exist because
+//! full path enumeration is intractable — and a production run inherits
+//! the same economics at the wall-clock level: partial results delivered
+//! on deadline beat perfect results delivered never. This crate supplies
+//! the three pieces the pipeline threads through every phase:
+//!
+//! * [`RunBudget`] — a cooperative exhaustion test combining a
+//!   [`Deadline`] (wall clock) and a [`CancelToken`] (operator request or
+//!   deterministic poll countdown for tests). Polls are cheap: an
+//!   unlimited budget answers with a single branch, and once a budget
+//!   fires it stays fired (observable without a fresh poll through
+//!   [`RunBudget::already_exhausted`]). Budget state is shared across
+//!   clones, so a generator and the justifier it owns always agree.
+//! * [`BudgetSpec`] — the strictly parsed form of `PDF_TIME_BUDGET` /
+//!   `--time-budget`: a global duration (`250ms`), or per-phase entries
+//!   (`generate=2s,compact=500ms`), or both (`2s,compact=500ms`).
+//! * [`Checkpoint`] / [`CheckpointPolicy`] — crash-safe incremental run
+//!   state, written atomically (temp file + rename) as JSON via the
+//!   workspace's dependency-free writer. A checkpoint always describes a
+//!   *boundary* state — after a completed test, never mid-construction —
+//!   which is what makes interrupted-plus-resumed runs reproduce the
+//!   uninterrupted test set bit for bit (see `DESIGN.md` §11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pdf_telemetry::{counters, Json};
+
+/// Environment variable holding a [`BudgetSpec`] (see [`BudgetSpec::parse`]).
+pub const TIME_BUDGET_ENV: &str = "PDF_TIME_BUDGET";
+/// Environment variable holding the checkpoint file path.
+pub const CHECKPOINT_ENV: &str = "PDF_CHECKPOINT";
+/// Environment variable holding the checkpoint interval (completed
+/// primary targets between writes).
+pub const CHECKPOINT_EVERY_ENV: &str = "PDF_CHECKPOINT_EVERY";
+/// Default checkpoint interval when `PDF_CHECKPOINT_EVERY` is unset.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 16;
+/// Version tag written into checkpoint files.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+/// A wall-clock deadline: either unset (never expires) or a fixed
+/// [`Instant`] after which [`Deadline::expired`] answers `true`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    #[must_use]
+    pub const fn none() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    #[must_use]
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline::at(Instant::now() + budget)
+    }
+
+    /// A deadline at a fixed instant.
+    #[must_use]
+    pub const fn at(instant: Instant) -> Deadline {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Whether a deadline is set at all.
+    #[must_use]
+    pub const fn is_set(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the deadline has passed. An unset deadline never expires.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Time left before expiry (`None` when unset, zero when already
+    /// expired).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// The earlier of two deadlines (unset counts as latest).
+    #[must_use]
+    pub fn earlier(self, other: Deadline) -> Deadline {
+        match (self.at, other.at) {
+            (Some(a), Some(b)) => Deadline::at(a.min(b)),
+            (Some(a), None) => Deadline::at(a),
+            (None, b) => Deadline { at: b },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct TokenState {
+    cancelled: AtomicBool,
+    /// Remaining polls before self-cancellation; `0` means disarmed.
+    countdown: AtomicU64,
+}
+
+/// A cooperative cancellation flag, shared by cloning.
+///
+/// Two ways to fire: [`CancelToken::cancel`] (an operator request, a
+/// signal handler, a supervising thread), or a deterministic poll
+/// countdown armed by [`CancelToken::cancel_after_polls`] — the
+/// instrument the resume-identity tests use to interrupt a run at an
+/// exact, reproducible point with no wall clock involved.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenState>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that cancels itself on its `n`-th poll (`n >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (the token would never fire — pass a cancelled
+    /// token instead).
+    #[must_use]
+    pub fn cancel_after_polls(n: u64) -> CancelToken {
+        assert!(n > 0, "poll countdown must be at least 1");
+        let token = CancelToken::new();
+        token.inner.countdown.store(n, Ordering::Relaxed);
+        token
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (does not consume a poll).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// One cooperative poll: decrements an armed countdown and reports
+    /// whether cancellation is requested.
+    pub fn poll(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.countdown.load(Ordering::Relaxed) {
+            0 => false,
+            1 => {
+                self.inner.countdown.store(0, Ordering::Relaxed);
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            n => {
+                self.inner.countdown.store(n - 1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunBudget
+// ---------------------------------------------------------------------------
+
+/// A cooperative run budget: a [`Deadline`], an optional [`CancelToken`],
+/// and a latch that stays set once either fires.
+///
+/// Clones share the latch (and the token), so handing a clone to a
+/// sub-component — the generator gives one to its justifier — keeps every
+/// holder's view of exhaustion consistent. The default budget is
+/// unlimited and costs one branch per poll.
+#[derive(Clone, Debug, Default)]
+pub struct RunBudget {
+    deadline: Deadline,
+    cancel: Option<CancelToken>,
+    fired: Arc<AtomicBool>,
+}
+
+impl RunBudget {
+    /// A budget that never exhausts.
+    #[must_use]
+    pub fn unlimited() -> RunBudget {
+        RunBudget::default()
+    }
+
+    /// A budget bounded by `deadline` only.
+    #[must_use]
+    pub fn with_deadline(deadline: Deadline) -> RunBudget {
+        RunBudget {
+            deadline,
+            ..RunBudget::default()
+        }
+    }
+
+    /// Adds a cancellation token to this budget.
+    #[must_use]
+    pub fn and_cancel(mut self, token: CancelToken) -> RunBudget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether any limit (deadline or token) is attached.
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_set() || self.cancel.is_some()
+    }
+
+    /// One cooperative poll: checks the token and the deadline, latches
+    /// on the first hit, and counts `cancel_polls` / `deadline_hits`
+    /// telemetry. Unlimited budgets return `false` after a single branch.
+    pub fn exhausted(&self) -> bool {
+        if !self.is_limited() {
+            return false;
+        }
+        pdf_telemetry::count(counters::CANCEL_POLLS, 1);
+        if self.fired.load(Ordering::Relaxed) {
+            return true;
+        }
+        let cancelled = self.cancel.as_ref().is_some_and(CancelToken::poll);
+        let deadline_hit = self.deadline.expired();
+        if deadline_hit {
+            pdf_telemetry::count(counters::DEADLINE_HITS, 1);
+        }
+        if cancelled || deadline_hit {
+            self.fired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether a previous poll latched exhaustion. Never consumes a poll
+    /// and never advances a countdown — use it to distinguish "the budget
+    /// fired" from "the work genuinely failed" after the fact.
+    #[must_use]
+    pub fn already_exhausted(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BudgetSpec
+// ---------------------------------------------------------------------------
+
+/// A [`BudgetSpec`] that failed to parse, with the offending input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBudgetError {
+    /// The full input text.
+    pub value: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid time budget `{}`: {}", self.value, self.message)
+    }
+}
+
+impl std::error::Error for ParseBudgetError {}
+
+/// A strictly parsed time-budget specification.
+///
+/// Grammar: a comma-separated list of entries, each either a bare
+/// duration (the **global** budget for the whole run) or `phase=duration`
+/// (a budget for one named phase, anchored at that phase's start). A
+/// duration is a non-negative integer with a mandatory unit: `us`, `ms`,
+/// `s`, or `m`. Examples: `250ms`, `2s,compact=500ms`,
+/// `generate=1s,compact=250ms`.
+///
+/// Parsing follows the workspace's strict-knob convention: anything
+/// malformed — missing unit, unknown unit, duplicate phase, empty entry —
+/// is an error, never a silent default.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    global: Option<Duration>,
+    phases: Vec<(String, Duration)>,
+}
+
+impl BudgetSpec {
+    /// Parses a specification (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBudgetError`] describing the first malformed entry.
+    pub fn parse(text: &str) -> Result<BudgetSpec, ParseBudgetError> {
+        let fail = |message: String| ParseBudgetError {
+            value: text.to_owned(),
+            message,
+        };
+        let mut spec = BudgetSpec::default();
+        if text.trim().is_empty() {
+            return Err(fail("empty specification".to_owned()));
+        }
+        for entry in text.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(fail("empty entry in list".to_owned()));
+            }
+            let (phase, duration_text) = match entry.split_once('=') {
+                Some((name, d)) => (Some(name.trim()), d.trim()),
+                None => (None, entry),
+            };
+            let duration = parse_duration(duration_text).map_err(&fail)?;
+            match phase {
+                None => {
+                    if spec.global.is_some() {
+                        return Err(fail("more than one global duration".to_owned()));
+                    }
+                    spec.global = Some(duration);
+                }
+                Some(name) => {
+                    if name.is_empty() {
+                        return Err(fail("empty phase name".to_owned()));
+                    }
+                    if spec.phases.iter().any(|(n, _)| n == name) {
+                        return Err(fail(format!("duplicate budget for phase `{name}`")));
+                    }
+                    spec.phases.push((name.to_owned(), duration));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Reads `PDF_TIME_BUDGET`. Unset or empty means no budget;
+    /// a set-but-malformed value is an error (strict-knob convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBudgetError`] when the variable is set to an
+    /// unparsable value.
+    pub fn from_env() -> Result<Option<BudgetSpec>, ParseBudgetError> {
+        match std::env::var(TIME_BUDGET_ENV) {
+            Ok(raw) if raw.trim().is_empty() => Ok(None),
+            Ok(raw) => BudgetSpec::parse(&raw).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// The global (whole-run) budget, when one was given.
+    #[must_use]
+    pub fn global(&self) -> Option<Duration> {
+        self.global
+    }
+
+    /// The budget for a named phase, when one was given.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// The deadline governing `phase`: the earlier of the global budget
+    /// anchored at `run_start` and the phase budget anchored at
+    /// `phase_start`.
+    #[must_use]
+    pub fn deadline_for(&self, phase: &str, run_start: Instant, phase_start: Instant) -> Deadline {
+        let global = match self.global {
+            Some(d) => Deadline::at(run_start + d),
+            None => Deadline::none(),
+        };
+        let phase = match self.phase(phase) {
+            Some(d) => Deadline::at(phase_start + d),
+            None => Deadline::none(),
+        };
+        global.earlier(phase)
+    }
+}
+
+/// Parses `<integer><unit>` with unit `us`/`ms`/`s`/`m`.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty duration".to_owned());
+    }
+    let digits = text.chars().take_while(char::is_ascii_digit).count();
+    if digits == 0 {
+        return Err(format!("duration `{text}` must start with digits"));
+    }
+    let (number, unit) = text.split_at(digits);
+    let n: u64 = number
+        .parse()
+        .map_err(|_| format!("duration value `{number}` out of range"))?;
+    match unit {
+        "us" => Ok(Duration::from_micros(n)),
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        "m" => Ok(Duration::from_secs(n.saturating_mul(60))),
+        "" => Err(format!(
+            "duration `{text}` is missing a unit (us, ms, s, m)"
+        )),
+        other => Err(format!("unknown duration unit `{other}` (us, ms, s, m)")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------------
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first and are moved into place with a rename, so a crash
+/// mid-write can never leave a half-written file at `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// When and where to write checkpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (written atomically, always the same file).
+    pub path: PathBuf,
+    /// Completed primary targets between writes (at least 1). A final
+    /// checkpoint is always written when the run ends, regardless.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `path` every `every` completed primary
+    /// targets (`every` is clamped up to 1).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> CheckpointPolicy {
+        CheckpointPolicy {
+            path: path.into(),
+            every: every.max(1),
+        }
+    }
+
+    /// Reads `PDF_CHECKPOINT` (+ optional `PDF_CHECKPOINT_EVERY`).
+    /// Unset or empty path means no checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the variable and value when
+    /// `PDF_CHECKPOINT_EVERY` is set but not a positive integer.
+    pub fn from_env() -> Result<Option<CheckpointPolicy>, String> {
+        let every = match std::env::var(CHECKPOINT_EVERY_ENV) {
+            Ok(raw) if raw.trim().is_empty() => DEFAULT_CHECKPOINT_EVERY,
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(format!(
+                        "invalid {CHECKPOINT_EVERY_ENV}=`{raw}`: expected a positive integer"
+                    ))
+                }
+            },
+            Err(_) => DEFAULT_CHECKPOINT_EVERY,
+        };
+        match std::env::var(CHECKPOINT_ENV) {
+            Ok(path) if !path.trim().is_empty() => Ok(Some(CheckpointPolicy::new(path, every))),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// A checkpoint could not be written, read, or understood.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file is not valid JSON.
+    Json(String),
+    /// The JSON is well-formed but not a valid checkpoint.
+    Schema(String),
+    /// The checkpoint was written by an incompatible format version.
+    Version {
+        /// The version found in the file.
+        found: u32,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint {}: {source}", path.display())
+            }
+            CheckpointError::Json(m) => write!(f, "checkpoint is not valid JSON: {m}"),
+            CheckpointError::Schema(m) => write!(f, "checkpoint schema: {m}"),
+            CheckpointError::Version { found } => write!(
+                f,
+                "checkpoint format version {found} is not supported (expected {CHECKPOINT_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A crash-safe snapshot of generation state at a *boundary* — taken
+/// only after a primary target is fully processed (test pushed and
+/// swept, genuinely aborted, or quarantined), never mid-construction.
+///
+/// Resuming from a checkpoint replays the remaining primaries exactly as
+/// the uninterrupted run would have: the RNG state is the boundary
+/// state, detection flags are the boundary flags, and the tests written
+/// so far are carried over verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Circuit name the run targeted.
+    pub circuit: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Configuration fingerprint (compaction/secondary-mode/attempts/
+    /// backend); resume refuses a mismatch.
+    pub fingerprint: String,
+    /// Per-set fault counts of the target split (`P0`, `P1`, ...).
+    pub set_sizes: Vec<usize>,
+    /// Completed primary targets (tests pushed) so far.
+    pub completed: usize,
+    /// Justifier RNG state at the boundary.
+    pub rng_state: u64,
+    /// Per-fault detection flags at the boundary.
+    pub detected: Vec<bool>,
+    /// Per-fault abort flags at the boundary.
+    pub aborted: Vec<bool>,
+    /// Per-fault quarantine flags at the boundary.
+    pub quarantined: Vec<bool>,
+    /// Tests generated so far, one `v1 v2` text line each (the
+    /// `TestSet::to_text` line format).
+    pub tests: Vec<String>,
+    /// Generation statistics counters carried across the resume.
+    pub counters: Vec<(String, u64)>,
+    /// Whether the run finished naturally (nothing left to resume).
+    pub complete: bool,
+}
+
+impl Checkpoint {
+    /// The value of a named statistics counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Serializes to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .fold(Json::object(), |obj, (name, value)| obj.field(name, *value));
+        Json::object()
+            .field("format", "path-delay-atpg checkpoint")
+            .field("version", self.version)
+            .field("circuit", self.circuit.as_str())
+            .field("seed", hex(self.seed).as_str())
+            .field("fingerprint", self.fingerprint.as_str())
+            .field(
+                "set_sizes",
+                self.set_sizes
+                    .iter()
+                    .map(|&n| Json::from(n))
+                    .collect::<Vec<_>>(),
+            )
+            .field("completed", self.completed)
+            .field("rng_state", hex(self.rng_state).as_str())
+            .field("detected", flags_to_text(&self.detected).as_str())
+            .field("aborted", flags_to_text(&self.aborted).as_str())
+            .field("quarantined", flags_to_text(&self.quarantined).as_str())
+            .field(
+                "tests",
+                self.tests
+                    .iter()
+                    .map(|t| Json::from(t.as_str()))
+                    .collect::<Vec<_>>(),
+            )
+            .field("counters", counters)
+            .field("complete", self.complete)
+            .to_pretty()
+    }
+
+    /// Parses a checkpoint from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Json`] for malformed JSON,
+    /// [`CheckpointError::Version`] for an unsupported format version,
+    /// and [`CheckpointError::Schema`] for everything else that does not
+    /// look like a checkpoint.
+    pub fn from_json(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let json = Json::parse(text).map_err(|e| CheckpointError::Json(e.to_string()))?;
+        let version = get_num(&json, "version")? as u32;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version { found: version });
+        }
+        let counters = match json.get("counters") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(name, value)| {
+                    let v = value.as_num().ok_or_else(|| {
+                        CheckpointError::Schema(format!("counter `{name}` is not a number"))
+                    })?;
+                    Ok((name.clone(), v as u64))
+                })
+                .collect::<Result<Vec<_>, CheckpointError>>()?,
+            _ => return Err(CheckpointError::Schema("missing `counters` object".into())),
+        };
+        let complete = match json.get("complete") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(CheckpointError::Schema("missing `complete` flag".into())),
+        };
+        Ok(Checkpoint {
+            version,
+            circuit: get_str(&json, "circuit")?.to_owned(),
+            seed: parse_hex(get_str(&json, "seed")?, "seed")?,
+            fingerprint: get_str(&json, "fingerprint")?.to_owned(),
+            set_sizes: get_arr(&json, "set_sizes")?
+                .iter()
+                .map(|v| {
+                    v.as_num().map(|n| n as usize).ok_or_else(|| {
+                        CheckpointError::Schema("`set_sizes` must hold numbers".into())
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            completed: get_num(&json, "completed")? as usize,
+            rng_state: parse_hex(get_str(&json, "rng_state")?, "rng_state")?,
+            detected: flags_from_text(get_str(&json, "detected")?, "detected")?,
+            aborted: flags_from_text(get_str(&json, "aborted")?, "aborted")?,
+            quarantined: flags_from_text(get_str(&json, "quarantined")?, "quarantined")?,
+            tests: get_arr(&json, "tests")?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| CheckpointError::Schema("`tests` must hold strings".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            counters,
+            complete,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically, under a `runctl`
+    /// telemetry span, counting `checkpoints_written`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the filesystem refuses.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let _span = pdf_telemetry::Span::enter("runctl");
+        write_atomic(path, &self.to_json()).map_err(|source| CheckpointError::Io {
+            path: path.to_owned(),
+            source,
+        })?;
+        pdf_telemetry::count(counters::CHECKPOINTS_WRITTEN, 1);
+        Ok(())
+    }
+
+    /// Reads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the file cannot be read, otherwise
+    /// the [`Checkpoint::from_json`] errors.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let _span = pdf_telemetry::Span::enter("runctl");
+        let text = fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+            path: path.to_owned(),
+            source,
+        })?;
+        Checkpoint::from_json(&text)
+    }
+}
+
+/// `u64` values (seed, RNG state) travel as hex strings: the JSON number
+/// type is an `f64`, which cannot hold all 64-bit states exactly.
+fn hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn parse_hex(text: &str, field: &str) -> Result<u64, CheckpointError> {
+    u64::from_str_radix(text, 16)
+        .map_err(|_| CheckpointError::Schema(format!("`{field}` is not a hex u64: `{text}`")))
+}
+
+fn flags_to_text(flags: &[bool]) -> String {
+    flags.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn flags_from_text(text: &str, field: &str) -> Result<Vec<bool>, CheckpointError> {
+    text.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(CheckpointError::Schema(format!(
+                "`{field}` holds `{other}` (expected only 0/1)"
+            ))),
+        })
+        .collect()
+}
+
+fn get_num(json: &Json, key: &str) -> Result<f64, CheckpointError> {
+    json.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| CheckpointError::Schema(format!("missing numeric field `{key}`")))
+}
+
+fn get_str<'j>(json: &'j Json, key: &str) -> Result<&'j str, CheckpointError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| CheckpointError::Schema(format!("missing string field `{key}`")))
+}
+
+fn get_arr<'j>(json: &'j Json, key: &str) -> Result<&'j [Json], CheckpointError> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CheckpointError::Schema(format!("missing array field `{key}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_set());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn elapsed_deadline_expires() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert_eq!(far.earlier(d), d);
+        assert_eq!(Deadline::none().earlier(d), d);
+        assert_eq!(d.earlier(Deadline::none()), d);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.poll());
+        b.cancel();
+        assert!(a.poll());
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn poll_countdown_fires_on_the_nth_poll() {
+        let t = CancelToken::cancel_after_polls(3);
+        assert!(!t.poll());
+        assert!(!t.poll());
+        assert!(!t.is_cancelled(), "is_cancelled must not consume polls");
+        assert!(t.poll());
+        assert!(t.poll(), "stays cancelled");
+    }
+
+    #[test]
+    #[should_panic(expected = "poll countdown must be at least 1")]
+    fn zero_countdown_is_rejected() {
+        let _ = CancelToken::cancel_after_polls(0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = RunBudget::unlimited();
+        assert!(!b.is_limited());
+        for _ in 0..100 {
+            assert!(!b.exhausted());
+        }
+        assert!(!b.already_exhausted());
+    }
+
+    #[test]
+    fn budget_latch_is_shared_across_clones() {
+        let b = RunBudget::unlimited().and_cancel(CancelToken::cancel_after_polls(2));
+        let handed_out = b.clone();
+        assert!(!b.exhausted());
+        assert!(!handed_out.already_exhausted());
+        assert!(b.exhausted());
+        assert!(handed_out.already_exhausted(), "clones share the latch");
+        assert!(handed_out.exhausted());
+    }
+
+    #[test]
+    fn expired_deadline_latches() {
+        let b = RunBudget::with_deadline(Deadline::at(Instant::now() - Duration::from_millis(1)));
+        assert!(b.is_limited());
+        assert!(b.exhausted());
+        assert!(b.already_exhausted());
+    }
+
+    #[test]
+    fn budget_spec_parses_globals_and_phases() {
+        let spec = BudgetSpec::parse("2s,compact=500ms,generate=3m").unwrap();
+        assert_eq!(spec.global(), Some(Duration::from_secs(2)));
+        assert_eq!(spec.phase("compact"), Some(Duration::from_millis(500)));
+        assert_eq!(spec.phase("generate"), Some(Duration::from_secs(180)));
+        assert_eq!(spec.phase("nope"), None);
+        assert_eq!(
+            BudgetSpec::parse("250us").unwrap().global(),
+            Some(Duration::from_micros(250))
+        );
+    }
+
+    #[test]
+    fn budget_spec_rejects_garbage() {
+        for bad in [
+            "",
+            "1",
+            "ms",
+            "1h",
+            "1.5s",
+            "=1s",
+            "a=b",
+            "1s,,2s",
+            "1s,2s",
+            "a=1s,a=2s",
+        ] {
+            let e = BudgetSpec::parse(bad).unwrap_err();
+            assert_eq!(e.value, bad);
+            assert!(e.to_string().contains("invalid time budget"), "{e}");
+        }
+    }
+
+    #[test]
+    fn deadline_for_takes_the_earlier_bound() {
+        let spec = BudgetSpec::parse("10s,compact=1ms").unwrap();
+        let now = Instant::now();
+        let d = spec.deadline_for("compact", now, now);
+        assert_eq!(d, Deadline::at(now + Duration::from_millis(1)));
+        let d = spec.deadline_for("generate", now, now);
+        assert_eq!(d, Deadline::at(now + Duration::from_secs(10)));
+        assert!(!BudgetSpec::parse("compact=1ms")
+            .unwrap()
+            .deadline_for("generate", now, now)
+            .is_set());
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            circuit: "s27".to_owned(),
+            seed: u64::MAX - 12,
+            fingerprint: "arbit:regen:1:packed".to_owned(),
+            set_sizes: vec![5, 3],
+            completed: 2,
+            rng_state: 0xDEAD_BEEF_0BAD_F00D,
+            detected: vec![true, false, true, false, false, true, false, false],
+            aborted: vec![false; 8],
+            quarantined: {
+                let mut q = vec![false; 8];
+                q[4] = true;
+                q
+            },
+            tests: vec!["0101 1100".to_owned(), "1111 0000".to_owned()],
+            counters: vec![("aborted_primaries".to_owned(), 1)],
+            complete: false,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let cp = sample();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.counter("aborted_primaries"), 1);
+        assert_eq!(back.counter("missing"), 0);
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_inputs() {
+        assert!(matches!(
+            Checkpoint::from_json("not json"),
+            Err(CheckpointError::Json(_))
+        ));
+        assert!(matches!(
+            Checkpoint::from_json("{\"version\": 99}"),
+            Err(CheckpointError::Version { found: 99 })
+        ));
+        let mangled = sample()
+            .to_json()
+            .replace("\"detected\": \"", "\"detected\": \"x");
+        assert!(matches!(
+            Checkpoint::from_json(&mangled),
+            Err(CheckpointError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pdf_runctl_ck_{}.json", std::process::id()));
+        let cp = sample();
+        cp.save(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists(), "temp file must be renamed away");
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_policy_clamps_interval() {
+        let p = CheckpointPolicy::new("ck.json", 0);
+        assert_eq!(p.every, 1);
+    }
+}

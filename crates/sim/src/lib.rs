@@ -52,7 +52,7 @@ mod parallel;
 
 pub use backend::{ParseBackendError, SimBackend};
 pub use packed::{PackedBlock, LANES};
-pub use parallel::{max_threads, par_chunk_map};
+pub use parallel::{max_threads, panic_message, par_chunk_map};
 
 use pdf_faults::{Assignments, FaultEntry};
 use pdf_logic::Triple;
@@ -233,6 +233,76 @@ pub fn newly_satisfied<T: HasAssignments>(
     parts.concat()
 }
 
+/// Outcome of a panic-guarded sweep ([`newly_satisfied_guarded`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GuardedSweep {
+    /// Indices newly satisfied, in increasing order.
+    pub satisfied: Vec<usize>,
+    /// Indices whose requirement check panicked, in increasing order —
+    /// candidates for quarantine.
+    pub panicked: Vec<usize>,
+}
+
+/// [`newly_satisfied`] with per-fault panic containment: a fault whose
+/// requirement check panics (a corrupted assignment set, an out-of-range
+/// line id) is reported in [`GuardedSweep::panicked`] instead of killing
+/// the sweep, and every healthy fault is still classified.
+///
+/// The guard costs nothing on the happy path — each chunk is scanned
+/// unguarded first, and only a chunk that actually panics is re-run item
+/// by item to attribute the failure.
+///
+/// # Panics
+///
+/// Panics if `skip.len() != faults.len()`.
+#[must_use]
+pub fn newly_satisfied_guarded<T: HasAssignments>(
+    waves: &[Triple],
+    faults: &[T],
+    skip: &[bool],
+) -> GuardedSweep {
+    assert_eq!(faults.len(), skip.len(), "one skip flag per fault required");
+    let _phase = pdf_telemetry::Span::enter("simulate");
+    pdf_telemetry::count(pdf_telemetry::counters::SIM_PASSES, 1);
+    let parts = par_chunk_map(faults, MIN_FAULT_CHUNK, |offset, chunk| {
+        let scan = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|(k, f)| !skip[offset + k] && f.assignments().satisfied_by(waves))
+                .map(|(k, _)| offset + k)
+                .collect::<Vec<usize>>()
+        }));
+        match scan {
+            Ok(satisfied) => (satisfied, Vec::new()),
+            Err(_) => {
+                let mut satisfied = Vec::new();
+                let mut panicked = Vec::new();
+                for (k, f) in chunk.iter().enumerate() {
+                    if skip[offset + k] {
+                        continue;
+                    }
+                    let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f.assignments().satisfied_by(waves)
+                    }));
+                    match one {
+                        Ok(true) => satisfied.push(offset + k),
+                        Ok(false) => {}
+                        Err(_) => panicked.push(offset + k),
+                    }
+                }
+                (satisfied, panicked)
+            }
+        }
+    });
+    let mut out = GuardedSweep::default();
+    for (satisfied, panicked) in parts {
+        out.satisfied.extend(satisfied);
+        out.panicked.extend(panicked);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +362,48 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn guarded_sweep_matches_unguarded_on_healthy_faults() {
+        let (c, faults, tests) = setup();
+        let waves = simulate_triples(&c, &tests[7].to_triples());
+        let mut skip = vec![false; faults.len()];
+        for i in (0..faults.len()).step_by(3) {
+            skip[i] = true;
+        }
+        let guarded = newly_satisfied_guarded(&waves, faults.entries(), &skip);
+        assert_eq!(
+            guarded.satisfied,
+            newly_satisfied(&waves, faults.entries(), &skip)
+        );
+        assert!(guarded.panicked.is_empty());
+    }
+
+    #[test]
+    fn guarded_sweep_quarantines_a_poisoned_fault() {
+        let (c, faults, tests) = setup();
+        let waves = simulate_triples(&c, &tests[3].to_triples());
+        // A requirement on a line id far past the circuit makes
+        // `satisfied_by` index out of bounds — the poison this guard
+        // exists to contain.
+        let mut poisoned = Assignments::new();
+        poisoned
+            .require(pdf_netlist::LineId::new(9_999), Triple::RISING)
+            .unwrap();
+        let mut sets: Vec<Assignments> = faults.iter().map(|e| e.assignments.clone()).collect();
+        let bad = sets.len() / 2;
+        sets[bad] = poisoned;
+        let skip = vec![false; sets.len()];
+        let guarded = newly_satisfied_guarded(&waves, &sets, &skip);
+        assert_eq!(guarded.panicked, vec![bad]);
+        let want: Vec<usize> = sets
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| *i != bad && a.satisfied_by(&waves))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(guarded.satisfied, want);
     }
 
     #[test]

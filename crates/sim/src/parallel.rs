@@ -29,9 +29,11 @@ pub fn max_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` with their original payloads (an assertion
-/// message raised on a worker thread reaches the caller's test harness
-/// intact).
+/// Propagates panics from `f`. Inline runs keep the original payload
+/// intact; a panic on a worker thread is re-raised with a message naming
+/// the chunk index and item range it came from (plus the original
+/// message), so cross-thread failures stay attributable to their slice
+/// of the workload.
 pub fn par_chunk_map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -58,11 +60,35 @@ where
         // the scope while siblings are still running would make the scope
         // itself panic on the unjoined handles and abort the process.
         let results: Vec<thread::Result<R>> = handles.into_iter().map(|h| h.join()).collect();
+        let total = items.len();
         results
             .into_iter()
-            .map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|payload| {
+                    let lo = i * chunk;
+                    let hi = (lo + chunk).min(total);
+                    panic!(
+                        "worker panic in chunk {i} (items {lo}..{hi}): {}",
+                        panic_message(payload.as_ref())
+                    )
+                })
+            })
             .collect()
     })
+}
+
+/// Best-effort text of a panic payload: the carried message for the
+/// common `&str` / `String` payloads, a placeholder otherwise.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 #[cfg(test)]
@@ -118,8 +144,25 @@ mod tests {
         .expect_err("the offset-0 worker must panic");
         let message = caught
             .downcast_ref::<String>()
-            .expect("assert! panics carry their formatted message");
-        assert_eq!(message, "chunk offset 0 rejected by the worker");
+            .expect("repropagated worker panics carry a formatted message");
+        assert!(
+            message.starts_with("worker panic in chunk 0 (items 0.."),
+            "chunk index and item range must lead: {message}"
+        );
+        assert!(
+            message.ends_with("chunk offset 0 rejected by the worker"),
+            "the original payload must be preserved: {message}"
+        );
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static text");
+        assert_eq!(panic_message(s.as_ref()), "static text");
+        let s: Box<dyn std::any::Any + Send> = Box::new("owned text".to_owned());
+        assert_eq!(panic_message(s.as_ref()), "owned text");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -93,6 +93,15 @@ pub mod counters {
     pub const CONE_CACHE_MISS: &str = "cone_cache_miss";
     /// Fault candidates eliminated as undetectable (rules 1 and 2).
     pub const UNDETECTABLE_DROPPED: &str = "undetectable_dropped";
+    /// Cooperative run-budget polls performed by run control.
+    pub const CANCEL_POLLS: &str = "cancel_polls";
+    /// Budget polls that observed an expired deadline (counted once per
+    /// budget, when the deadline is first seen).
+    pub const DEADLINE_HITS: &str = "deadline_hits";
+    /// Checkpoint files written atomically by run control.
+    pub const CHECKPOINTS_WRITTEN: &str = "checkpoints_written";
+    /// Faults quarantined after a caught per-fault panic.
+    pub const FAULTS_QUARANTINED: &str = "faults_quarantined";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -54,7 +54,9 @@ fn main() {
     let config = AtpgConfig::default();
 
     println!("\nbasic (value-based compaction), targets = P0 only:");
-    let basic = BasicAtpg::new(&circuit).with_config(config).run(split.p0());
+    let basic = BasicAtpg::new(&circuit)
+        .with_config(config.clone())
+        .run(split.p0());
     let everything: FaultList = split
         .p0()
         .iter()

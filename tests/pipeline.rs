@@ -107,7 +107,7 @@ fn enrichment_is_free_and_strictly_better_on_p1() {
     let config = AtpgConfig::default();
 
     let basic = BasicAtpg::new(&s.circuit)
-        .with_config(config)
+        .with_config(config.clone())
         .run(s.split.p0());
     let everything: Faults = s
         .split
