@@ -1,0 +1,313 @@
+//! Typed lint diagnostics with named-line context.
+//!
+//! Everything the analysis layer reports — linter findings, parse
+//! failures, implication conflicts — funnels through [`Diagnostic`] so
+//! users always see `source:line-name: message` with a stable `PDLxxx`
+//! code, never a raw [`LineId`](pdf_netlist::LineId) or an unlocated
+//! token.
+
+use core::fmt;
+
+use pdf_faults::ImplicationConflict;
+use pdf_netlist::{BenchParseError, Circuit, CircuitError, NetlistError, NetlistParseError};
+
+/// Stable diagnostic codes, one per defect class.
+pub mod codes {
+    /// Parse or structural-validation failure outside the other classes.
+    pub const PARSE: &str = "PDL000";
+    /// Combinational cycle.
+    pub const CYCLE: &str = "PDL001";
+    /// Floating, undriven, or dangling line.
+    pub const FLOATING: &str = "PDL002";
+    /// Fanout-branch inconsistency (missing, mixed, or redundant branches).
+    pub const BRANCH: &str = "PDL003";
+    /// Gate whose output reaches no primary output (dead logic).
+    pub const UNREACHABLE: &str = "PDL004";
+    /// Duplicate name (two lines sharing a name, or a signal defined twice).
+    pub const DUPLICATE: &str = "PDL005";
+    /// Output cone containing no primary input (width-0 cone).
+    pub const EMPTY_CONE: &str = "PDL006";
+    /// Implication conflict (contradictory value requirements on a line).
+    pub const CONFLICT: &str = "PDL007";
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but analyzable; reported and ignored.
+    Warning,
+    /// The netlist cannot be analyzed soundly; aborts under `PDF_LINT=deny`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One located finding.
+///
+/// Renders as `severity[code] source:line-name: message`; the line
+/// segment is omitted when the finding is not tied to a nameable line.
+///
+/// ```
+/// use pdf_analyze::{codes, Diagnostic};
+///
+/// let d = Diagnostic::error(codes::FLOATING, "c17", Some("G3"), "input is never used");
+/// assert_eq!(d.to_string(), "error[PDL002] c17:G3: input is never used");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The `PDLxxx` code (see [`codes`]).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The circuit or file the finding belongs to.
+    pub source: String,
+    /// The named line or signal, when the finding is tied to one.
+    pub line: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    #[must_use]
+    pub fn error(
+        code: &'static str,
+        source: impl Into<String>,
+        line: Option<&str>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            source: source.into(),
+            line: line.map(str::to_owned),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    #[must_use]
+    pub fn warning(
+        code: &'static str,
+        source: impl Into<String>,
+        line: Option<&str>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, source, line, message)
+        }
+    }
+
+    /// Maps a typed `.bench` parse failure onto its diagnostic class.
+    #[must_use]
+    pub fn from_bench_error(source: &str, error: &BenchParseError) -> Diagnostic {
+        match error {
+            BenchParseError::Netlist(e) => Diagnostic::from_netlist_error(source, e),
+            BenchParseError::Syntax { line, text } => Diagnostic::error(
+                codes::PARSE,
+                source,
+                None,
+                format!("line {line}: unparseable statement `{text}`"),
+            ),
+            BenchParseError::UnknownFunction { line, function } => Diagnostic::error(
+                codes::PARSE,
+                source,
+                None,
+                format!("line {line}: unknown gate function `{function}`"),
+            ),
+            BenchParseError::BadDffArity { line } => Diagnostic::error(
+                codes::PARSE,
+                source,
+                None,
+                format!("line {line}: DFF must have exactly one input"),
+            ),
+        }
+    }
+
+    /// Maps a netlist-validation failure onto its diagnostic class.
+    #[must_use]
+    pub fn from_netlist_error(source: &str, error: &NetlistError) -> Diagnostic {
+        match error {
+            NetlistError::MultipleDrivers { signal } => Diagnostic::error(
+                codes::DUPLICATE,
+                source,
+                Some(signal),
+                format!("signal `{signal}` has multiple drivers"),
+            ),
+            NetlistError::Undriven { signal } => Diagnostic::error(
+                codes::FLOATING,
+                source,
+                Some(signal),
+                format!("signal `{signal}` is undriven"),
+            ),
+            NetlistError::UnknownSignal { signal } => Diagnostic::error(
+                codes::FLOATING,
+                source,
+                Some(signal),
+                format!("signal `{signal}` is referenced but never defined"),
+            ),
+            NetlistError::CombinationalCycle => Diagnostic::error(
+                codes::CYCLE,
+                source,
+                None,
+                "gates form a combinational cycle",
+            ),
+            NetlistError::Circuit(e) => Diagnostic::from_circuit_error(source, e),
+            other => Diagnostic::error(codes::PARSE, source, None, other.to_string()),
+        }
+    }
+
+    /// Maps a line-level circuit-validation failure onto its class.
+    #[must_use]
+    pub fn from_circuit_error(source: &str, error: &CircuitError) -> Diagnostic {
+        match error {
+            CircuitError::Cyclic => Diagnostic::error(
+                codes::CYCLE,
+                source,
+                None,
+                "lines form a combinational cycle",
+            ),
+            CircuitError::Dangling { line } => Diagnostic::error(
+                codes::FLOATING,
+                source,
+                Some(line),
+                format!("non-output line `{line}` has no fanout"),
+            ),
+            CircuitError::MissingBranch { line } => Diagnostic::error(
+                codes::BRANCH,
+                source,
+                Some(line),
+                format!("multi-sink stem `{line}` must fan out through branch lines only"),
+            ),
+            CircuitError::OutputWithFanout { line } => Diagnostic::error(
+                codes::BRANCH,
+                source,
+                Some(line),
+                format!("output line `{line}` has fanout"),
+            ),
+            other => Diagnostic::error(codes::PARSE, source, None, other.to_string()),
+        }
+    }
+
+    /// Wraps a located `.bench` file/parse failure. Prefer
+    /// [`Diagnostic::from_bench_error`] when the typed error is still at
+    /// hand — this variant can only classify by location, not by cause.
+    #[must_use]
+    pub fn from_parse_error(error: &NetlistParseError) -> Diagnostic {
+        let message = match (error.line(), error.token()) {
+            (Some(line), Some(token)) => {
+                format!("line {line}: {} (near `{token}`)", error.message())
+            }
+            (Some(line), None) => format!("line {line}: {}", error.message()),
+            (None, Some(token)) => format!("{} (near `{token}`)", error.message()),
+            (None, None) => error.message().to_owned(),
+        };
+        Diagnostic::error(codes::PARSE, error.source_name(), None, message)
+    }
+
+    /// Renders an implication conflict with the line's *name* instead of
+    /// its raw id.
+    #[must_use]
+    pub fn implication_conflict(circuit: &Circuit, conflict: &ImplicationConflict) -> Diagnostic {
+        let name = circuit.line(conflict.line).name().to_owned();
+        Diagnostic::error(
+            codes::CONFLICT,
+            circuit.name(),
+            Some(&name),
+            format!("implications assign conflicting values to line `{name}`"),
+        )
+    }
+
+    /// Returns `true` for error severity.
+    #[inline]
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.source)?;
+        if let Some(line) = &self.line {
+            write!(f, ":{line}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        let d = Diagnostic::error(
+            codes::CYCLE,
+            "bad",
+            None,
+            "gates form a combinational cycle",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[PDL001] bad: gates form a combinational cycle"
+        );
+        let d = Diagnostic::warning(codes::BRANCH, "c", Some("s1"), "redundant branch");
+        assert_eq!(d.to_string(), "warning[PDL003] c:s1: redundant branch");
+    }
+
+    #[test]
+    fn netlist_errors_map_to_stable_codes() {
+        let cases = [
+            (
+                NetlistError::MultipleDrivers { signal: "z".into() },
+                codes::DUPLICATE,
+            ),
+            (
+                NetlistError::Undriven { signal: "q".into() },
+                codes::FLOATING,
+            ),
+            (
+                NetlistError::UnknownSignal {
+                    signal: "ghost".into(),
+                },
+                codes::FLOATING,
+            ),
+            (NetlistError::CombinationalCycle, codes::CYCLE),
+            (NetlistError::Sequential, codes::PARSE),
+        ];
+        for (err, code) in cases {
+            let d = Diagnostic::from_netlist_error("t", &err);
+            assert_eq!(d.code, code, "{err:?}");
+            assert!(d.is_error());
+        }
+    }
+
+    #[test]
+    fn implication_conflict_names_the_line() {
+        let circuit = pdf_netlist::iscas::s27();
+        let line = circuit.find_line("G10").unwrap();
+        let d = Diagnostic::implication_conflict(&circuit, &ImplicationConflict { line });
+        assert_eq!(d.code, codes::CONFLICT);
+        assert_eq!(d.line.as_deref(), Some("G10"));
+        assert!(d.to_string().contains("s27:G10"));
+        assert!(!d.to_string().contains(&format!("line {}", line)));
+    }
+
+    #[test]
+    fn parse_error_keeps_location_context() {
+        let err = pdf_netlist::parse_bench_named("INPUT(a\n", "bad", "bad.bench").unwrap_err();
+        let d = Diagnostic::from_parse_error(&err);
+        assert_eq!(d.code, codes::PARSE);
+        assert_eq!(d.source, "bad.bench");
+        assert!(d.message.contains("line 1"), "{}", d.message);
+    }
+}

@@ -1,0 +1,411 @@
+//! Static implication learning, run once per circuit.
+//!
+//! Two rounds per asserted literal:
+//!
+//! 1. **Direct contrapositives** (SOCRATES-style). For every line `l`,
+//!    outer slot `s ∈ {α1, α3}` and value `v ∈ {0, 1}`, assert the single
+//!    requirement `l.s = v` on a fresh [`Implicator`], propagate to the
+//!    fixpoint, and for every implied literal `m.s' = w` on another line
+//!    store the contrapositive `m.s' = ¬w ⇒ l.s = ¬v` in the
+//!    [`LearnedImplications`] closure table. The forward direction is not
+//!    stored — the implicator rederives it structurally — so round 1
+//!    holds exactly the indirect implications the engine's local rules
+//!    miss.
+//! 2. **Depth-1 branch-and-intersect** (recursive learning, depth one).
+//!    Direct propagation is blind to implications that hold for *every*
+//!    value of some undecided line but follow from neither value alone —
+//!    the signature of reconvergent redundancy. For each unspecified
+//!    *frontier* line `f` (a fanin slot of a gate the round-1 fixpoint
+//!    already touched), clone the fixpoint twice, assert `f.s = 0` and
+//!    `f.s = 1`, and propagate both. Outer literals specified identically
+//!    in both branch fixpoints (or in the single consistent branch, when
+//!    the other conflicts) hold under the antecedent unconditionally,
+//!    because outer components are binary in every completed test. Each
+//!    such literal `m.s' = w` that round 1 did not already derive is
+//!    stored in *both* directions: `l.s = v ⇒ m.s' = w` and the
+//!    contrapositive `m.s' = ¬w ⇒ l.s = ¬v`.
+//!
+//! Soundness rests on two facts:
+//!
+//! * outer components are binary in every completed two-pattern test, so
+//!   `≠ v` really is `= ¬v` and a case split on `f.s` is exhaustive —
+//!   which is why mid (`α2`) components, which may legitimately stay `x`
+//!   (*may glitch*), are never learned from, into, or split on (see
+//!   [`pdf_faults::Literal`]);
+//! * the propagation behind every recorded literal is itself sound: every
+//!   test satisfying the antecedent satisfies the consequent.
+//!
+//! When asserting `l.s = v` *conflicts* outright, the literal is
+//! unsatisfiable and nothing is learned from it — rule-1/rule-2
+//! elimination already kills any fault requiring it.
+
+use pdf_faults::{Implicator, LearnedImplications, Literal};
+use pdf_logic::{Triple, Value};
+use pdf_netlist::{Circuit, LineId, LineKind};
+
+/// Default cap on depth-1 case splits tried per asserted literal.
+///
+/// Learning cost is `4 · lines · (1 + cap)` propagations; the default
+/// keeps the pass under a few seconds on the largest stand-ins while
+/// still reaching the frontier lines that guard reconvergent redundancy.
+pub const DEFAULT_SPLIT_CAP: usize = 24;
+
+/// Runs the one-off static learning pass with [`DEFAULT_SPLIT_CAP`].
+///
+/// The learned count is reported on the `learned_implications` telemetry
+/// counter.
+///
+/// # Example
+///
+/// ```
+/// use pdf_analyze::learn_implications;
+/// use pdf_netlist::iscas::s27;
+///
+/// let circuit = s27();
+/// let table = learn_implications(&circuit);
+/// // s27's reconvergent fanout yields indirect implications.
+/// assert!(!table.is_empty());
+/// ```
+#[must_use]
+pub fn learn_implications(circuit: &Circuit) -> LearnedImplications {
+    learn_implications_with_cap(circuit, DEFAULT_SPLIT_CAP)
+}
+
+/// Runs the learning pass with an explicit per-literal split cap.
+///
+/// `split_cap = 0` disables round 2 and yields pure contrapositive
+/// learning.
+#[must_use]
+pub fn learn_implications_with_cap(circuit: &Circuit, split_cap: usize) -> LearnedImplications {
+    let _span = pdf_telemetry::Span::enter("static_learning");
+    let mut table = LearnedImplications::new(circuit.line_count());
+    for (id, _) in circuit.iter() {
+        for slot in [0usize, 2] {
+            for value in [Value::Zero, Value::One] {
+                learn_from_assertion(circuit, id, slot, value, split_cap, &mut table);
+            }
+        }
+    }
+    pdf_telemetry::count(
+        pdf_telemetry::counters::LEARNED_IMPLICATIONS,
+        table.len() as u64,
+    );
+    table
+}
+
+/// Asserts `line.slot = value`, propagates, records round-1
+/// contrapositives, then branch-and-intersects over the frontier.
+fn learn_from_assertion(
+    circuit: &Circuit,
+    line: LineId,
+    slot: usize,
+    value: Value,
+    split_cap: usize,
+    table: &mut LearnedImplications,
+) {
+    let mut imp = Implicator::new(circuit);
+    let req = single_component(slot, value);
+    if imp.assign(line, req).is_err() || imp.propagate().is_err() {
+        // The literal itself is unsatisfiable; nothing to learn — any
+        // fault requiring it already dies under rule 2.
+        return;
+    }
+    let antecedent = Literal::new(line, slot, value);
+
+    // Round 1: direct contrapositives of the plain fixpoint.
+    for (idx, &implied) in imp.values().iter().enumerate() {
+        let m = LineId::new(idx);
+        if m == line {
+            continue;
+        }
+        for (cons_slot, w) in [(0usize, implied.first()), (2, implied.last())] {
+            if !w.is_specified() {
+                continue;
+            }
+            // (l.s = v) ⇒ (m.s' = w), so (m.s' = ¬w) ⇒ (l.s = ¬v).
+            let consequent = Literal::new(m, cons_slot, w);
+            table.add(consequent.negated(), antecedent.negated());
+        }
+    }
+
+    // Round 2: depth-1 branch-and-intersect over the frontier.
+    let base: Vec<Triple> = imp.values().to_vec();
+    for (split, split_slot) in frontier_splits(circuit, &base, split_cap) {
+        let branch = |v: Value| -> Option<Vec<Triple>> {
+            let mut b = imp.clone();
+            if b.assign(split, single_component(split_slot, v)).is_ok() && b.propagate().is_ok() {
+                Some(b.values().to_vec())
+            } else {
+                None
+            }
+        };
+        let merged: Vec<Triple> = match (branch(Value::Zero), branch(Value::One)) {
+            // Both values consistent: keep what the branches agree on.
+            (Some(f0), Some(f1)) => f0
+                .iter()
+                .zip(&f1)
+                .map(|(a, b)| {
+                    Triple::new(
+                        if a.first() == b.first() {
+                            a.first()
+                        } else {
+                            Value::X
+                        },
+                        Value::X,
+                        if a.last() == b.last() {
+                            a.last()
+                        } else {
+                            Value::X
+                        },
+                    )
+                })
+                .collect(),
+            // One value conflicts: the other is forced, its fixpoint holds.
+            (Some(f), None) | (None, Some(f)) => f,
+            // Both conflict: the antecedent is unsatisfiable after all —
+            // leave that to rule-2; record nothing.
+            (None, None) => continue,
+        };
+        for (idx, &t) in merged.iter().enumerate() {
+            let m = LineId::new(idx);
+            if m == line {
+                continue;
+            }
+            for (cons_slot, w) in [(0usize, t.first()), (2, t.last())] {
+                // Only record what round 1 could not already see.
+                if !w.is_specified() || component(base[idx], cons_slot).is_specified() {
+                    continue;
+                }
+                let consequent = Literal::new(m, cons_slot, w);
+                // Split-derived implications are invisible to the
+                // engine's structural rules, so store both directions.
+                table.add(antecedent, consequent);
+                table.add(consequent.negated(), antecedent.negated());
+            }
+        }
+    }
+}
+
+/// Split candidates: unspecified outer slots of fanins of gates the
+/// fixpoint already touched (output or some sibling fanin specified in
+/// that slot). Branch lines resolve to their stems so the candidate list
+/// is not inflated by equivalent splits.
+fn frontier_splits(circuit: &Circuit, values: &[Triple], cap: usize) -> Vec<(LineId, usize)> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    if cap == 0 {
+        return out;
+    }
+    for (id, line) in circuit.iter() {
+        if !line.kind().is_gate() {
+            continue;
+        }
+        for slot in [0usize, 2] {
+            let out_spec = component(values[id.index()], slot).is_specified();
+            let any_in_spec = line
+                .fanin()
+                .iter()
+                .any(|f| component(values[f.index()], slot).is_specified());
+            if !out_spec && !any_in_spec {
+                continue;
+            }
+            for &f in line.fanin() {
+                if component(values[f.index()], slot).is_specified() {
+                    continue;
+                }
+                let stem = match circuit.line(f).kind() {
+                    LineKind::Branch { stem } => *stem,
+                    _ => f,
+                };
+                if seen.insert((stem, slot)) {
+                    out.push((stem, slot));
+                    if out.len() >= cap {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reads one outer component of a triple.
+fn component(t: Triple, slot: usize) -> Value {
+    match slot {
+        0 => t.first(),
+        2 => t.last(),
+        other => unreachable!("learning never reads slot {other}"),
+    }
+}
+
+/// Builds a triple that is `value` in `slot` and unconstrained elsewhere.
+fn single_component(slot: usize, value: Value) -> Triple {
+    match slot {
+        0 => Triple::new(value, Value::X, Value::X),
+        2 => Triple::new(Value::X, Value::X, value),
+        other => unreachable!("learning never asserts slot {other}"),
+    }
+}
+
+/// Reads the `PDF_STATIC_LEARNING` toggle (`1`/`true`/`on` versus
+/// `0`/`false`/`off`; default off).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value, matching the repo-wide strict
+/// env-parsing convention.
+#[must_use]
+pub fn static_learning_from_env() -> bool {
+    match std::env::var("PDF_STATIC_LEARNING") {
+        Err(_) => false,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" | "" => false,
+            other => panic!(
+                "PDF_STATIC_LEARNING: unrecognized value `{other}` (want 0|1|true|false|on|off)"
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_logic::GateKind;
+    use pdf_netlist::CircuitBuilder;
+
+    /// z = AND(x, y): x.α1 = 0 forces z.α1 = 0, so the table must hold
+    /// the contrapositive z.α1 = 1 ⇒ x.α1 = 1 (and the y twin).
+    #[test]
+    fn and_gate_learns_contrapositives() {
+        let mut b = CircuitBuilder::new("and2");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.gate("z", GateKind::And, &[x, y]);
+        b.mark_output(z);
+        let c = b.finish().unwrap();
+
+        let table = learn_implications(&c);
+        let from_z1: Vec<Literal> = table.consequents(Literal::new(z, 0, Value::One)).collect();
+        assert!(from_z1.contains(&Literal::new(x, 0, Value::One)));
+        assert!(from_z1.contains(&Literal::new(y, 0, Value::One)));
+    }
+
+    /// The reconvergent redundancy the gadget of
+    /// `SynthProfile::with_redundant_gadgets` builds: `z ≡ a` through a
+    /// select `s` that direct propagation cannot resolve. Only the
+    /// branch-and-intersect round learns `a = 0 ⇒ z = 0`.
+    #[test]
+    fn branch_and_intersect_sees_through_reconvergence() {
+        let mut b = CircuitBuilder::new("mux-buffer");
+        let s = b.input("s");
+        let a = b.input("a");
+        let s1 = b.branch("s1", s);
+        let s2 = b.branch("s2", s);
+        let s3 = b.branch("s3", s);
+        let a1 = b.branch("a1", a);
+        let a2 = b.branch("a2", a);
+        let ns = b.gate("ns", GateKind::Not, &[s2]);
+        let ns1 = b.branch("ns1", ns);
+        let ns2 = b.branch("ns2", ns);
+        let u = b.gate("u", GateKind::And, &[s3, ns1]);
+        let u1 = b.branch("u1", u);
+        let u2 = b.branch("u2", u);
+        let o1 = b.gate("o1", GateKind::Or, &[s1, u1, a1]);
+        let o2 = b.gate("o2", GateKind::Or, &[ns2, u2, a2]);
+        let z = b.gate("z", GateKind::And, &[o1, o2]);
+        b.mark_output(z);
+        let c = b.finish().unwrap();
+
+        // Direct propagation stalls: {a = 0, z = 1} reaches a fixpoint.
+        let mut plain = Implicator::new(&c);
+        plain.assign(a, single_component(0, Value::Zero)).unwrap();
+        plain.assign(z, single_component(0, Value::One)).unwrap();
+        assert!(plain.propagate().is_ok(), "plain propagation must stall");
+
+        // Pure contrapositive learning is equally blind.
+        let shallow = learn_implications_with_cap(&c, 0);
+        let mut imp = Implicator::new(&c).with_learned(&shallow);
+        imp.assign(a, single_component(0, Value::Zero)).unwrap();
+        imp.assign(z, single_component(0, Value::One)).unwrap();
+        assert!(imp.propagate().is_ok());
+
+        // Depth-1 branch-and-intersect proves z ≡ a.
+        let table = learn_implications(&c);
+        let learned: Vec<Literal> = table.consequents(Literal::new(a, 0, Value::Zero)).collect();
+        assert!(learned.contains(&Literal::new(z, 0, Value::Zero)));
+        let mut imp = Implicator::new(&c).with_learned(&table);
+        imp.assign(a, single_component(0, Value::Zero)).unwrap();
+        let conflicted = imp
+            .assign(z, single_component(0, Value::One))
+            .and_then(|()| imp.propagate());
+        assert!(
+            conflicted.is_err(),
+            "learned table must expose the conflict"
+        );
+    }
+
+    /// Every learned implication must already be a theorem of the plain
+    /// implicator when checked *forward* from its contrapositive: assume
+    /// the antecedent, propagate, and the consequent may not be refutable.
+    #[test]
+    fn learned_pairs_are_consistent_with_propagation() {
+        let c = pdf_netlist::iscas::s27();
+        let table = learn_implications(&c);
+        assert!(!table.is_empty());
+        for (ante, cons) in table.iter() {
+            let mut imp = Implicator::new(&c);
+            imp.assign(ante.line, single_component(ante.slot, ante.value))
+                .unwrap();
+            if imp.propagate().is_err() {
+                continue; // antecedent unsatisfiable: implication vacuous
+            }
+            // Adding the consequent on top must not conflict.
+            let ok = imp
+                .assign(cons.line, single_component(cons.slot, cons.value))
+                .and_then(|()| imp.propagate());
+            assert!(
+                ok.is_ok(),
+                "learned {:?} => {:?} contradicts direct propagation",
+                ante,
+                cons
+            );
+        }
+    }
+
+    /// Attaching the table may only tighten: anything provable without it
+    /// stays provable, and the implicator with the table finds at least
+    /// as many conflicts.
+    #[test]
+    fn table_strengthens_the_implicator() {
+        let c = pdf_netlist::iscas::s27();
+        let table = learn_implications(&c);
+        for (id, _) in c.iter() {
+            for value in [
+                Triple::new(Value::One, Value::X, Value::X),
+                Triple::new(Value::Zero, Value::X, Value::X),
+                Triple::new(Value::X, Value::X, Value::One),
+                Triple::new(Value::X, Value::X, Value::Zero),
+            ] {
+                let mut plain = Implicator::new(&c);
+                let plain_ok = plain
+                    .assign(id, value)
+                    .and_then(|()| plain.propagate())
+                    .is_ok();
+                let mut learned = Implicator::new(&c).with_learned(&table);
+                let learned_ok = learned
+                    .assign(id, value)
+                    .and_then(|()| learned.propagate())
+                    .is_ok();
+                // learned may fail where plain succeeds, never the reverse.
+                assert!(plain_ok || !learned_ok);
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_shapes() {
+        assert_eq!(single_component(0, Value::Zero).to_string(), "0xx");
+        assert_eq!(single_component(2, Value::One).to_string(), "xx1");
+    }
+}

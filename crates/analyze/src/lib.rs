@@ -1,0 +1,56 @@
+//! Static analysis for path-delay ATPG: netlist linting and static
+//! implication learning.
+//!
+//! Two cooperating front-door passes run before any budgeted analysis:
+//!
+//! * **Structural linting** ([`lint_netlist`], [`lint_circuit`]) finds
+//!   defects that parsing and builder validation let through — dead
+//!   gates, unused inputs, width-0 output cones, duplicate line names,
+//!   redundant branches — and reports them as typed [`Diagnostic`]s with
+//!   `source:line-name` context and stable `PDLxxx` codes. The `PDF_LINT`
+//!   variable ([`LintMode`]) decides whether errors abort (`deny`,
+//!   default), print (`warn`), or are skipped (`off`).
+//! * **Static learning** ([`learn_implications`]) runs SOCRATES-style
+//!   contrapositive learning plus depth-1 branch-and-intersect
+//!   (recursive learning) once per circuit and returns a
+//!   [`pdf_faults::LearnedImplications`] closure table that the
+//!   implication engine and the fault-list elimination pass consult to
+//!   kill more provably-untestable faults before enumeration and
+//!   justification spend any budget. Toggled by `PDF_STATIC_LEARNING`
+//!   ([`static_learning_from_env`]); off by default, and byte-identical
+//!   outputs are guaranteed when off.
+//!
+//! # Example
+//!
+//! ```
+//! use pdf_analyze::{learn_implications, lint_circuit};
+//! use pdf_faults::{FaultList, Sensitization};
+//! use pdf_netlist::iscas::s27;
+//! use pdf_paths::PathEnumerator;
+//!
+//! let circuit = s27();
+//! assert!(!lint_circuit(&circuit).has_errors());
+//!
+//! let table = learn_implications(&circuit);
+//! let paths = PathEnumerator::new(&circuit).enumerate();
+//! let (_faults, stats) =
+//!     FaultList::build_with_learned(&circuit, &paths.store, Sensitization::Robust, Some(&table));
+//! // The table only ever removes faults the plain rules would keep.
+//! assert_eq!(
+//!     stats.candidates,
+//!     _faults.len() + stats.rule1_conflicts + stats.rule2_conflicts + stats.statically_eliminated
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnostic;
+mod learning;
+mod lint;
+
+pub use diagnostic::{codes, Diagnostic, Severity};
+pub use learning::{
+    learn_implications, learn_implications_with_cap, static_learning_from_env, DEFAULT_SPLIT_CAP,
+};
+pub use lint::{lint_circuit, lint_netlist, LintMode, LintReport};

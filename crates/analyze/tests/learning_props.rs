@@ -1,0 +1,121 @@
+//! Differential properties of static implication learning.
+//!
+//! On random small synthesized circuits (few enough inputs that all
+//! `4^n` two-pattern tests can be simulated exhaustively):
+//!
+//! * every learned implication holds on every simulated waveform pair;
+//! * fault-list elimination with the table agrees with elimination
+//!   without it, except for removals whose requirements no exhaustive
+//!   two-pattern sweep can satisfy — i.e. provably untestable faults.
+
+use std::collections::HashSet;
+
+use pdf_analyze::learn_implications;
+use pdf_faults::{FaultList, Sensitization};
+use pdf_logic::{Triple, Value};
+use pdf_netlist::{simulate_triples, Circuit, SynthProfile, TwoPattern};
+use pdf_paths::PathEnumerator;
+use proptest::prelude::*;
+
+/// Component `slot` (0 = α1, 2 = α3) of a waveform triple.
+fn component(t: Triple, slot: usize) -> Value {
+    if slot == 0 {
+        t.first()
+    } else {
+        t.last()
+    }
+}
+
+/// Simulates every fully-specified two-pattern test over `n` inputs.
+/// Test `k` encodes input `j`'s pair in bits `2j` (first pattern) and
+/// `2j + 1` (second pattern).
+fn all_waves(circuit: &Circuit) -> Vec<Vec<Triple>> {
+    let n = circuit.inputs().len();
+    (0..4usize.pow(n as u32))
+        .map(|k| {
+            let v1 = (0..n).map(|j| Value::from(k >> (2 * j) & 1 == 1)).collect();
+            let v2 = (0..n)
+                .map(|j| Value::from(k >> (2 * j + 1) & 1 == 1))
+                .collect();
+            simulate_triples(circuit, &TwoPattern::new(v1, v2).to_triples())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn learning_is_sound_on_random_small_circuits(
+        seed in 0u64..1_000_000,
+        inputs in 3usize..=5,
+        gates in 6usize..=18,
+        levels in 2usize..=4,
+        gadgets in 0usize..=2,
+    ) {
+        let netlist = SynthProfile::new("prop", seed)
+            .with_inputs(inputs)
+            .with_gates(gates)
+            .with_levels(levels)
+            .with_redundant_gadgets(gadgets)
+            .generate()
+            .combinational_core()
+            .decompose_parity();
+        let Ok(circuit) = netlist.to_circuit() else {
+            // Degenerate draws (e.g. all gates pruned) are not the
+            // property under test.
+            prop_assume!(false);
+            unreachable!()
+        };
+        prop_assume!(circuit.inputs().len() <= 5);
+
+        let waves = all_waves(&circuit);
+        let table = learn_implications(&circuit);
+
+        // Property 1: every learned implication holds on every
+        // exhaustively simulated waveform pair.
+        for (ante, cons) in table.iter() {
+            for w in &waves {
+                if component(w[ante.line.index()], ante.slot) == ante.value {
+                    prop_assert_eq!(
+                        component(w[cons.line.index()], cons.slot),
+                        cons.value,
+                        "implication {:?} => {:?} violated",
+                        ante,
+                        cons
+                    );
+                }
+            }
+        }
+
+        // Property 2: elimination with the table only removes faults,
+        // and every removed fault is untestable under the exhaustive
+        // two-pattern sweep.
+        let paths = PathEnumerator::new(&circuit).with_cap(2_000).enumerate();
+        for kind in [Sensitization::Robust, Sensitization::NonRobust] {
+            let (with_table, stats) =
+                FaultList::build_with_learned(&circuit, &paths.store, kind, Some(&table));
+            let (without, _) = FaultList::build_with(&circuit, &paths.store, kind);
+
+            let kept: HashSet<String> =
+                with_table.iter().map(|e| format!("{}", e.fault)).collect();
+            let mut eliminated = 0usize;
+            for entry in without.iter() {
+                if kept.contains(&format!("{}", entry.fault)) {
+                    continue;
+                }
+                eliminated += 1;
+                prop_assert!(
+                    !waves.iter().any(|w| entry.assignments.satisfied_by(w)),
+                    "eliminated fault {} is testable",
+                    entry.fault
+                );
+            }
+            prop_assert_eq!(eliminated, stats.statically_eliminated);
+            // Everything the table kept, the plain build kept too.
+            let plain: HashSet<String> =
+                without.iter().map(|e| format!("{}", e.fault)).collect();
+            prop_assert!(kept.is_subset(&plain));
+        }
+    }
+}

@@ -49,6 +49,9 @@ fn main() {
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
     let n_tests: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(256);
 
+    // Abort on structural defects before the sampling loops spend any
+    // budget (PDF_LINT=off skips, =warn reports without aborting).
+    pdf_experiments::preflight_lint(&[circuit_name.as_str()]);
     let s = setup(&circuit_name, 2_000, 200);
     let mut justifier = Justifier::new(&s.circuit, 3).with_attempts(2);
     let base: Vec<_> = s

@@ -10,11 +10,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use pdf_analyze::{Diagnostic, LintMode, LintReport};
 use pdf_atpg::{
     AtpgConfig, BasicAtpg, BudgetSpec, Checkpoint, CheckpointPolicy, Compaction, EnrichmentAtpg,
     RunBudget, TargetSplit,
 };
-use pdf_faults::FaultList;
+use pdf_faults::{FaultList, LearnedImplications};
 use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineKind, Netlist, TwoPattern};
 use pdf_paths::{PathEnumerator, PathSpectrum, Strategy};
@@ -33,16 +34,18 @@ CIRCUIT:
 
 COMMANDS:
     info      <circuit>              structural summary
+    lint      <circuit>              structural diagnostics (PDLxxx codes);
+                                     exits 3 when errors are found
     spectrum  <circuit> [--top N]    exact path counts per length (no enumeration)
     paths     <circuit> [--cap N] [--units N] [--strategy moderate|distance]
                                      enumerate the longest paths
-    faults    <circuit> [--cap N] [--limit N]
+    faults    <circuit> [--cap N] [--limit N] [--static-learning]
                                      the detectable fault population and A(p) sets
     atpg      <circuit> [--cap N] [--np0 N] [--heuristic uncomp|arbit|length|values]
                         [--seed S] [--attempts N] [--cone-cache N] [--enrich]
                         [--minimize] [--output FILE] [--telemetry FILE]
                         [--time-budget SPEC] [--checkpoint FILE]
-                        [--checkpoint-every K] [--resume FILE]
+                        [--checkpoint-every K] [--resume FILE] [--static-learning]
                                      generate a (optionally enriched) robust test set
     sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
     dot       <circuit>              Graphviz export
@@ -50,6 +53,13 @@ COMMANDS:
 
 ENVIRONMENT:
     PDF_SIM_BACKEND       `scalar` or `packed` (default); anything else aborts
+    PDF_LINT              `deny` (default), `warn`, or `off`: whether the
+                          automatic structural lint after circuit loading
+                          aborts on errors, prints them, or is skipped
+    PDF_STATIC_LEARNING   `1`/`on` enables static implication learning for
+                          the faults and atpg commands (same as
+                          --static-learning; default off — outputs are
+                          byte-identical to runs without the feature)
     PDF_TELEMETRY         path of a JSON run report written at exit
                           (--telemetry overrides it for the atpg command)
     PDF_TIME_BUDGET       wall-clock budget for atpg, e.g. `30s` or
@@ -65,13 +75,42 @@ gates are decomposed before path analysis. Both transformations print a
 notice to stderr.
 ";
 
-/// A fatal command error (message for stderr).
+/// Exit status for operational errors (bad usage, unreadable files,
+/// failed runs).
+pub const EXIT_ERROR: i32 = 2;
+
+/// Exit status when linting finds error-severity diagnostics.
+pub const EXIT_LINT: i32 = 3;
+
+/// A fatal command error: a message for stderr plus the process exit
+/// status the binary should return.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// The message printed to stderr.
+    pub message: String,
+    /// The process exit status ([`EXIT_ERROR`] unless stated otherwise).
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: EXIT_ERROR,
+        }
+    }
+
+    fn lint(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: EXIT_LINT,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -79,12 +118,12 @@ impl std::error::Error for CliError {}
 
 impl From<String> for CliError {
     fn from(s: String) -> CliError {
-        CliError(s)
+        CliError::new(s)
     }
 }
 
 fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError(message.into()))
+    Err(CliError::new(message))
 }
 
 /// Simple option parser: `--key value` pairs plus positionals.
@@ -149,28 +188,45 @@ impl Options {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| CliError(format!("invalid value for --{name}: `{v}`"))),
+                .map_err(|_| CliError::new(format!("invalid value for --{name}: `{v}`"))),
         }
     }
 }
 
-/// Loads a circuit by name or file path, normalizing to a combinational,
-/// parity-free line-level circuit. Notices go to `notes`.
-pub fn load_circuit(spec: &str, notes: &mut String) -> Result<Circuit, CliError> {
-    if spec == "s27" {
-        return Ok(pdf_netlist::iscas::s27());
-    }
-    if spec == "c17" {
-        return Ok(pdf_netlist::iscas::c17());
-    }
-    let netlist: Netlist = if let Some(profile) = pdf_netlist::stand_in_profile(spec) {
-        profile.generate()
+/// Resolves a circuit spec to its raw netlist. `s27`/`c17` come from the
+/// embedded ISCAS sources, stand-in names from the synthetic generator,
+/// anything else is parsed as a `.bench` file with typed `PDLxxx`
+/// diagnostics on failure.
+fn resolve_netlist(spec: &str) -> Result<Netlist, CliError> {
+    let (text, name): (std::borrow::Cow<'_, str>, &str) = if spec == "s27" {
+        (pdf_netlist::iscas::S27_BENCH.into(), "s27")
+    } else if spec == "c17" {
+        (pdf_netlist::iscas::C17_BENCH.into(), "c17")
+    } else if let Some(profile) = pdf_netlist::stand_in_profile(spec) {
+        return Ok(profile.generate());
     } else {
-        // Parse failures surface as `path:line: message` diagnostics and
-        // exit with status 2 (the CliError path in main).
-        pdf_netlist::parse_bench_file(std::path::Path::new(spec))
-            .map_err(|e| CliError(e.to_string()))?
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| CliError::new(format!("cannot read `{spec}`: {e}")))?;
+        let name = std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit")
+            .to_owned();
+        let netlist = pdf_netlist::parse_bench(&text, &name)
+            .map_err(|e| CliError::lint(Diagnostic::from_bench_error(spec, &e).to_string()))?;
+        return Ok(netlist);
     };
+    pdf_netlist::parse_bench(&text, name)
+        .map_err(|e| CliError::new(format!("embedded {name} netlist: {e}")))
+}
+
+/// Reduces a raw netlist to the combinational, parity-free form the path
+/// analyses expect. Notices go to `notes`.
+fn normalize_netlist(
+    spec: &str,
+    netlist: Netlist,
+    notes: &mut String,
+) -> Result<Circuit, CliError> {
     let netlist = if netlist.dff_count() > 0 {
         let _ = writeln!(
             notes,
@@ -187,9 +243,91 @@ pub fn load_circuit(spec: &str, notes: &mut String) -> Result<Circuit, CliError>
     } else {
         netlist
     };
+    // A failed expansion is a structural diagnostic, not an operational
+    // error: it carries a PDLxxx class and exits with the lint status.
     netlist
         .to_circuit()
-        .map_err(|e| CliError(format!("{spec}: {e}")))
+        .map_err(|e| CliError::lint(Diagnostic::from_netlist_error(spec, &e).to_string()))
+}
+
+/// Loads a circuit by name or file path, normalizing to a combinational,
+/// parity-free line-level circuit, and runs the automatic structural lint
+/// according to `PDF_LINT`. Notices and lint findings go to `notes`.
+pub fn load_circuit(spec: &str, notes: &mut String) -> Result<Circuit, CliError> {
+    let mode = LintMode::from_env();
+    // s27 keeps the paper's exact hand-assigned line numbering, which the
+    // generic bench pipeline would not reproduce; c17 rides along.
+    let (netlist_report, circuit) = if spec == "s27" {
+        (LintReport::new(), pdf_netlist::iscas::s27())
+    } else if spec == "c17" {
+        (LintReport::new(), pdf_netlist::iscas::c17())
+    } else {
+        let netlist = resolve_netlist(spec)?;
+        let report = match mode {
+            LintMode::Off => LintReport::new(),
+            _ => pdf_analyze::lint_netlist(&netlist),
+        };
+        (report, normalize_netlist(spec, netlist, notes)?)
+    };
+    if matches!(mode, LintMode::Off) {
+        return Ok(circuit);
+    }
+    let mut report = netlist_report;
+    report.extend(pdf_analyze::lint_circuit(&circuit));
+    if report.is_clean() {
+        return Ok(circuit);
+    }
+    if matches!(mode, LintMode::Deny) && report.has_errors() {
+        return Err(CliError::lint(render_report(&report)));
+    }
+    for d in report.iter() {
+        let _ = writeln!(notes, "{d}");
+    }
+    Ok(circuit)
+}
+
+fn render_report(report: &LintReport) -> String {
+    let mut s = String::new();
+    for d in report.iter() {
+        let _ = writeln!(s, "{d}");
+    }
+    let _ = write!(
+        s,
+        "lint: {} error(s), {} warning(s)",
+        report.error_count(),
+        report.warning_count()
+    );
+    s
+}
+
+/// `pdfatpg lint`: runs the full structural lint (raw netlist plus the
+/// expanded line-level circuit) regardless of `PDF_LINT`, and fails with
+/// [`EXIT_LINT`] when error-severity diagnostics are found.
+pub fn cmd_lint(spec: &str) -> Result<String, CliError> {
+    let netlist = resolve_netlist(spec)?;
+    let mut report = pdf_analyze::lint_netlist(&netlist);
+    let mut notes = String::new();
+    // Lint what the analyses will actually see, too: the normalization
+    // itself can fail, which surfaces as a typed diagnostic — combined
+    // with whatever the netlist pass already found, not instead of it.
+    match normalize_netlist(spec, netlist, &mut notes) {
+        Ok(circuit) => report.extend(pdf_analyze::lint_circuit(&circuit)),
+        Err(e) => {
+            let mut message = String::new();
+            for d in report.iter() {
+                let _ = writeln!(message, "{d}");
+            }
+            message.push_str(&e.message);
+            return Err(CliError::lint(message));
+        }
+    }
+    if report.has_errors() {
+        return Err(CliError::lint(render_report(&report)));
+    }
+    if report.is_clean() {
+        return Ok(format!("{spec}: clean\n"));
+    }
+    Ok(format!("{}\n", render_report(&report)))
 }
 
 /// `pdfatpg info`.
@@ -281,12 +419,29 @@ pub fn cmd_paths(circuit: &Circuit, options: &Options) -> Result<String, CliErro
     Ok(s)
 }
 
+/// Whether static learning was requested, by flag or `PDF_STATIC_LEARNING`.
+fn static_learning_requested(options: &Options) -> bool {
+    options.has("static-learning") || pdf_analyze::static_learning_from_env()
+}
+
+/// Learns the implication table when requested; `None` keeps the plain,
+/// byte-identical behavior.
+fn learned_table(circuit: &Circuit, options: &Options) -> Option<LearnedImplications> {
+    static_learning_requested(options).then(|| pdf_analyze::learn_implications(circuit))
+}
+
 /// `pdfatpg faults`.
 pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
     let cap: usize = options.parsed("cap", 10_000)?;
     let limit: usize = options.parsed("limit", 20)?;
+    let table = learned_table(circuit, options);
     let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
-    let (faults, stats) = FaultList::build(circuit, &result.store);
+    let (faults, stats) = FaultList::build_with_learned(
+        circuit,
+        &result.store,
+        pdf_faults::Sensitization::Robust,
+        table.as_ref(),
+    );
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -296,6 +451,14 @@ pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliErr
         stats.rule1_conflicts,
         stats.rule2_conflicts,
     );
+    if let Some(table) = &table {
+        let _ = writeln!(
+            s,
+            "static learning: {} implications learned, {} faults eliminated",
+            table.len(),
+            stats.statically_eliminated,
+        );
+    }
     let histogram = pdf_paths::LengthHistogram::from_lengths(faults.delays());
     let _ = writeln!(s, "length classes: {}", histogram.len());
     for entry in faults.iter().take(limit) {
@@ -329,10 +492,10 @@ struct RunControl {
 
 fn run_control_from(options: &Options) -> Result<RunControl, CliError> {
     let budget_spec = match options.value("time-budget") {
-        Some(text) => {
-            Some(BudgetSpec::parse(text).map_err(|e| CliError(format!("--time-budget: {e}")))?)
-        }
-        None => BudgetSpec::from_env().map_err(|e| CliError(e.to_string()))?,
+        Some(text) => Some(
+            BudgetSpec::parse(text).map_err(|e| CliError::new(format!("--time-budget: {e}")))?,
+        ),
+        None => BudgetSpec::from_env().map_err(|e| CliError::new(e.to_string()))?,
     };
     let checkpoint = match options.value("checkpoint") {
         Some(path) => {
@@ -347,13 +510,13 @@ fn run_control_from(options: &Options) -> Result<RunControl, CliError> {
             if options.value("checkpoint-every").is_some() {
                 return err("--checkpoint-every requires --checkpoint (or PDF_CHECKPOINT)");
             }
-            CheckpointPolicy::from_env().map_err(CliError)?
+            CheckpointPolicy::from_env().map_err(CliError::new)?
         }
     };
     let resume = match options.value("resume") {
         Some(path) => Some(
             Checkpoint::load(std::path::Path::new(path))
-                .map_err(|e| CliError(format!("--resume: {e}")))?,
+                .map_err(|e| CliError::new(format!("--resume: {e}")))?,
         ),
         None => None,
     };
@@ -385,6 +548,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         Some(spec) => RunBudget::with_deadline(spec.deadline_for("generate", started, started)),
         None => RunBudget::unlimited(),
     };
+    let table = learned_table(circuit, options).map(std::sync::Arc::new);
     let config = AtpgConfig {
         seed,
         compaction: heuristic_from(options)?,
@@ -393,17 +557,31 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         cone_cache,
         budget,
         checkpoint,
+        learned: table.clone(),
         ..AtpgConfig::default()
     };
 
     let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
-    let (faults, _) = FaultList::build(circuit, &result.store);
+    let (faults, fault_stats) = FaultList::build_with_learned(
+        circuit,
+        &result.store,
+        pdf_faults::Sensitization::Robust,
+        table.as_deref(),
+    );
     if faults.is_empty() {
         return err("no detectable path delay faults in the enumerated population");
     }
     let split = TargetSplit::by_cumulative_length(&faults, n_p0);
 
     let mut s = String::new();
+    if let Some(table) = &table {
+        let _ = writeln!(
+            s,
+            "static learning: {} implications learned, {} faults eliminated",
+            table.len(),
+            fault_stats.statically_eliminated,
+        );
+    }
     let _ = writeln!(
         s,
         "targets: |P0| = {} (lengths >= {}), |P1| = {}",
@@ -411,7 +589,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         split.cutoffs()[0],
         split.p1().len(),
     );
-    let resume_err = |e: pdf_atpg::ResumeError| CliError(format!("--resume: {e}"));
+    let resume_err = |e: pdf_atpg::ResumeError| CliError::new(format!("--resume: {e}"));
     let (outcome, summary) = if options.has("enrich") {
         let atpg = EnrichmentAtpg::new(circuit).with_config(config.clone());
         let outcome = match &resume {
@@ -488,7 +666,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
 
     if let Some(path) = options.value("output") {
         std::fs::write(path, tests.to_text())
-            .map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+            .map_err(|e| CliError::new(format!("cannot write `{path}`: {e}")))?;
         let _ = writeln!(s, "test set written to {path}");
     } else {
         s.push_str(&tests.to_text());
@@ -500,7 +678,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
 pub fn cmd_sim(circuit: &Circuit, v1: &str, v2: &str) -> Result<String, CliError> {
     let parse = |text: &str| -> Result<Vec<Value>, CliError> {
         let values: Result<Vec<Value>, _> = text.chars().map(Value::try_from).collect();
-        values.map_err(|e| CliError(e.to_string()))
+        values.map_err(|e| CliError::new(e.to_string()))
     };
     let v1 = parse(v1)?;
     let v2 = parse(v2)?;
@@ -535,7 +713,7 @@ pub fn cmd_sim(circuit: &Circuit, v1: &str, v2: &str) -> Result<String, CliError
 /// The `PDF_SIM_BACKEND` selection, as a [`CliError`] naming the bad
 /// value and the accepted ones when the variable is set but unparsable.
 pub fn sim_backend_from_env() -> Result<pdf_sim::SimBackend, CliError> {
-    pdf_sim::SimBackend::from_env().map_err(|e| CliError(format!("PDF_SIM_BACKEND: {e}")))
+    pdf_sim::SimBackend::from_env().map_err(|e| CliError::new(format!("PDF_SIM_BACKEND: {e}")))
 }
 
 /// Runs a full command line (without `argv[0]`). Returns the stdout text.
@@ -556,6 +734,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ));
     };
     let rest = &args[2..];
+    // The lint command drives its own loading (it must see the raw
+    // netlist and report parse failures as diagnostics, not abort in the
+    // automatic pre-lint).
+    if command == "lint" {
+        return cmd_lint(spec);
+    }
     let mut notes = String::new();
     let circuit = load_circuit(spec, &mut notes)?;
     if !notes.is_empty() {
@@ -572,7 +756,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_paths(&circuit, &options)
         }
         "faults" => {
-            let options = Options::parse(rest, &["cap", "limit"], &[])?;
+            let options = Options::parse(rest, &["cap", "limit"], &["static-learning"])?;
             cmd_faults(&circuit, &options)
         }
         "atpg" => {
@@ -592,7 +776,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "checkpoint-every",
                     "resume",
                 ],
-                &["enrich", "minimize"],
+                &["enrich", "minimize", "static-learning"],
             )?;
             cmd_atpg(&circuit, &options)
         }
@@ -612,7 +796,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Ok(pdf_netlist::iscas::C17_BENCH.to_owned())
             } else {
                 let text = std::fs::read_to_string(spec)
-                    .map_err(|e| CliError(format!("cannot read `{spec}`: {e}")))?;
+                    .map_err(|e| CliError::new(format!("cannot read `{spec}`: {e}")))?;
                 Ok(text)
             }
         }
@@ -637,7 +821,7 @@ mod tests {
     #[test]
     fn unknown_command_fails() {
         let e = run(&args(&["frobnicate", "s27"])).unwrap_err();
-        assert!(e.0.contains("unknown command"));
+        assert!(e.message.contains("unknown command"));
     }
 
     #[test]
@@ -743,7 +927,7 @@ mod tests {
     #[test]
     fn atpg_rejects_a_malformed_time_budget() {
         let e = run(&args(&["atpg", "s27", "--time-budget", "soon"])).unwrap_err();
-        assert!(e.0.contains("--time-budget"), "{e}");
+        assert!(e.message.contains("--time-budget"), "{e}");
     }
 
     #[test]
@@ -772,14 +956,14 @@ mod tests {
             "atpg", "s27", "--np0", "10", "--seed", "8", "--resume", file,
         ]))
         .unwrap_err();
-        assert!(foreign.0.contains("checkpoint"), "{foreign}");
+        assert!(foreign.message.contains("checkpoint"), "{foreign}");
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn atpg_checkpoint_every_requires_a_checkpoint_file() {
         let e = run(&args(&["atpg", "s27", "--checkpoint-every", "4"])).unwrap_err();
-        assert!(e.0.contains("--checkpoint"), "{e}");
+        assert!(e.message.contains("--checkpoint"), "{e}");
     }
 
     #[test]
@@ -792,7 +976,7 @@ mod tests {
     #[test]
     fn sim_rejects_wrong_width() {
         let e = run(&args(&["sim", "s27", "01", "10"])).unwrap_err();
-        assert!(e.0.contains("7 values"));
+        assert!(e.message.contains("7 values"));
     }
 
     #[test]
@@ -807,7 +991,7 @@ mod tests {
     #[test]
     fn missing_file_reports_error() {
         let e = run(&args(&["info", "/nonexistent/file.bench"])).unwrap_err();
-        assert!(e.0.contains("cannot read"));
+        assert!(e.message.contains("cannot read"));
     }
 
     #[test]

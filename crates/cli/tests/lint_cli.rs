@@ -1,0 +1,125 @@
+//! End-to-end checks of the `lint` subcommand and the auto-lint exit
+//! path: malformed `.bench` fixtures must terminate the process with
+//! the dedicated lint exit status (3), clean circuits with 0.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const EXIT_LINT: i32 = 3;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(args)
+        .env_remove("PDF_LINT")
+        .env_remove("PDF_STATIC_LEARNING")
+        .output()
+        .expect("spawn pdfatpg")
+}
+
+#[test]
+fn lint_clean_circuit_exits_zero() {
+    let out = run(&["lint", "s27"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_fixture_with_cycle_exits_three() {
+    let path = fixture("cycle.bench");
+    let out = run(&["lint", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(EXIT_LINT));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDL"), "stderr: {stderr}");
+}
+
+#[test]
+fn lint_fixture_with_unused_input_exits_three() {
+    let path = fixture("undriven.bench");
+    let out = run(&["lint", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(EXIT_LINT));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDL002"), "stderr: {stderr}");
+}
+
+#[test]
+fn lint_fixture_with_duplicate_driver_exits_three() {
+    let path = fixture("dup_driver.bench");
+    let out = run(&["lint", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(EXIT_LINT));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDL005"), "stderr: {stderr}");
+}
+
+#[test]
+fn lint_fixture_with_dead_gate_exits_three() {
+    let path = fixture("dead_gate.bench");
+    let out = run(&["lint", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(EXIT_LINT));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDL004"), "stderr: {stderr}");
+}
+
+#[test]
+fn auto_lint_blocks_other_commands_on_malformed_input() {
+    // Any command on a defective netlist aborts before spending budget.
+    let path = fixture("dead_gate.bench");
+    let out = run(&["info", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(EXIT_LINT));
+}
+
+#[test]
+fn lint_warnings_are_reported_without_aborting() {
+    // A width-0 output cone is suspicious but analyzable: the finding is
+    // reported, the command still succeeds (even under the default deny
+    // mode, which only aborts on error severity).
+    let path = fixture("ff_cone.bench");
+    let out = run(&["info", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let combined = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(combined.contains("PDL006"), "output: {combined}");
+}
+
+#[test]
+fn static_learning_reports_eliminations_on_gadget_stand_in() {
+    // The acceptance knob end to end: `faults` with learning enabled on a
+    // redundancy-gadget stand-in reports a non-zero elimination count.
+    let out = Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(["faults", "b03+r", "--static-learning"])
+        .env_remove("PDF_LINT")
+        .env_remove("PDF_STATIC_LEARNING")
+        .output()
+        .expect("spawn pdfatpg");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("static learning:"))
+        .unwrap_or_else(|| panic!("no static-learning line in: {stdout}"));
+    assert!(
+        !line.contains("0 faults eliminated"),
+        "expected eliminations: {line}"
+    );
+}

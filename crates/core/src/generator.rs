@@ -132,6 +132,15 @@ pub struct AtpgConfig {
     /// and recorded in [`AtpgOutcome::quarantined`]; the run continues
     /// with the remaining faults. When off, such panics propagate.
     pub quarantine: bool,
+    /// Statically learned implications consulted by the secondary-target
+    /// conflict pre-filter. Learned conflicts are real conflicts, so
+    /// attaching a table only rejects merge candidates whose justification
+    /// was doomed anyway — coverage is never lost, the doomed candidates
+    /// just skip the randomized justification attempt (which can shift
+    /// later random draws, so equal seeds with and without a table need
+    /// not produce identical sets). The checkpoint fingerprint records
+    /// the table size when one is set.
+    pub learned: Option<std::sync::Arc<pdf_faults::LearnedImplications>>,
 }
 
 impl Default for AtpgConfig {
@@ -146,6 +155,7 @@ impl Default for AtpgConfig {
             budget: RunBudget::unlimited(),
             checkpoint: None,
             quarantine: true,
+            learned: None,
         }
     }
 }
@@ -155,13 +165,20 @@ impl Default for AtpgConfig {
 /// silently diverge from the interrupted run, so resume refuses them.
 #[must_use]
 pub fn config_fingerprint(config: &AtpgConfig) -> String {
-    format!(
+    let mut fp = format!(
         "{}:{}:{}:{}",
         config.compaction.label(),
         config.secondary_mode.label(),
         config.justify_attempts,
         config.backend
-    )
+    );
+    if let Some(table) = &config.learned {
+        // A learned table changes which secondaries reach justification
+        // (and therefore the random stream); resuming without the same
+        // table would diverge. Plain configs keep the historical shape.
+        fp.push_str(&format!(":learned={}", table.len()));
+    }
+    fp
 }
 
 /// Counters describing a generation run.
@@ -1043,8 +1060,9 @@ impl<'c, 'f> Session<'c, 'f> {
         let conflicting = if self.config.quarantine {
             let circuit = self.circuit;
             let merged_ref = &merged;
+            let learned = self.config.learned.as_deref();
             match catch_unwind(AssertUnwindSafe(|| {
-                pdf_faults::Implicator::from_assignments(circuit, merged_ref).is_err()
+                pdf_faults::Implicator::from_assignments_with(circuit, merged_ref, learned).is_err()
             })) {
                 Ok(conflicting) => conflicting,
                 Err(payload) => {
@@ -1054,7 +1072,12 @@ impl<'c, 'f> Session<'c, 'f> {
                 }
             }
         } else {
-            pdf_faults::Implicator::from_assignments(self.circuit, &merged).is_err()
+            pdf_faults::Implicator::from_assignments_with(
+                self.circuit,
+                &merged,
+                self.config.learned.as_deref(),
+            )
+            .is_err()
         };
         if conflicting {
             self.stats.conflict_rejects += 1;

@@ -20,6 +20,7 @@ fn main() {
     // (e.g. `s9234*`) legitimately leaves the Table 3 subset empty, so
     // intersect manually instead of filtering TABLE3_CIRCUITS again.
     let selected = filter_circuits(&pdf_netlist::TABLE6_CIRCUITS);
+    pdf_experiments::preflight_lint(&selected);
     let basic_names: Vec<&str> = pdf_netlist::TABLE3_CIRCUITS
         .iter()
         .copied()

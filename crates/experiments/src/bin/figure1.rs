@@ -5,6 +5,7 @@ use pdf_netlist::{iscas::s27, LineKind};
 
 fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
+    pdf_experiments::preflight_lint(&["s27"]);
     let c = s27();
     println!("Figure 1: ISCAS-89 benchmark circuit s27 (combinational core)");
     println!("line  signal      kind      fanin (paper numbering)");

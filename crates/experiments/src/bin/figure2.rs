@@ -6,6 +6,7 @@ use pdf_paths::{Path, PathEnumerator};
 
 fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
+    pdf_experiments::preflight_lint(&["s27"]);
     let c = s27();
     let line = |k: usize| LineId::new(k - 1);
     // The partial path p = (1,8,13) of the paper's walkthrough.

@@ -13,6 +13,7 @@ fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
     let name = std::env::args().nth(1).unwrap_or_else(|| "b09".to_owned());
     let workload = Workload::from_env();
+    pdf_experiments::preflight_lint(&[name.as_str()]);
     let Some(prepared) = pdf_experiments::prepare(&name, &workload) else {
         eprintln!("unknown circuit `{name}`");
         std::process::exit(1);

@@ -17,7 +17,9 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>14} {:>16}",
         "circuit", "paths", "robust |P|", "nonrobust |P|", "robust share"
     );
-    for name in filter_circuits(&pdf_netlist::TABLE3_CIRCUITS) {
+    let names = filter_circuits(&pdf_netlist::TABLE3_CIRCUITS);
+    pdf_experiments::preflight_lint(&names);
+    for name in names {
         let Some(circuit) = pdf_experiments::circuit_by_name(name) else {
             continue;
         };

@@ -17,7 +17,9 @@ fn main() {
         "{:<8} {:>12} {:>10} {:>9} {:>12} {:>10} {:>9}",
         "circuit", "mode", "detected", "tests", "sec.accepts", "det/test", "seconds"
     );
-    for name in filter_circuits(&pdf_netlist::TABLE3_CIRCUITS) {
+    let names = filter_circuits(&pdf_netlist::TABLE3_CIRCUITS);
+    pdf_experiments::preflight_lint(&names);
+    for name in names {
         let Some(prepared) = pdf_experiments::prepare(name, &workload) else {
             continue;
         };
@@ -30,6 +32,7 @@ fn main() {
                 backend: pdf_experiments::sim_backend(),
                 cone_cache: workload.cone_cache,
                 budget: workload.run_budget(),
+                learned: prepared.learned.clone(),
                 ..AtpgConfig::default()
             };
             let start = std::time::Instant::now();

@@ -2,6 +2,7 @@
 
 fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
+    pdf_experiments::preflight_lint(&["s27"]);
     print!("{}", pdf_experiments::table1_text());
     println!();
     println!(

@@ -5,5 +5,6 @@ use pdf_experiments::Workload;
 fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
     let workload = Workload::from_env();
+    pdf_experiments::preflight_lint(&["s1423"]);
     print!("{}", pdf_experiments::table2_text(&workload));
 }

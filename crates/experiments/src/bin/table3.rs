@@ -5,8 +5,10 @@ use pdf_experiments::{filter_circuits, report, run_basic, Workload};
 fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
     let workload = Workload::from_env();
+    let names = filter_circuits(&pdf_netlist::TABLE3_CIRCUITS);
+    pdf_experiments::preflight_lint(&names);
     let mut rows = Vec::new();
-    for name in filter_circuits(&pdf_netlist::TABLE3_CIRCUITS) {
+    for name in names {
         eprintln!("running {name}...");
         rows.extend(run_basic(name, &workload));
     }

@@ -33,13 +33,15 @@ pub mod json;
 pub mod paper;
 pub mod report;
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use pdf_analyze::{lint_circuit, static_learning_from_env, LintMode};
 use pdf_atpg::{
     AtpgConfig, BasicAtpg, BudgetSpec, Compaction, EnrichmentAtpg, RunBudget, SimBackend,
     TargetSplit,
 };
-use pdf_faults::FaultList;
+use pdf_faults::{FaultList, LearnedImplications, Sensitization};
 use pdf_netlist::Circuit;
 use pdf_paths::PathEnumerator;
 
@@ -60,6 +62,11 @@ pub struct Workload {
     /// A budgeted run that exhausts its deadline still reports its partial
     /// results, flagged on stderr.
     pub time_budget: Option<BudgetSpec>,
+    /// Run static implication learning before fault-list construction and
+    /// thread the learned closure table through elimination and test
+    /// generation (`PDF_STATIC_LEARNING`). Off by default: a disabled
+    /// table leaves every experiment byte-identical.
+    pub static_learning: bool,
 }
 
 impl Default for Workload {
@@ -71,6 +78,7 @@ impl Default for Workload {
             attempts: 1,
             cone_cache: pdf_atpg::DEFAULT_CONE_CACHE,
             time_budget: None,
+            static_learning: false,
         }
     }
 }
@@ -94,6 +102,7 @@ impl Workload {
             attempts: env_parse("PDF_ATTEMPTS").unwrap_or(d.attempts),
             cone_cache: env_parse("PDF_CONE_CACHE").unwrap_or(d.cone_cache),
             time_budget: BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")),
+            static_learning: static_learning_from_env(),
         }
     }
 
@@ -214,24 +223,75 @@ pub struct Prepared {
     pub faults: FaultList,
     /// The `P_0` / `P_1` split.
     pub split: TargetSplit,
+    /// The learned implication closure table, when the workload enables
+    /// static learning. Threaded into every [`AtpgConfig`] built from
+    /// this preparation.
+    pub learned: Option<Arc<LearnedImplications>>,
 }
 
 /// Enumerates the longest-path faults of `name`, eliminates undetectable
-/// ones, and splits the survivors per the paper's `N_P0` rule.
+/// ones, and splits the survivors per the paper's `N_P0` rule. With
+/// [`Workload::static_learning`] set, a learned closure table sharpens
+/// the elimination and is retained for the generation configs.
 #[must_use]
 pub fn prepare(name: &str, workload: &Workload) -> Option<Prepared> {
     let circuit = circuit_by_name(name)?;
+    let learned = workload
+        .static_learning
+        .then(|| Arc::new(pdf_analyze::learn_implications(&circuit)));
     let enumeration = PathEnumerator::new(&circuit)
         .with_cap(workload.n_p)
         .enumerate();
-    let (faults, _) = FaultList::build(&circuit, &enumeration.store);
+    let (faults, stats) = FaultList::build_with_learned(
+        &circuit,
+        &enumeration.store,
+        Sensitization::Robust,
+        learned.as_deref(),
+    );
+    if let Some(table) = &learned {
+        eprintln!(
+            "{name}: static learning: {} implications, {} faults eliminated",
+            table.len(),
+            stats.statically_eliminated
+        );
+    }
     let split = TargetSplit::by_cumulative_length(&faults, workload.n_p0);
     Some(Prepared {
         name: name.to_owned(),
         circuit,
         faults,
         split,
+        learned,
     })
+}
+
+/// Lints every named circuit before an experiment spends any enumeration
+/// or justification budget. Honors `PDF_LINT`: `deny` (default) prints
+/// the diagnostics and exits with status 3 on any error, `warn` prints
+/// and continues, `off` skips the pass entirely.
+pub fn preflight_lint(names: &[&str]) {
+    let mode = LintMode::from_env();
+    if mode == LintMode::Off {
+        return;
+    }
+    let mut errors = 0usize;
+    for &name in names {
+        let Some(circuit) = circuit_by_name(name) else {
+            continue;
+        };
+        let report = lint_circuit(&circuit);
+        for d in report.iter() {
+            eprintln!("{d}");
+        }
+        errors += report.error_count();
+    }
+    if errors > 0 && mode == LintMode::Deny {
+        eprintln!(
+            "lint: {errors} error(s); aborting before any budget is spent \
+             (set PDF_LINT=warn or PDF_LINT=off to override)"
+        );
+        std::process::exit(3);
+    }
 }
 
 /// Flags a budget-truncated run on stderr: the tables still include its
@@ -305,6 +365,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
             backend: sim_backend(),
             cone_cache: workload.cone_cache,
             budget: workload.run_budget(),
+            learned: prepared.learned.clone(),
             ..AtpgConfig::default()
         };
         let start = Instant::now();
@@ -390,6 +451,7 @@ pub fn run_enrich_on(prepared: &Prepared, workload: &Workload) -> EnrichCircuitR
         backend: sim_backend(),
         cone_cache: workload.cone_cache,
         budget: workload.run_budget(),
+        learned: prepared.learned.clone(),
         ..AtpgConfig::default()
     };
 

@@ -24,7 +24,8 @@ use core::fmt;
 use pdf_logic::{GateKind, Triple, Value};
 use pdf_netlist::{Circuit, LineId, LineKind};
 
-use crate::Assignments;
+use crate::learned::Literal;
+use crate::{Assignments, LearnedImplications};
 
 /// Error: the implications assigned two different values to one line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +73,7 @@ pub struct Implicator<'c> {
     values: Vec<Triple>,
     queue: std::collections::VecDeque<LineId>,
     queued: Vec<bool>,
+    learned: Option<&'c LearnedImplications>,
 }
 
 impl<'c> Implicator<'c> {
@@ -83,7 +85,17 @@ impl<'c> Implicator<'c> {
             values: vec![Triple::UNKNOWN; circuit.line_count()],
             queue: std::collections::VecDeque::new(),
             queued: vec![false; circuit.line_count()],
+            learned: None,
         }
+    }
+
+    /// Attaches a statically learned closure table: whenever a line's
+    /// outer component becomes specified, the table's consequents are
+    /// applied as an extra implication rule.
+    #[must_use]
+    pub fn with_learned(mut self, learned: &'c LearnedImplications) -> Implicator<'c> {
+        self.learned = Some(learned);
+        self
     }
 
     /// Creates an engine seeded with a requirement set and runs the
@@ -97,7 +109,23 @@ impl<'c> Implicator<'c> {
         circuit: &'c Circuit,
         assignments: &Assignments,
     ) -> Result<Implicator<'c>, ImplicationConflict> {
+        Implicator::from_assignments_with(circuit, assignments, None)
+    }
+
+    /// Like [`Implicator::from_assignments`], additionally consulting a
+    /// learned closure table when one is supplied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImplicationConflict`] if the requirements are
+    /// contradictory.
+    pub fn from_assignments_with(
+        circuit: &'c Circuit,
+        assignments: &Assignments,
+        learned: Option<&'c LearnedImplications>,
+    ) -> Result<Implicator<'c>, ImplicationConflict> {
         let mut imp = Implicator::new(circuit);
+        imp.learned = learned;
         for (line, req) in assignments.iter() {
             imp.assign(line, req)?;
         }
@@ -176,6 +204,7 @@ impl<'c> Implicator<'c> {
     /// Applies all rules centred on `line`.
     fn process(&mut self, line: LineId) -> Result<(), ImplicationConflict> {
         self.stability_rules(line)?;
+        self.learned_rules(line)?;
         match self.circuit.line(line).kind() {
             LineKind::Input => Ok(()),
             LineKind::Branch { stem } => {
@@ -209,6 +238,26 @@ impl<'c> Implicator<'c> {
             if v.first().is_specified() && v.first() == v.last() {
                 let stable = Triple::new(v.first(), v.first(), v.first());
                 self.update(line, stable)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Learned-table rule: a specified outer component fires the closure
+    /// table's consequents for that literal. Runs inside the ordinary
+    /// fixpoint — `update_component` re-enqueues any line it changes, so
+    /// chains of learned implications resolve without extra bookkeeping.
+    fn learned_rules(&mut self, line: LineId) -> Result<(), ImplicationConflict> {
+        let Some(table) = self.learned else {
+            return Ok(());
+        };
+        for slot in [0usize, 2] {
+            let v = component(self.values[line.index()], slot);
+            if !v.is_specified() {
+                continue;
+            }
+            for cons in table.consequents(Literal::new(line, slot, v)) {
+                self.update_component(cons.line, cons.slot, cons.value)?;
             }
         }
         Ok(())

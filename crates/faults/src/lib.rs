@@ -49,12 +49,14 @@ mod assignments;
 mod conditions;
 mod fault;
 mod implication;
+mod learned;
 mod list;
 
 pub use assignments::{Assignments, RequirementConflict};
 pub use conditions::{assignments, robust_assignments, ConditionError, Sensitization};
 pub use fault::{PathDelayFault, Polarity};
 pub use implication::{ImplicationConflict, Implicator};
+pub use learned::{LearnedImplications, Literal};
 pub use list::{FaultEntry, FaultList, FaultListStats};
 
 /// The most common imports, re-exported flat.

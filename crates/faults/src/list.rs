@@ -5,8 +5,8 @@ use pdf_netlist::Circuit;
 use pdf_paths::PathStore;
 
 use crate::{
-    assignments as compute_assignments, Assignments, ConditionError, Implicator, PathDelayFault,
-    Polarity, Sensitization,
+    assignments as compute_assignments, Assignments, ConditionError, Implicator,
+    LearnedImplications, PathDelayFault, Polarity, Sensitization,
 };
 
 /// One fault with its precomputed necessary assignments.
@@ -29,6 +29,10 @@ pub struct FaultListStats {
     pub rule1_conflicts: usize,
     /// Eliminated by rule 2: the implications of `A(p)` conflict.
     pub rule2_conflicts: usize,
+    /// Eliminated only by the statically learned closure table: rule 2
+    /// alone found no conflict, but re-running the implications with the
+    /// table attached did. Always 0 unless a table is supplied.
+    pub statically_eliminated: usize,
 }
 
 /// The target fault population `P`: every fault of the enumerated paths
@@ -81,6 +85,28 @@ impl FaultList {
         store: &PathStore,
         kind: Sensitization,
     ) -> (FaultList, FaultListStats) {
+        FaultList::build_with_learned(circuit, store, kind, None)
+    }
+
+    /// Builds the fault list, additionally consulting a statically learned
+    /// closure table (see [`LearnedImplications`]) to eliminate faults
+    /// whose conflicts only surface through learned contrapositives.
+    ///
+    /// The plain rule-2 check runs first so `rule2_conflicts` stays
+    /// comparable with and without learning; only its survivors are
+    /// re-checked with the table, and extra drops are counted in
+    /// [`FaultListStats::statically_eliminated`].
+    ///
+    /// # Panics
+    ///
+    /// See [`FaultList::build`].
+    #[must_use]
+    pub fn build_with_learned(
+        circuit: &Circuit,
+        store: &PathStore,
+        kind: Sensitization,
+        learned: Option<&LearnedImplications>,
+    ) -> (FaultList, FaultListStats) {
         let _phase = pdf_telemetry::Span::enter("eliminate");
         let mut stats = FaultListStats::default();
         let mut entries = Vec::with_capacity(store.len() * 2);
@@ -101,6 +127,15 @@ impl FaultList {
                     stats.rule2_conflicts += 1;
                     continue;
                 }
+                // Second chance with the learned closure table attached.
+                if let Some(table) = learned {
+                    if Implicator::from_assignments_with(circuit, &assignments, Some(table))
+                        .is_err()
+                    {
+                        stats.statically_eliminated += 1;
+                        continue;
+                    }
+                }
                 entries.push(FaultEntry {
                     fault,
                     delay: stored.delay,
@@ -110,7 +145,11 @@ impl FaultList {
         }
         pdf_telemetry::count(
             pdf_telemetry::counters::UNDETECTABLE_DROPPED,
-            (stats.rule1_conflicts + stats.rule2_conflicts) as u64,
+            (stats.rule1_conflicts + stats.rule2_conflicts + stats.statically_eliminated) as u64,
+        );
+        pdf_telemetry::count(
+            pdf_telemetry::counters::STATICALLY_ELIMINATED,
+            stats.statically_eliminated as u64,
         );
         (FaultList { entries }, stats)
     }

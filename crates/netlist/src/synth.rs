@@ -44,6 +44,7 @@ pub struct SynthProfile {
     arity3_share: f64,
     inverter_share: f64,
     pi_bias: f64,
+    redundant_gadgets: usize,
 }
 
 impl SynthProfile {
@@ -61,6 +62,7 @@ impl SynthProfile {
             arity3_share: 0.2,
             inverter_share: 0.1,
             pi_bias: 0.3,
+            redundant_gadgets: 0,
         }
     }
 
@@ -120,6 +122,36 @@ impl SynthProfile {
     #[must_use]
     pub fn with_pi_bias(mut self, p: f64) -> SynthProfile {
         self.pi_bias = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the number of injected *redundancy gadgets* (default 0).
+    ///
+    /// The clean layered DAGs this generator produces are structurally
+    /// irredundant: essentially every fault that survives the static
+    /// elimination rules is genuinely testable. Real benchmark circuits
+    /// are not like that — large fractions of their path delay faults are
+    /// untestable for reasons that only reconvergent case analysis can
+    /// expose. Each gadget adds that character back with seven new gates:
+    ///
+    /// ```text
+    /// ns = NOT s            u  = AND(s, ns)        (u ≡ 0, redundantly)
+    /// o1 = OR(s, u, a)      o2 = OR(ns, u, a)
+    /// z  = AND(o1, o2)                             (z ≡ a, redundantly)
+    /// g1 = OR(w, a)         g2 = AND(g1, z)        (g2 a new output)
+    /// ```
+    ///
+    /// where `s`, `a`, and `w` are existing signals (`w` from the deepest
+    /// level, so paths through the gadget rank among the longest). Every
+    /// path through `g2`'s side `w` requires off-path `a` stable 0 and
+    /// off-path `z` stable 1 — unsatisfiable since `z ≡ a`, yet invisible
+    /// to direct implication: justifying `o1 = 1` or `o2 = 1` under
+    /// `a = 0` stalls on two unknowns (`s`/`ns` and `u`), so no
+    /// contradiction is ever reached without splitting on `s`. Existing
+    /// gates keep their functions; only fanout is added.
+    #[must_use]
+    pub fn with_redundant_gadgets(mut self, n: usize) -> SynthProfile {
+        self.redundant_gadgets = n;
         self
     }
 
@@ -277,6 +309,60 @@ impl SynthProfile {
             by_level.push(this_level);
         }
 
+        // Redundancy gadgets (see `with_redundant_gadgets`): an obfuscated
+        // buffer `z ≡ a` plus a carrier pair that pins `a` and `z` to
+        // conflicting off-path requirements on every path through `g2`'s
+        // `w` side. Drawn after the main body so profiles with zero
+        // gadgets consume an identical random stream.
+        for gi in 0..self.redundant_gadgets {
+            let draw = |rng: &mut SplitMix64, shallow: bool| -> String {
+                let level = if shallow {
+                    rng.next_below(levels / 2 + 1)
+                } else {
+                    levels
+                };
+                rng.pick(&by_level[level]).clone()
+            };
+            let s = draw(&mut rng, true);
+            let a = {
+                let mut a = draw(&mut rng, true);
+                for _ in 0..8 {
+                    if a != s {
+                        break;
+                    }
+                    a = draw(&mut rng, true);
+                }
+                a
+            };
+            let w = {
+                let mut w = draw(&mut rng, false);
+                for _ in 0..8 {
+                    if w != s && w != a {
+                        break;
+                    }
+                    w = draw(&mut rng, false);
+                }
+                w
+            };
+            if a == s || w == s || w == a {
+                continue; // degenerate draw (tiny circuit): skip the gadget
+            }
+            let n = |part: &str| format!("red{gi}_{part}");
+            let (ns, u, o1, o2, z, g1, g2) =
+                (n("ns"), n("u"), n("o1"), n("o2"), n("z"), n("g1"), n("g2"));
+            b.gate(GateKind::Not, &ns, &[&s]);
+            b.gate(GateKind::And, &u, &[&s, &ns]);
+            b.gate(GateKind::Or, &o1, &[&s, &u, &a]);
+            b.gate(GateKind::Or, &o2, &[&ns, &u, &a]);
+            b.gate(GateKind::And, &z, &[&o1, &o2]);
+            b.gate(GateKind::Or, &g1, &[&w, &a]);
+            b.gate(GateKind::And, &g2, &[&g1, &z]);
+            b.output(&g2);
+            for sig in [s, a, w] {
+                used.insert(sig);
+            }
+        }
+
         // Unused primary inputs: mop them up through fresh OR gates so the
         // line-level invariant (every non-output line has fanout) holds.
         let mut mop = 0usize;
@@ -314,12 +400,27 @@ impl SynthProfile {
 /// `s9234*` (the `*` variants model the resynthesized circuits of the
 /// paper's reference \[13\]).
 ///
+/// Any recognized name also accepts a `+r` suffix (e.g. `b03+r`): the
+/// same profile with redundancy gadgets injected
+/// ([`SynthProfile::with_redundant_gadgets`], one per ~120 gates, at
+/// least two). The plain stand-ins are structurally irredundant, which
+/// real benchmarks are not; the `+r` variants restore a population of
+/// genuinely untestable faults that only case-splitting static analysis
+/// can eliminate.
+///
 /// Gate counts for the two largest stand-ins (`s5378*`, `s9234*`) are
 /// scaled to roughly half of the originals to keep full-table regeneration
 /// tractable on one core; the long-path fault populations still exceed the
 /// paper's `N_P0 = 1000` threshold, which is what the experiments bind on.
 #[must_use]
 pub fn stand_in_profile(name: &str) -> Option<SynthProfile> {
+    if let Some(base) = name.strip_suffix("+r") {
+        let p = stand_in_profile(base)?;
+        let gadgets = (p.gates / 120).max(2);
+        let mut p = p.with_redundant_gadgets(gadgets);
+        p.name = name.to_string();
+        return Some(p);
+    }
     let p = match name {
         // ISCAS-89 cores. Depth/bias tuned so the cumulative fault counts
         // N_p(L_i) cross 1000 after roughly the paper's i0 length classes.
@@ -487,6 +588,21 @@ mod tests {
     #[test]
     fn unknown_stand_in_is_none() {
         assert!(stand_in_profile("c6288").is_none());
+        assert!(stand_in_profile("c6288+r").is_none());
+    }
+
+    #[test]
+    fn redundant_variant_injects_gadgets() {
+        let plain = stand_in_profile("b03").unwrap().generate();
+        let red = stand_in_profile("b03+r").unwrap().generate();
+        assert!(red.gate_count() > plain.gate_count());
+        let c = red.to_circuit().unwrap();
+        assert!(c.path_count() >= 1000, "{}", c.path_count());
+        // The plain profile stays byte-identical: no gadget names appear.
+        assert!(plain
+            .gates()
+            .iter()
+            .all(|g| !plain.signal_name(g.output).starts_with("red")));
     }
 
     #[test]

@@ -102,6 +102,13 @@ pub mod counters {
     pub const CHECKPOINTS_WRITTEN: &str = "checkpoints_written";
     /// Faults quarantined after a caught per-fault panic.
     pub const FAULTS_QUARANTINED: &str = "faults_quarantined";
+    /// Contrapositive implications recorded by the static learning pass.
+    pub const LEARNED_IMPLICATIONS: &str = "learned_implications";
+    /// Faults eliminated only by the learned closure table (beyond the
+    /// plain rule-2 implication check).
+    pub const STATICALLY_ELIMINATED: &str = "statically_eliminated";
+    /// Error-severity diagnostics reported by the structural linter.
+    pub const LINT_ERRORS: &str = "lint_errors";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
