@@ -36,7 +36,16 @@ fn bench_circuit(c: &mut Criterion, name: &str, n_p: usize, n_p0: usize) {
     group.bench_function(format!("{name}/waveforms_packed_block"), |b| {
         // One packed pass = 64 tests; amortized cost per test is this /64.
         let block_tests = &tests.tests()[..LANES];
-        let mut block = PackedBlock::new();
+        let mut block: PackedBlock = PackedBlock::new();
+        b.iter(|| {
+            block.load(&s.circuit, block_tests);
+            block.lanes()
+        });
+    });
+    group.bench_function(format!("{name}/waveforms_packed_block_512"), |b| {
+        // One 512-lane pass = 256 tests here; amortized cost is this /256.
+        let block_tests = tests.tests();
+        let mut block: PackedBlock<[u64; 8]> = PackedBlock::new();
         b.iter(|| {
             block.load(&s.circuit, block_tests);
             block.lanes()

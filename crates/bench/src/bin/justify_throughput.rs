@@ -3,18 +3,23 @@
 //!
 //! The figure of merit is *attempts per second*: one attempt is one fully
 //! specified random completion of the necessary-value fixpoint, evaluated
-//! through the requirement cone. The packed backend evaluates 64 of them
-//! per cone simulation; the scalar oracle simulates each individually
-//! (stopping early at the first hit, which the count reflects). Both
-//! backends draw identical random fill words, so they find tests for the
-//! same faults — asserted below.
+//! through the requirement cone. The packed backend evaluates up to its
+//! tile width of them per cone simulation (the width comes from
+//! `PDF_SIM_WIDTH`, default auto-detected); the scalar oracle simulates
+//! each individually (stopping early at the first hit, which the count
+//! reflects). Both engines draw identical random fill words, so they find
+//! the same tests for the same faults — asserted below.
+//!
+//! With event-driven propagation on (the default), each completion pass
+//! re-evaluates only the lines whose input rails actually changed; the
+//! `events` block reports how small that slice of the circuit is.
 //!
 //! Run with `--release`; circuit and workload can be overridden via
 //! `PDF_BENCH_CIRCUIT`, `PDF_BENCH_TESTS` (justification calls here).
 
 use std::time::Instant;
 
-use pdf_atpg::{BudgetSpec, Justifier, JustifyStats, RunBudget, SimBackend};
+use pdf_atpg::{BudgetSpec, Justifier, JustifyStats, RunBudget, SimBackend, SimOptions};
 use pdf_bench::setup;
 use pdf_experiments::json::Json;
 
@@ -76,6 +81,7 @@ fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
     let n_calls: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(256);
+    let opts = SimOptions::from_env().unwrap_or_else(|e| panic!("{e}"));
 
     // Abort on structural defects before the sampling loops spend any
     // budget (PDF_LINT=off skips, =warn reports without aborting).
@@ -83,13 +89,11 @@ fn main() {
     let s = setup(&circuit_name, 2_000, 200);
     let entries: Vec<_> = s.faults.iter().collect();
     assert!(!entries.is_empty(), "no faults on {circuit_name}");
-    let run = |backend: SimBackend| {
+    let run = |o: SimOptions| {
         let entries = &entries;
         let circuit = &s.circuit;
         move || {
-            let mut justifier = Justifier::new(circuit, 3)
-                .with_attempts(4)
-                .with_backend(backend);
+            let mut justifier = Justifier::new(circuit, 3).with_attempts(4).with_options(o);
             let mut found = 0usize;
             for call in 0..n_calls {
                 // Every requirement set is visited twice in a row, so a
@@ -101,9 +105,10 @@ fn main() {
         }
     };
 
+    let packed_opts = opts.with_backend(SimBackend::Packed);
     let budget = bench_budget();
-    let scalar = measure(&budget, run(SimBackend::Scalar));
-    let packed = measure(&budget, run(SimBackend::Packed));
+    let scalar = measure(&budget, run(opts.with_backend(SimBackend::Scalar)));
+    let packed = measure(&budget, run(packed_opts));
     assert_eq!(scalar.found, packed.found, "backends disagree on outcomes");
 
     // Attempts/sec of the completion engines themselves; the phases
@@ -114,13 +119,24 @@ fn main() {
     let speedup = packed_rate / scalar_rate;
     let cache_total = packed.stats.cone_hits + packed.stats.cone_misses;
     let hit_rate = packed.stats.cone_hits as f64 / cache_total.max(1) as f64;
+    // Event economy: lines actually evaluated per completion pass, as an
+    // absolute count and as a fraction of the whole circuit. Narrow-cone
+    // calls with most pins frozen should keep the fraction well under
+    // one even though passes repeat over the same cone.
+    let blocks = packed.stats.packed_blocks.max(1) as f64;
+    let events_per_block = packed.stats.events_propagated as f64 / blocks;
+    let lines_fraction = events_per_block / s.circuit.line_count() as f64;
     println!(
         "justify_throughput {circuit_name}: {n_calls} calls, {} justified; \
-         scalar {scalar_rate:.3e} attempts/s, packed {packed_rate:.3e} attempts/s, \
-         speedup {speedup:.1}x, cone-cache hit rate {:.0}%, \
+         scalar {scalar_rate:.3e} attempts/s, packed {packed_rate:.3e} attempts/s \
+         @ width {} (events {}), speedup {speedup:.1}x, cone-cache hit rate {:.0}%, \
+         {events_per_block:.0} lines/block ({:.1}% of circuit), \
          end-to-end {:.2}s -> {:.2}s",
         packed.found,
+        packed_opts.width.lanes(),
+        if packed_opts.events { "on" } else { "off" },
         hit_rate * 100.0,
+        lines_fraction * 100.0,
         scalar.total_seconds,
         packed.total_seconds,
     );
@@ -145,7 +161,17 @@ fn main() {
             "packed",
             backend_json(&packed).field("blocks", packed.stats.packed_blocks),
         )
+        .field("width", packed_opts.width.lanes())
+        .field("event_driven", packed_opts.events)
         .field("speedup", speedup)
+        .field(
+            "events",
+            Json::object()
+                .field("events_propagated", packed.stats.events_propagated)
+                .field("lines_skipped", packed.stats.lines_skipped)
+                .field("events_per_block", events_per_block)
+                .field("lines_fraction", lines_fraction),
+        )
         .field(
             "cone_cache",
             Json::object()

@@ -3,12 +3,18 @@
 //!
 //! The figure of merit is *checks per second*: one check is one
 //! (test, fault) requirement evaluation, so a full coverage pass performs
-//! `tests × faults` of them. Run with `--release`; circuit and workload
-//! can be overridden via `PDF_BENCH_CIRCUIT`, `PDF_BENCH_TESTS`.
+//! `tests × faults` of them. The packed engine is measured at every tile
+//! width (64/256/512 lanes) with event-driven propagation on; the
+//! headline `packed` row uses the width selected by `PDF_SIM_WIDTH`
+//! (default: auto-detected), and a `thread_scaling` row re-measures that
+//! configuration single-threaded to expose the fan-out gain. Run with
+//! `--release` (ideally `RUSTFLAGS="-C target-cpu=native"` so the wide
+//! tiles vectorize); circuit and workload can be overridden via
+//! `PDF_BENCH_CIRCUIT`, `PDF_BENCH_TESTS`.
 
 use std::time::Instant;
 
-use pdf_atpg::{BudgetSpec, Justifier, RunBudget, SimBackend, TestSet};
+use pdf_atpg::{BudgetSpec, Justifier, RunBudget, SimBackend, SimOptions, SimWidth, TestSet};
 use pdf_bench::setup;
 use pdf_experiments::json::Json;
 
@@ -47,7 +53,10 @@ fn measure(budget: &RunBudget, f: impl Fn() -> usize) -> (f64, usize) {
 fn main() {
     let _telemetry = pdf_telemetry::Guard::from_env();
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
-    let n_tests: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(256);
+    // Default workload: four full 512-lane blocks, so the widest tile is
+    // measured saturated rather than half-empty.
+    let n_tests: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(2048);
+    let opts = SimOptions::from_env().unwrap_or_else(|e| panic!("{e}"));
 
     // Abort on structural defects before the sampling loops spend any
     // budget (PDF_LINT=off skips, =warn reports without aborting).
@@ -65,27 +74,65 @@ fn main() {
 
     let checks = (tests.len() * s.faults.len()) as f64;
     let budget = bench_budget();
-    let (scalar_s, scalar_det) = measure(&budget, || {
+    let coverage = |o: SimOptions| {
         tests
-            .coverage_with(SimBackend::Scalar, &s.circuit, &s.faults)
+            .coverage_with(o, &s.circuit, &s.faults)
             .detected_count()
-    });
-    let (packed_s, packed_det) = measure(&budget, || {
-        tests
-            .coverage_with(SimBackend::Packed, &s.circuit, &s.faults)
-            .detected_count()
-    });
+    };
+    let (scalar_s, scalar_det) = measure(&budget, || coverage(SimBackend::Scalar.into()));
+
+    // Every tile width, events on, full fan-out.
+    let mut widths = Json::object();
+    let mut width_rates = Vec::new();
+    for width in SimWidth::ALL {
+        let o = opts.with_backend(SimBackend::Packed).with_width(width);
+        let (seconds, det) = measure(&budget, || coverage(o));
+        assert_eq!(det, scalar_det, "width {width} disagrees with scalar");
+        width_rates.push((width, checks / seconds));
+        widths = widths.field(
+            width.label(),
+            Json::object()
+                .field("seconds", seconds)
+                .field("checks_per_sec", checks / seconds)
+                .field("speedup_vs_scalar", scalar_s / seconds),
+        );
+    }
+
+    // The headline packed row: the env-selected (default auto) width.
+    let packed_opts = opts.with_backend(SimBackend::Packed);
+    let (packed_s, packed_det) = measure(&budget, || coverage(packed_opts));
     assert_eq!(scalar_det, packed_det, "backends disagree on coverage");
+
+    // Thread scaling: the same configuration pinned to one worker. The
+    // kernel re-reads `PDF_SIM_THREADS` on every fan-out, so the pin can
+    // be scoped to this measurement.
+    let threads = pdf_sim::max_threads();
+    let saved_threads = std::env::var("PDF_SIM_THREADS").ok();
+    std::env::set_var("PDF_SIM_THREADS", "1");
+    let (single_s, single_det) = measure(&budget, || coverage(packed_opts));
+    match saved_threads {
+        Some(v) => std::env::set_var("PDF_SIM_THREADS", v),
+        None => std::env::remove_var("PDF_SIM_THREADS"),
+    }
+    assert_eq!(single_det, packed_det, "thread count changed coverage");
 
     let speedup = scalar_s / packed_s;
     println!(
         "sim_throughput {circuit_name}: {} tests x {} faults; scalar {:.3e} checks/s, \
-         packed {:.3e} checks/s, speedup {speedup:.1}x",
+         packed {:.3e} checks/s @ width {} ({} threads, events {}), speedup {speedup:.1}x, \
+         thread scaling {:.1}x",
         tests.len(),
         s.faults.len(),
         checks / scalar_s,
         checks / packed_s,
+        packed_opts.width.lanes(),
+        threads,
+        if packed_opts.events { "on" } else { "off" },
+        single_s / packed_s,
     );
+    for (width, rate) in &width_rates {
+        println!("  width {:>3}: {rate:.3e} checks/s", width.lanes());
+    }
 
     let report = Json::object()
         .field("circuit", circuit_name.as_str())
@@ -105,7 +152,22 @@ fn main() {
                 .field("seconds", packed_s)
                 .field("checks_per_sec", checks / packed_s),
         )
+        .field("width", packed_opts.width.lanes())
+        .field("event_driven", packed_opts.events)
+        .field("widths", widths)
         .field("speedup", speedup)
-        .field("threads", pdf_sim::max_threads());
+        .field("threads", threads)
+        .field(
+            "thread_scaling",
+            Json::object()
+                .field("threads", threads)
+                .field(
+                    "single_thread",
+                    Json::object()
+                        .field("seconds", single_s)
+                        .field("checks_per_sec", checks / single_s),
+                )
+                .field("scaling", single_s / packed_s),
+        );
     std::fs::write("BENCH_sim.json", report.to_pretty()).expect("cannot write BENCH_sim.json");
 }

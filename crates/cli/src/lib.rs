@@ -46,6 +46,7 @@ COMMANDS:
                         [--minimize] [--output FILE] [--telemetry FILE]
                         [--time-budget SPEC] [--checkpoint FILE]
                         [--checkpoint-every K] [--resume FILE] [--static-learning]
+                        [--sim-width 64|256|512|auto] [--sim-events on|off]
                                      generate a (optionally enriched) robust test set
     sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
     dot       <circuit>              Graphviz export
@@ -53,6 +54,14 @@ COMMANDS:
 
 ENVIRONMENT:
     PDF_SIM_BACKEND       `scalar` or `packed` (default); anything else aborts
+    PDF_SIM_WIDTH         packed tile width in lanes: `64`, `256`, `512` or
+                          `auto` (default: widest the CPU supports); results
+                          are identical at every width (--sim-width overrides)
+    PDF_SIM_EVENTS        `on` (default) or `off`: event-driven propagation
+                          in the packed kernel — skip lines whose fanins did
+                          not change (--sim-events overrides)
+    PDF_SIM_THREADS       worker-thread count for fault-simulation fan-outs
+                          (default: all available cores)
     PDF_LINT              `deny` (default), `warn`, or `off`: whether the
                           automatic structural lint after circuit loading
                           aborts on errors, prints them, or is skipped
@@ -533,7 +542,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
     let _telemetry = options
         .value("telemetry")
         .map(pdf_telemetry::Guard::to_path);
-    let backend = sim_backend_from_env()?;
+    let sim = sim_options_from(options)?;
     let cap: usize = options.parsed("cap", 10_000)?;
     let n_p0: usize = options.parsed("np0", 1_000)?;
     let seed: u64 = options.parsed("seed", 2002)?;
@@ -553,7 +562,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         seed,
         compaction: heuristic_from(options)?,
         justify_attempts: attempts,
-        backend,
+        sim,
         cone_cache,
         budget,
         checkpoint,
@@ -644,7 +653,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             None => RunBudget::unlimited(),
         };
         let (minimized, cut_short) =
-            tests.minimized_within(&compact_budget, backend, circuit, &everything);
+            tests.minimized_within(&compact_budget, sim, circuit, &everything);
         if cut_short {
             let _ = writeln!(
                 s,
@@ -716,6 +725,37 @@ pub fn sim_backend_from_env() -> Result<pdf_sim::SimBackend, CliError> {
     pdf_sim::SimBackend::from_env().map_err(|e| CliError::new(format!("PDF_SIM_BACKEND: {e}")))
 }
 
+/// The full simulation option block: the `PDF_SIM_BACKEND` /
+/// `PDF_SIM_WIDTH` / `PDF_SIM_EVENTS` environment selection, as a
+/// [`CliError`] naming the offending variable when one is unparsable.
+pub fn sim_options_from_env() -> Result<pdf_sim::SimOptions, CliError> {
+    pdf_sim::SimOptions::from_env().map_err(CliError::new)
+}
+
+/// [`sim_options_from_env`] plus the `--sim-width` and `--sim-events`
+/// command-line overrides.
+fn sim_options_from(options: &Options) -> Result<pdf_sim::SimOptions, CliError> {
+    let mut opts = sim_options_from_env()?;
+    if let Some(text) = options.value("sim-width") {
+        opts.width = text
+            .parse()
+            .map_err(|e| CliError::new(format!("--sim-width: {e}")))?;
+    }
+    if let Some(text) = options.value("sim-events") {
+        opts.events = match text.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" => true,
+            "0" | "off" | "false" => false,
+            other => {
+                return err(format!(
+                    "--sim-events: unknown event-propagation switch `{other}` \
+                     (accepted values: `on`, `off`, `1`, `0`, `true`, `false`)"
+                ))
+            }
+        };
+    }
+    Ok(opts)
+}
+
 /// Runs a full command line (without `argv[0]`). Returns the stdout text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
@@ -724,9 +764,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "--help" || command == "-h" || command == "help" {
         return Ok(USAGE.to_owned());
     }
-    // A bad backend override must abort before any work happens, whatever
-    // the command — not surface halfway through a generation run.
-    let _ = sim_backend_from_env()?;
+    // A bad simulation override must abort before any work happens,
+    // whatever the command — not surface halfway through a generation run.
+    let _ = sim_options_from_env()?;
     let _telemetry = pdf_telemetry::Guard::from_env();
     let Some(spec) = args.get(1) else {
         return err(format!(
@@ -775,6 +815,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "checkpoint",
                     "checkpoint-every",
                     "resume",
+                    "sim-width",
+                    "sim-events",
                 ],
                 &["enrich", "minimize", "static-learning"],
             )?;

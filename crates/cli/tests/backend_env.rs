@@ -1,25 +1,30 @@
-//! `PDF_SIM_BACKEND` validation at CLI startup.
+//! `PDF_SIM_BACKEND` / `PDF_SIM_WIDTH` / `PDF_SIM_EVENTS` validation at
+//! CLI startup, plus the `--sim-width` / `--sim-events` overrides.
 //!
-//! These tests mutate a process-global environment variable, so they live
+//! These tests mutate process-global environment variables, so they live
 //! in their own integration-test binary and serialize on a mutex.
 
 use std::sync::{Mutex, PoisonError};
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-fn with_backend<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+fn with_var<R>(name: &str, value: Option<&str>, body: impl FnOnce() -> R) -> R {
     let _guard = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
-    let saved = std::env::var("PDF_SIM_BACKEND").ok();
+    let saved = std::env::var(name).ok();
     match value {
-        Some(v) => std::env::set_var("PDF_SIM_BACKEND", v),
-        None => std::env::remove_var("PDF_SIM_BACKEND"),
+        Some(v) => std::env::set_var(name, v),
+        None => std::env::remove_var(name),
     }
     let result = body();
     match saved {
-        Some(v) => std::env::set_var("PDF_SIM_BACKEND", v),
-        None => std::env::remove_var("PDF_SIM_BACKEND"),
+        Some(v) => std::env::set_var(name, v),
+        None => std::env::remove_var(name),
     }
     result
+}
+
+fn with_backend<R>(value: Option<&str>, body: impl FnOnce() -> R) -> R {
+    with_var("PDF_SIM_BACKEND", value, body)
 }
 
 fn args(list: &[&str]) -> Vec<String> {
@@ -71,4 +76,63 @@ fn atpg_minimize_honours_the_scalar_backend() {
     let packed = run_with("packed");
     assert_eq!(scalar, packed);
     assert!(scalar.contains("static minimization:"), "{scalar}");
+}
+
+#[test]
+fn misspelled_width_aborts_any_command_naming_the_accepted_values() {
+    with_var("PDF_SIM_WIDTH", Some("128"), || {
+        let e = pdf_cli::run(&args(&["info", "s27"])).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("PDF_SIM_WIDTH"), "{msg}");
+        assert!(msg.contains("128"), "must name the bad value: {msg}");
+        assert!(msg.contains("`64`"), "must name accepted values: {msg}");
+        assert!(msg.contains("`512`"), "must name accepted values: {msg}");
+    });
+}
+
+#[test]
+fn misspelled_events_switch_aborts_any_command() {
+    with_var("PDF_SIM_EVENTS", Some("yes"), || {
+        let e = pdf_cli::run(&args(&["info", "s27"])).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("PDF_SIM_EVENTS"), "{msg}");
+        assert!(msg.contains("yes"), "must name the bad value: {msg}");
+    });
+}
+
+#[test]
+fn atpg_output_is_identical_across_widths_and_event_modes() {
+    // Width and event mode are throughput knobs only: the full atpg
+    // output (tests, coverage, minimization) must be byte-identical.
+    let run_with = |extra: &[&str]| {
+        let mut cmd = vec![
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--enrich",
+            "--minimize",
+            "--seed",
+            "7",
+        ];
+        cmd.extend_from_slice(extra);
+        pdf_cli::run(&args(&cmd)).unwrap()
+    };
+    let baseline = run_with(&["--sim-width", "64"]);
+    for width in ["256", "512", "auto"] {
+        assert_eq!(baseline, run_with(&["--sim-width", width]), "{width}");
+    }
+    assert_eq!(baseline, run_with(&["--sim-events", "off"]));
+    with_var("PDF_SIM_WIDTH", Some("512"), || {
+        assert_eq!(baseline, run_with(&[]));
+    });
+}
+
+#[test]
+fn bad_sim_flags_error_before_any_work() {
+    let e = pdf_cli::run(&args(&["atpg", "s27", "--sim-width", "127"])).unwrap_err();
+    assert!(e.to_string().contains("--sim-width"), "{e}");
+    let e = pdf_cli::run(&args(&["atpg", "s27", "--sim-events", "maybe"])).unwrap_err();
+    assert!(e.to_string().contains("--sim-events"), "{e}");
+    assert!(e.to_string().contains("maybe"), "{e}");
 }

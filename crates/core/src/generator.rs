@@ -18,7 +18,7 @@ use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineId, SplitMix64};
 use pdf_runctl::{Checkpoint, CheckpointPolicy, RunBudget, CHECKPOINT_VERSION};
 
-use pdf_sim::SimBackend;
+use pdf_sim::SimOptions;
 
 use crate::testset::ParseTestSetError;
 use crate::{Justified, Justifier, JustifyStats, TargetSplit, TestSet, DEFAULT_CONE_CACHE};
@@ -107,9 +107,11 @@ pub struct AtpgConfig {
     pub justify_attempts: u32,
     /// How secondary targets extend the test under construction.
     pub secondary_mode: SecondaryMode,
-    /// The simulation backend the justifier evaluates completion blocks
-    /// with. Coverage per set is backend-independent for a fixed seed.
-    pub backend: SimBackend,
+    /// The simulation options (backend, packed tile width, event-driven
+    /// propagation) the justifier evaluates completion blocks with. All
+    /// combinations produce identical tests and coverage for a fixed
+    /// seed; a bare [`SimBackend`] converts via `.into()`.
+    pub sim: SimOptions,
     /// Capacity of the justifier's cone-topology LRU cache (entries);
     /// `0` disables caching.
     pub cone_cache: usize,
@@ -150,7 +152,7 @@ impl Default for AtpgConfig {
             compaction: Compaction::ValueBased,
             justify_attempts: 1,
             secondary_mode: SecondaryMode::default(),
-            backend: SimBackend::default(),
+            sim: SimOptions::default(),
             cone_cache: DEFAULT_CONE_CACHE,
             budget: RunBudget::unlimited(),
             checkpoint: None,
@@ -163,6 +165,9 @@ impl Default for AtpgConfig {
 /// The configuration facets a checkpoint pins: resuming under a different
 /// compaction heuristic, secondary mode, attempt count or backend would
 /// silently diverge from the interrupted run, so resume refuses them.
+/// Tile width and event mode are deliberately *not* pinned: witnesses are
+/// byte-identical across them, so resuming a run on a machine with a
+/// different vector width is safe.
 #[must_use]
 pub fn config_fingerprint(config: &AtpgConfig) -> String {
     let mut fp = format!(
@@ -170,7 +175,7 @@ pub fn config_fingerprint(config: &AtpgConfig) -> String {
         config.compaction.label(),
         config.secondary_mode.label(),
         config.justify_attempts,
-        config.backend
+        config.sim.backend
     );
     if let Some(table) = &config.learned {
         // A learned table changes which secondaries reach justification
@@ -541,7 +546,7 @@ impl<'c, 'f> Session<'c, 'f> {
         }
         let justifier = Justifier::new(circuit, config.seed)
             .with_attempts(config.justify_attempts)
-            .with_backend(config.backend)
+            .with_options(config.sim)
             .with_cone_cache(config.cone_cache)
             .with_budget(config.budget.clone());
         Session {
@@ -1121,6 +1126,7 @@ mod tests {
     use super::*;
     use pdf_netlist::iscas::s27;
     use pdf_paths::PathEnumerator;
+    use pdf_sim::SimBackend;
 
     fn s27_faults() -> (Circuit, FaultList) {
         let c = s27();
@@ -1132,9 +1138,10 @@ mod tests {
     fn config(compaction: Compaction) -> AtpgConfig {
         AtpgConfig {
             compaction,
-            // Run the whole generator suite under the backend of the CI
-            // leg (`PDF_SIM_BACKEND`), not just the default.
-            backend: SimBackend::from_env().expect("PDF_SIM_BACKEND must parse"),
+            // Run the whole generator suite under the option block of the
+            // CI leg (`PDF_SIM_BACKEND`/`PDF_SIM_WIDTH`/`PDF_SIM_EVENTS`),
+            // not just the default.
+            sim: SimOptions::from_env().expect("PDF_SIM_* must parse"),
             ..AtpgConfig::default()
         }
     }
@@ -1251,17 +1258,17 @@ mod tests {
             let paths = PathEnumerator::new(&c).with_cap(400).enumerate();
             let (faults, _) = FaultList::build(&c, &paths.store);
             let split = TargetSplit::by_cumulative_length(&faults, faults.len() / 4);
-            let run = |backend| {
+            let run = |opts: SimOptions| {
                 EnrichmentAtpg::new(&c)
                     .with_config(AtpgConfig {
-                        backend,
+                        sim: opts,
                         justify_attempts: 2,
                         ..AtpgConfig::default()
                     })
                     .run(&split)
             };
-            let scalar = run(SimBackend::Scalar);
-            let packed = run(SimBackend::Packed);
+            let scalar = run(SimBackend::Scalar.into());
+            let packed = run(SimBackend::Packed.into());
             for set in 0..2 {
                 assert_eq!(
                     scalar.detected_in_set(set),

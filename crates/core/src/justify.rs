@@ -11,13 +11,14 @@
 //!    value is assigned permanently; if both conflict, justification
 //!    fails;
 //! 3. **random completion**: the surviving free positions are filled with
-//!    random values, [`pdf_sim::LANES`] (= 64) complete candidate tests at
-//!    a time, and the whole block is simulated through the requirement
-//!    cone in one pass — on the packed backend as a single bit-plane
-//!    sweep, on the scalar oracle as 64 individual cone simulations over
-//!    the *same* random fill words. The lowest lane whose waveforms
-//!    satisfy every requirement (hazard-freeness included) becomes the
-//!    witness, so both backends return the same test;
+//!    random values in groups of [`pdf_sim::LANES`] (= 64) complete
+//!    candidate tests, all groups drawn up front. The packed backend
+//!    simulates up to `tile width / 64` groups per bit-plane pass (one
+//!    pass at width 64, fewer passes as the tile widens); the scalar
+//!    oracle walks the same candidates one cone simulation each. The
+//!    lowest-numbered candidate whose waveforms satisfy every requirement
+//!    (hazard-freeness included) becomes the witness, so every backend,
+//!    tile width and event mode returns the same test;
 //! 4. if no completion block hits, the paper's **guided decision search**
 //!    runs as a fallback: an input with exactly one specified pattern
 //!    value is stabilized, else a random unspecified position of a random
@@ -38,7 +39,7 @@ use pdf_faults::Assignments;
 use pdf_logic::{Triple, Value};
 use pdf_netlist::{Circuit, LineId, LineKind, SplitMix64, TwoPattern};
 use pdf_runctl::RunBudget;
-use pdf_sim::{PackedBlock, SimBackend, LANES};
+use pdf_sim::{PackedBlock, SimBackend, SimOptions, SimWidth, SimWord, LANES};
 
 /// Default capacity (entries) of the cone-topology LRU cache.
 pub const DEFAULT_CONE_CACHE: usize = 64;
@@ -72,11 +73,14 @@ pub struct JustifyStats {
     pub unsatisfied: usize,
     /// Cone simulations performed (a packed 64-lane block counts as one).
     pub simulations: usize,
-    /// Random completions evaluated. The packed backend evaluates all 64
-    /// lanes of a block at once; the scalar oracle stops at the first
-    /// satisfying lane, so its count can be lower for the same calls.
+    /// Random completions evaluated. The packed backend evaluates whole
+    /// passes (up to its tile width in lanes) at once; the scalar oracle
+    /// stops at the first satisfying lane, so its count can be lower for
+    /// the same calls.
     pub completion_attempts: usize,
-    /// 64-lane bit-plane completion blocks simulated (packed backend).
+    /// Bit-plane completion passes simulated (packed backend). A pass
+    /// covers up to `tile width` candidate lanes, so this count shrinks
+    /// as the width grows.
     pub packed_blocks: usize,
     /// Calls resolved by a random-completion lane rather than the guided
     /// decision search.
@@ -85,6 +89,13 @@ pub struct JustifyStats {
     pub cone_hits: usize,
     /// Cone topologies built from scratch.
     pub cone_misses: usize,
+    /// Lines actually (re-)evaluated by packed completion passes — with
+    /// event-driven propagation on, far fewer than `order length × passes`
+    /// because frozen-pin regions settle once and stay settled.
+    pub events_propagated: u64,
+    /// Lines packed completion passes visited but skipped because no
+    /// fanin rail changed since the previous pass.
+    pub lines_skipped: u64,
 }
 
 /// The simulation-based justification engine.
@@ -120,12 +131,13 @@ pub struct Justifier<'c> {
     circuit: &'c Circuit,
     rng: SplitMix64,
     attempts: u32,
-    backend: SimBackend,
+    opts: SimOptions,
     stats: JustifyStats,
     /// Scratch waveform buffer, one slot per line.
     scratch: Vec<Triple>,
-    /// Reusable bit-plane arena for packed completion blocks.
-    packed: PackedBlock,
+    /// Reusable bit-plane arena for packed completion passes, at the
+    /// width selected by [`Justifier::with_options`].
+    packed: PackedArena,
     cones: ConeCache,
     /// Wall time spent inside completion blocks (phase 2 only).
     completion: std::time::Duration,
@@ -140,35 +152,52 @@ impl<'c> Justifier<'c> {
     /// cache ([`DEFAULT_CONE_CACHE`]).
     #[must_use]
     pub fn new(circuit: &'c Circuit, seed: u64) -> Justifier<'c> {
+        let opts = SimOptions::default();
         Justifier {
             circuit,
             rng: SplitMix64::new(seed),
             attempts: 1,
-            backend: SimBackend::default(),
+            opts,
             stats: JustifyStats::default(),
             scratch: vec![Triple::UNKNOWN; circuit.line_count()],
-            packed: PackedBlock::new(),
+            packed: PackedArena::new(opts.width, opts.events),
             cones: ConeCache::new(DEFAULT_CONE_CACHE),
             completion: std::time::Duration::ZERO,
             budget: RunBudget::unlimited(),
         }
     }
 
-    /// Sets the number of 64-lane random-completion blocks per call
-    /// (≥ 1). More blocks trade run time for fewer random misses — the
+    /// Sets the number of 64-candidate random-completion groups per call
+    /// (≥ 1). More groups trade run time for fewer random misses — the
     /// paper notes such misses as the source of its run-to-run variation.
+    /// The RNG draws every group's fill words up front, so the witness
+    /// (and the RNG stream) depends only on this count, never on the
+    /// backend, tile width or event mode evaluating the groups.
     #[must_use]
     pub fn with_attempts(mut self, attempts: u32) -> Justifier<'c> {
         self.attempts = attempts.max(1);
         self
     }
 
-    /// Selects the engine evaluating completion blocks: the packed
+    /// Selects the engine evaluating completion passes: the packed
     /// bit-plane kernel (default) or the scalar oracle. Both agree on
     /// justifiability for equal seeds; drivers map `PDF_SIM_BACKEND` here.
     #[must_use]
     pub fn with_backend(mut self, backend: SimBackend) -> Justifier<'c> {
-        self.backend = backend;
+        self.opts.backend = backend;
+        self
+    }
+
+    /// Installs a full simulation option block: backend, packed tile
+    /// width and event-driven propagation. Replaces the packed arena, so
+    /// call it before the first `justify`. All combinations produce
+    /// byte-identical witnesses for equal seeds; drivers map
+    /// `PDF_SIM_BACKEND`/`PDF_SIM_WIDTH`/`PDF_SIM_EVENTS` here.
+    #[must_use]
+    pub fn with_options(mut self, opts: impl Into<SimOptions>) -> Justifier<'c> {
+        let opts = opts.into();
+        self.opts = opts;
+        self.packed = PackedArena::new(opts.width, opts.events);
         self
     }
 
@@ -274,34 +303,52 @@ impl<'c> Justifier<'c> {
             return None;
         }
 
-        // Phase 2 — random completion, 64 candidates per cone simulation.
-        // Both backends draw the same fill words (one u64 per free slot,
-        // bit j = lane j) and take the lowest satisfying lane, so the
-        // outcome is backend-independent.
+        // Phase 2 — random completion in groups of 64 candidates. Every
+        // group's fill words are drawn up front, group-major (group `g`,
+        // open slot `k` is draw `g·|open| + k`; bit `j` of a word is
+        // candidate `g·64 + j`'s value for that slot), so the RNG stream
+        // and the first satisfying candidate — the witness — are
+        // identical for every backend, tile width and event mode. Wider
+        // tiles merely evaluate more groups per propagation pass.
         let open: Vec<(usize, usize)> = (0..n)
             .flat_map(|i| (0..2).map(move |pos| (i, pos)))
             .filter(|&(i, pos)| !pick(&state[i], pos).is_specified())
             .collect();
-        let mut fills = vec![0u64; open.len()];
-        for block in 0..self.attempts {
-            if self.budget.exhausted() {
-                return None;
-            }
-            if block > 0 {
-                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_RETRIES, 1);
-            }
-            for w in &mut fills {
-                *w = self.rng.next_u64();
-            }
-            if let Some(lane) = self.completion_block(req, &cone, &state, &open, &fills) {
+        if self.budget.exhausted() {
+            return None;
+        }
+        let groups = self.attempts as usize;
+        let mut fills = vec![0u64; groups * open.len()];
+        for w in &mut fills {
+            *w = self.rng.next_u64();
+        }
+        let start = std::time::Instant::now();
+        let outcome = self.completion_groups(req, &cone, &state, &open, &fills, groups);
+        self.completion += start.elapsed();
+        match outcome {
+            PassOutcome::Aborted => return None,
+            PassOutcome::Hit(candidate) => {
+                let g = candidate / LANES;
+                if g > 0 {
+                    pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_RETRIES, g as u64);
+                }
                 pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_LANE_HITS, 1);
                 self.stats.lane_hits += 1;
                 let mut full = state;
                 for (k, &(i, pos)) in open.iter().enumerate() {
-                    set(&mut full[i], pos, Value::from(fills[k] >> lane & 1 == 1));
+                    let bit = fills[g * open.len() + k] >> (candidate % LANES) & 1 == 1;
+                    set(&mut full[i], pos, Value::from(bit));
                 }
                 self.stats.successes += 1;
                 return Some(self.finish(&cone, &full));
+            }
+            PassOutcome::Miss => {
+                if groups > 1 {
+                    pdf_telemetry::count(
+                        pdf_telemetry::counters::JUSTIFY_RETRIES,
+                        (groups - 1) as u64,
+                    );
+                }
             }
         }
 
@@ -356,79 +403,76 @@ impl<'c> Justifier<'c> {
         }
     }
 
-    /// Evaluates one block of 64 random completions of `state` (free
-    /// slots filled from `fills`: bit `j` of `fills[k]` is lane `j`'s
-    /// value for `open[k]`). Returns the lowest lane satisfying `req`.
-    fn completion_block(
+    /// Evaluates every random-completion group of the call (free slots
+    /// filled from `fills`, group-major: bit `j` of
+    /// `fills[g·|open| + k]` is candidate `g·64 + j`'s value for
+    /// `open[k]`). Dispatches to the backend/width the justifier was
+    /// configured with; the outcome is identical across all of them.
+    fn completion_groups(
         &mut self,
         req: &Assignments,
         cone: &Cone,
         state: &[(Value, Value)],
         open: &[(usize, usize)],
         fills: &[u64],
-    ) -> Option<usize> {
-        let start = std::time::Instant::now();
-        let lane = self.completion_block_inner(req, cone, state, open, fills);
-        self.completion += start.elapsed();
-        lane
+        groups: usize,
+    ) -> PassOutcome {
+        if self.opts.backend == SimBackend::Scalar {
+            return self.scalar_groups(req, cone, state, open, fills, groups);
+        }
+        let Justifier {
+            circuit,
+            packed,
+            stats,
+            budget,
+            ..
+        } = self;
+        match packed {
+            PackedArena::W64(b) => packed_passes(
+                b, circuit, req, cone, state, open, fills, groups, stats, budget,
+            ),
+            PackedArena::W256(b) => packed_passes(
+                b, circuit, req, cone, state, open, fills, groups, stats, budget,
+            ),
+            PackedArena::W512(b) => packed_passes(
+                b, circuit, req, cone, state, open, fills, groups, stats, budget,
+            ),
+        }
     }
 
-    fn completion_block_inner(
+    /// The oracle: the same candidates in the same global order, one cone
+    /// simulation each, stopping at the first satisfying one.
+    fn scalar_groups(
         &mut self,
         req: &Assignments,
         cone: &Cone,
         state: &[(Value, Value)],
         open: &[(usize, usize)],
         fills: &[u64],
-    ) -> Option<usize> {
-        match self.backend {
-            SimBackend::Packed => {
-                self.stats.packed_blocks += 1;
-                self.stats.completion_attempts += LANES;
-                self.stats.simulations += 1;
-                pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_PACKED_BLOCKS, 1);
-                // Broadcast the committed values across all lanes, then
-                // overwrite the free slots with their per-lane fill rails.
-                let mut first: Vec<(u64, u64)> = state.iter().map(|s| broadcast(s.0)).collect();
-                let mut last: Vec<(u64, u64)> = state.iter().map(|s| broadcast(s.1)).collect();
-                for (k, &(i, pos)) in open.iter().enumerate() {
-                    let rails = (!fills[k], fills[k]);
-                    if pos == 0 {
-                        first[i] = rails;
-                    } else {
-                        last[i] = rails;
-                    }
-                }
-                self.packed.begin_block(self.circuit);
-                for (k, &pi) in cone.topo.pis.iter().enumerate() {
-                    self.packed.set_input_rails(pi, first[k], last[k]);
-                }
-                self.packed.propagate_over(self.circuit, &cone.topo.order);
-                let lanes = self.packed.satisfied_lanes(req);
-                (lanes != 0).then(|| lanes.trailing_zeros() as usize)
+        groups: usize,
+    ) -> PassOutcome {
+        let mut lane_state = state.to_vec();
+        for g in 0..groups {
+            if g > 0 && self.budget.exhausted() {
+                return PassOutcome::Aborted;
             }
-            SimBackend::Scalar => {
-                // The oracle: the same 64 candidates, one cone simulation
-                // each, stopping at the first satisfying lane.
-                let mut lane_state = state.to_vec();
-                for lane in 0..LANES {
-                    for (k, &(i, pos)) in open.iter().enumerate() {
-                        set(
-                            &mut lane_state[i],
-                            pos,
-                            Value::from(fills[k] >> lane & 1 == 1),
-                        );
-                    }
-                    self.sim_cone(cone, &lane_state);
-                    self.stats.simulations += 1;
-                    self.stats.completion_attempts += 1;
-                    if req.satisfied_by(&self.scratch) {
-                        return Some(lane);
-                    }
+            for bit in 0..LANES {
+                for (k, &(i, pos)) in open.iter().enumerate() {
+                    set(
+                        &mut lane_state[i],
+                        pos,
+                        Value::from(fills[g * open.len() + k] >> bit & 1 == 1),
+                    );
                 }
-                None
+                self.sim_cone(cone, &lane_state);
+                self.stats.simulations += 1;
+                self.stats.completion_attempts += 1;
+                if req.satisfied_by(&self.scratch) {
+                    return PassOutcome::Hit(g * LANES + bit);
+                }
             }
         }
+        PassOutcome::Miss
     }
 
     /// The guided decision search (paper steps 2–4), entered with the
@@ -633,14 +677,120 @@ fn fully_specified(state: &[(Value, Value)]) -> bool {
         .all(|s| s.0.is_specified() && s.1.is_specified())
 }
 
-/// A committed value as 64-lane `(zero_rail, one_rail)` broadcast words.
+/// A committed value as `(zero_rail, one_rail)` tiles broadcast across
+/// every lane of the word type.
 #[inline]
-fn broadcast(v: Value) -> (u64, u64) {
+fn splat_rails<W: SimWord>(v: Value) -> (W, W) {
     match v {
-        Value::Zero => (u64::MAX, 0),
-        Value::One => (0, u64::MAX),
-        Value::X => (0, 0),
+        Value::Zero => (W::ONES, W::ZERO),
+        Value::One => (W::ZERO, W::ONES),
+        Value::X => (W::ZERO, W::ZERO),
     }
+}
+
+/// The justifier's reusable bit-plane arena, monomorphized at the tile
+/// width selected via [`Justifier::with_options`]. Keeping the width in a
+/// closed enum (rather than a type parameter on [`Justifier`]) leaves the
+/// engine's public type width-independent — drivers pick the width at run
+/// time from `PDF_SIM_WIDTH`.
+#[derive(Clone, Debug)]
+enum PackedArena {
+    W64(PackedBlock<u64>),
+    W256(PackedBlock<[u64; 4]>),
+    W512(PackedBlock<[u64; 8]>),
+}
+
+impl PackedArena {
+    fn new(width: SimWidth, events: bool) -> PackedArena {
+        match width {
+            SimWidth::W64 => PackedArena::W64(PackedBlock::new().with_events(events)),
+            SimWidth::W256 => PackedArena::W256(PackedBlock::new().with_events(events)),
+            SimWidth::W512 => PackedArena::W512(PackedBlock::new().with_events(events)),
+        }
+    }
+}
+
+/// Result of evaluating a call's completion groups.
+enum PassOutcome {
+    /// The lowest-numbered satisfying candidate (global index:
+    /// `group · 64 + lane`).
+    Hit(usize),
+    /// No candidate satisfied the requirements.
+    Miss,
+    /// The run budget expired between passes.
+    Aborted,
+}
+
+/// Evaluates completion groups on the packed kernel, up to `W::WORDS`
+/// groups per bit-plane pass. Lane numbering within a pass is
+/// sub-block-major — lane `g_local · 64 + bit` is global candidate
+/// `(pass_start + g_local) · 64 + bit` — matching the scalar oracle's
+/// scan order, so the first satisfying lane is the same witness.
+#[allow(clippy::too_many_arguments)]
+fn packed_passes<W: SimWord>(
+    block: &mut PackedBlock<W>,
+    circuit: &Circuit,
+    req: &Assignments,
+    cone: &Cone,
+    state: &[(Value, Value)],
+    open: &[(usize, usize)],
+    fills: &[u64],
+    groups: usize,
+    stats: &mut JustifyStats,
+    budget: &RunBudget,
+) -> PassOutcome {
+    pdf_telemetry::record_max(pdf_telemetry::counters::SIM_WIDTH, W::LANES as u64);
+    let mut pass_start = 0usize;
+    while pass_start < groups {
+        if pass_start > 0 && budget.exhausted() {
+            return PassOutcome::Aborted;
+        }
+        let here = (groups - pass_start).min(W::WORDS);
+        stats.packed_blocks += 1;
+        stats.completion_attempts += here * LANES;
+        stats.simulations += 1;
+        pdf_telemetry::count(pdf_telemetry::counters::JUSTIFY_PACKED_BLOCKS, 1);
+        // Broadcast the committed values across all lanes, then overwrite
+        // the free slots with their per-lane fill rails (one 64-candidate
+        // group per 64-bit word of the tile).
+        let mut first: Vec<(W, W)> = state.iter().map(|s| splat_rails(s.0)).collect();
+        let mut last: Vec<(W, W)> = state.iter().map(|s| splat_rails(s.1)).collect();
+        for (k, &(i, pos)) in open.iter().enumerate() {
+            let mut zero = W::ZERO;
+            let mut one = W::ZERO;
+            for g in 0..here {
+                let w = fills[(pass_start + g) * open.len() + k];
+                zero.set_word(g, !w);
+                one.set_word(g, w);
+            }
+            if pos == 0 {
+                first[i] = (zero, one);
+            } else {
+                last[i] = (zero, one);
+            }
+        }
+        block.begin_block(circuit);
+        for (k, &pi) in cone.topo.pis.iter().enumerate() {
+            block.set_input_rails(pi, first[k], last[k]);
+        }
+        block.propagate_over(circuit, &cone.topo.order);
+        let kernel = block.take_kernel_stats();
+        stats.events_propagated += kernel.events_propagated;
+        stats.lines_skipped += kernel.lines_skipped;
+        pdf_telemetry::count(
+            pdf_telemetry::counters::EVENTS_PROPAGATED,
+            kernel.events_propagated,
+        );
+        pdf_telemetry::count(pdf_telemetry::counters::LINES_SKIPPED, kernel.lines_skipped);
+        // Unused tile groups of a partial pass carry broadcast-only lanes
+        // that may spuriously satisfy the requirements — mask them off.
+        let lanes = block.satisfied_lanes(req).and(W::low_lanes(here * LANES));
+        if let Some(lane) = lanes.first_lane() {
+            return PassOutcome::Hit(pass_start * LANES + lane);
+        }
+        pass_start += here;
+    }
+    PassOutcome::Miss
 }
 
 /// The requirement-independent topology of a fanin cone: every

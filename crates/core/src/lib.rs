@@ -56,9 +56,10 @@ pub use generator::{
 pub use justify::{Justified, Justifier, JustifyStats, DEFAULT_CONE_CACHE};
 pub use target::TargetSplit;
 pub use testset::{Coverage, ParseTestSetError, TestSet};
-// The backend selector is part of this crate's public simulation API:
-// `TestSet::coverage_with` / `TestSet::minimized_with` take it.
-pub use pdf_sim::SimBackend;
+// The simulation option block is part of this crate's public API:
+// `TestSet::coverage_with` / `TestSet::minimized_with` and
+// `Justifier::with_options` take it (a bare `SimBackend` converts).
+pub use pdf_sim::{SimBackend, SimOptions, SimWidth};
 // Run control is part of the public generation API: `AtpgConfig` carries
 // a budget and a checkpoint policy, `run_resumed` consumes a checkpoint.
 pub use pdf_runctl::{

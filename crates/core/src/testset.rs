@@ -9,7 +9,7 @@
 use pdf_faults::FaultList;
 use pdf_netlist::{Circuit, TwoPattern};
 use pdf_runctl::RunBudget;
-use pdf_sim::SimBackend;
+use pdf_sim::{SimBackend, SimOptions};
 
 /// One test in the plain-text interchange line format (`v1 v2`), shared
 /// by [`TestSet::to_text`] and the checkpoint writer.
@@ -98,18 +98,20 @@ impl TestSet {
         self.coverage_with(SimBackend::default(), circuit, faults)
     }
 
-    /// Simulates the whole set against a fault list with an explicit
-    /// simulation backend. Both backends produce identical coverage; the
-    /// scalar one exists as a differential-testing oracle.
+    /// Simulates the whole set against a fault list with explicit
+    /// simulation options (backend, tile width, event mode — a bare
+    /// [`SimBackend`] converts). Every combination produces identical
+    /// coverage; the scalar backend exists as a differential-testing
+    /// oracle.
     #[must_use]
     pub fn coverage_with(
         &self,
-        backend: SimBackend,
+        opts: impl Into<SimOptions>,
         circuit: &Circuit,
         faults: &FaultList,
     ) -> Coverage {
         Coverage {
-            detected: pdf_sim::coverage_flags(backend, circuit, &self.tests, faults.entries()),
+            detected: pdf_sim::coverage_flags(opts, circuit, &self.tests, faults.entries()),
         }
     }
 }
@@ -128,15 +130,15 @@ impl TestSet {
         self.minimized_with(SimBackend::default(), circuit, faults)
     }
 
-    /// [`TestSet::minimized`] with an explicit simulation backend.
+    /// [`TestSet::minimized`] with explicit simulation options.
     #[must_use]
     pub fn minimized_with(
         &self,
-        backend: SimBackend,
+        opts: impl Into<SimOptions>,
         circuit: &Circuit,
         faults: &FaultList,
     ) -> TestSet {
-        let keep = self.kept_after_sweep(backend, circuit, faults);
+        let keep = self.kept_after_sweep(opts, circuit, faults);
         TestSet {
             tests: self
                 .tests
@@ -156,15 +158,15 @@ impl TestSet {
         self.into_minimized_with(SimBackend::default(), circuit, faults)
     }
 
-    /// [`TestSet::into_minimized`] with an explicit simulation backend.
+    /// [`TestSet::into_minimized`] with explicit simulation options.
     #[must_use]
     pub fn into_minimized_with(
         self,
-        backend: SimBackend,
+        opts: impl Into<SimOptions>,
         circuit: &Circuit,
         faults: &FaultList,
     ) -> TestSet {
-        let keep = self.kept_after_sweep(backend, circuit, faults);
+        let keep = self.kept_after_sweep(opts, circuit, faults);
         TestSet {
             tests: self
                 .tests
@@ -188,27 +190,26 @@ impl TestSet {
     pub fn minimized_within(
         &self,
         budget: &RunBudget,
-        backend: SimBackend,
+        opts: impl Into<SimOptions>,
         circuit: &Circuit,
         faults: &FaultList,
     ) -> (TestSet, bool) {
         if budget.exhausted() {
             return (self.clone(), true);
         }
-        (self.minimized_with(backend, circuit, faults), false)
+        (self.minimized_with(opts, circuit, faults), false)
     }
 
     /// The reverse-order sweep shared by the minimization entry points:
     /// which tests survive, as flags aligned with `self.tests`.
     fn kept_after_sweep(
         &self,
-        backend: SimBackend,
+        opts: impl Into<SimOptions>,
         circuit: &Circuit,
         faults: &FaultList,
     ) -> Vec<bool> {
         let _phase = pdf_telemetry::Span::enter("compact");
-        let per_test =
-            pdf_sim::per_test_detections(backend, circuit, &self.tests, faults.entries());
+        let per_test = pdf_sim::per_test_detections(opts, circuit, &self.tests, faults.entries());
         let mut covered = vec![false; faults.len()];
         let mut keep = vec![false; self.tests.len()];
         for (k, detections) in per_test.iter().enumerate().rev() {

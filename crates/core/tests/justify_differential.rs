@@ -1,78 +1,154 @@
-//! Differential oracle for the justifier's two completion engines: for
-//! equal seeds the packed bit-plane kernel and the scalar per-lane loop
-//! must agree on justifiability (Some/None) for every fault, and every
-//! packed witness must pass the scalar requirement re-check.
+//! Differential oracle for the justifier's completion engines: for equal
+//! seeds the scalar per-lane loop and the packed bit-plane kernel — at
+//! every tile width (64/256/512 lanes), with event-driven propagation on
+//! or off — must return byte-identical witnesses for every fault, and
+//! every packed witness must pass the scalar requirement re-check.
 
 use proptest::prelude::*;
 
 use pdf_atpg::Justifier;
 use pdf_faults::FaultList;
-use pdf_netlist::{Circuit, SynthProfile};
+use pdf_netlist::{Circuit, SynthProfile, TwoPattern};
 use pdf_paths::PathEnumerator;
-use pdf_sim::SimBackend;
+use pdf_sim::{SimBackend, SimOptions, SimWidth};
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (3usize..8, 10usize..60, 3usize..8, any::<u64>()).prop_map(|(inputs, gates, levels, seed)| {
-        SynthProfile::new("diff", seed)
-            .with_inputs(inputs)
-            .with_gates(gates)
-            .with_levels(levels)
-            .generate()
-            .to_circuit()
-            .expect("generated netlists are valid")
-    })
+    // `redundant` injects the `+r` stand-in redundancy gadgets, giving the
+    // justifier a population of unjustifiable requirement sets too.
+    (3usize..8, 10usize..60, 3usize..8, 0usize..3, any::<u64>()).prop_map(
+        |(inputs, gates, levels, redundant, seed)| {
+            SynthProfile::new("diff", seed)
+                .with_inputs(inputs)
+                .with_gates(gates)
+                .with_levels(levels)
+                .with_redundant_gadgets(redundant)
+                .generate()
+                .to_circuit()
+                .expect("generated netlists are valid")
+        },
+    )
 }
 
-/// Justifies every detectable fault of `c` under both backends with the
-/// same seed and cross-checks the outcomes.
-fn check_backends_agree(c: &Circuit, seed: u64, attempts: u32) {
-    let paths = PathEnumerator::new(c).with_cap(300).enumerate();
-    let (faults, _) = FaultList::build(c, &paths.store);
-    let mut scalar = Justifier::new(c, seed)
-        .with_attempts(attempts)
-        .with_backend(SimBackend::Scalar);
-    let mut packed = Justifier::new(c, seed)
-        .with_attempts(attempts)
-        .with_backend(SimBackend::Packed);
-    for entry in faults.iter() {
-        let s = scalar.justify(&entry.assignments);
-        let p = packed.justify(&entry.assignments);
-        assert_eq!(
-            s.is_some(),
-            p.is_some(),
-            "backends disagree on {} (seed {seed})",
-            entry.fault
-        );
-        if let Some(p) = p {
-            // The packed witness must pass the scalar re-check: the
-            // full-circuit waveforms neither violate nor miss any
-            // requirement.
-            assert!(
-                !entry.assignments.violated_by(&p.waves),
-                "packed witness violates {} (seed {seed})",
-                entry.fault
-            );
-            assert!(
-                entry.assignments.satisfied_by(&p.waves),
-                "packed witness does not satisfy {} (seed {seed})",
-                entry.fault
-            );
-            assert_eq!(
-                s.unwrap().test,
-                p.test,
-                "witness mismatch on {} (seed {seed})",
-                entry.fault
-            );
+/// Every backend × width × event-mode combination the justifier offers.
+fn all_option_blocks() -> Vec<SimOptions> {
+    let mut blocks = vec![SimOptions::default().with_backend(SimBackend::Scalar)];
+    for width in SimWidth::ALL {
+        for events in [true, false] {
+            blocks.push(SimOptions::default().with_width(width).with_events(events));
         }
     }
-    assert_eq!(scalar.stats().successes, packed.stats().successes);
+    blocks
+}
+
+/// Justifies every detectable fault of `c` under every option block with
+/// the same seed and cross-checks witnesses, stats and cone counters.
+fn check_engines_agree(c: &Circuit, seed: u64, attempts: u32) {
+    let paths = PathEnumerator::new(c).with_cap(300).enumerate();
+    let (faults, _) = FaultList::build(c, &paths.store);
+    let blocks = all_option_blocks();
+    let mut engines: Vec<Justifier> = blocks
+        .iter()
+        .map(|&opts| {
+            Justifier::new(c, seed)
+                .with_attempts(attempts)
+                .with_options(opts)
+        })
+        .collect();
+    for entry in faults.iter() {
+        let results: Vec<Option<pdf_atpg::Justified>> = engines
+            .iter_mut()
+            .map(|j| j.justify(&entry.assignments))
+            .collect();
+        let (oracle, rest) = results.split_first().expect("scalar oracle first");
+        for (r, opts) in rest.iter().zip(&blocks[1..]) {
+            assert_eq!(
+                oracle.is_some(),
+                r.is_some(),
+                "{opts:?} disagrees on {} (seed {seed})",
+                entry.fault
+            );
+            if let (Some(s), Some(p)) = (oracle, r) {
+                // Byte-identical witnesses, and every packed witness
+                // passes the scalar re-check: the full-circuit waveforms
+                // neither violate nor miss any requirement.
+                assert_eq!(
+                    s.test, p.test,
+                    "witness mismatch under {opts:?} on {} (seed {seed})",
+                    entry.fault
+                );
+                assert!(
+                    !entry.assignments.violated_by(&p.waves),
+                    "witness violates {} under {opts:?} (seed {seed})",
+                    entry.fault
+                );
+                assert!(
+                    entry.assignments.satisfied_by(&p.waves),
+                    "witness does not satisfy {} under {opts:?} (seed {seed})",
+                    entry.fault
+                );
+            }
+        }
+    }
+    let oracle_stats = engines[0].stats();
+    for (j, opts) in engines.iter().zip(&blocks) {
+        let stats = j.stats();
+        assert_eq!(oracle_stats.successes, stats.successes, "{opts:?}");
+        assert_eq!(oracle_stats.conflicts, stats.conflicts, "{opts:?}");
+        assert_eq!(oracle_stats.lane_hits, stats.lane_hits, "{opts:?}");
+        // The cone-topology LRU sits above the completion engine, so its
+        // hit/miss counters must be width- and event-independent.
+        assert_eq!(oracle_stats.cone_hits, stats.cone_hits, "{opts:?}");
+        assert_eq!(oracle_stats.cone_misses, stats.cone_misses, "{opts:?}");
+    }
 }
 
 #[test]
-fn backends_agree_on_s27_across_seeds() {
+fn engines_agree_on_s27_across_seeds() {
     let c = pdf_netlist::iscas::s27();
     for seed in [1, 2, 7, 2002, 0xDEAD_BEEF] {
-        check_backends_agree(&c, seed, 2);
+        check_engines_agree(&c, seed, 2);
+    }
+}
+
+#[test]
+fn engines_agree_on_a_redundant_stand_in() {
+    // A `+r` profile: redundancy gadgets make part of the fault
+    // population unjustifiable, exercising the Miss path of every engine.
+    let c = pdf_netlist::stand_in_profile("b03+r")
+        .expect("known stand-in")
+        .generate()
+        .to_circuit()
+        .expect("combinational");
+    check_engines_agree(&c, 2002, 1);
+}
+
+#[test]
+fn wide_event_driven_generation_matches_the_default_width() {
+    // End-to-end: a whole enrichment run produces identical test sets at
+    // every width × event mode, because the justifier's witnesses are.
+    let c = pdf_netlist::stand_in_profile("b09")
+        .expect("known stand-in")
+        .generate()
+        .to_circuit()
+        .expect("combinational");
+    let paths = PathEnumerator::new(&c).with_cap(400).enumerate();
+    let (faults, _) = FaultList::build(&c, &paths.store);
+    let split = pdf_atpg::TargetSplit::by_cumulative_length(&faults, faults.len() / 4);
+    let run = |opts: SimOptions| {
+        pdf_atpg::EnrichmentAtpg::new(&c)
+            .with_config(pdf_atpg::AtpgConfig {
+                sim: opts,
+                ..pdf_atpg::AtpgConfig::default()
+            })
+            .run(&split)
+    };
+    let baseline: Vec<TwoPattern> = run(SimOptions::default().with_width(SimWidth::W64))
+        .tests()
+        .tests()
+        .to_vec();
+    for opts in all_option_blocks() {
+        let outcome = run(opts);
+        assert_eq!(outcome.tests().tests(), &baseline[..], "{opts:?}");
     }
 }
 
@@ -80,7 +156,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn backends_agree_on_synth_circuits(c in arb_circuit(), seed in any::<u64>()) {
-        check_backends_agree(&c, seed, 1);
+    fn engines_agree_on_synth_circuits(c in arb_circuit(), seed in any::<u64>()) {
+        check_engines_agree(&c, seed, 1);
     }
 }

@@ -39,7 +39,7 @@ use std::time::Instant;
 use pdf_analyze::{lint_circuit, static_learning_from_env, LintMode};
 use pdf_atpg::{
     AtpgConfig, BasicAtpg, BudgetSpec, Compaction, EnrichmentAtpg, RunBudget, SimBackend,
-    TargetSplit,
+    SimOptions, TargetSplit,
 };
 use pdf_faults::{FaultList, LearnedImplications, Sensitization};
 use pdf_netlist::Circuit;
@@ -157,6 +157,20 @@ where
 #[must_use]
 pub fn sim_backend() -> SimBackend {
     SimBackend::from_env().unwrap_or_else(|e| panic!("PDF_SIM_BACKEND: {e}"))
+}
+
+/// The full simulation option block every experiment driver uses —
+/// `PDF_SIM_BACKEND`, `PDF_SIM_WIDTH` and `PDF_SIM_EVENTS` over the
+/// defaults (packed, auto-detected width, events on). Results are
+/// identical across every combination; the knobs trade throughput only.
+///
+/// # Panics
+///
+/// Panics when any of the three variables is set to an unrecognized
+/// value, naming the variable — the strict `PDF_*` parsing contract.
+#[must_use]
+pub fn sim_options() -> SimOptions {
+    SimOptions::from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Applies the `PDF_CIRCUITS` allow-list to a circuit name list. Each
@@ -362,7 +376,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
             compaction,
             justify_attempts: workload.attempts,
             secondary_mode: Default::default(),
-            backend: sim_backend(),
+            sim: sim_options(),
             cone_cache: workload.cone_cache,
             budget: workload.run_budget(),
             learned: prepared.learned.clone(),
@@ -376,7 +390,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
         note_budget_exhaustion(&prepared.name, compaction.label(), &outcome);
         let accidental = outcome
             .tests()
-            .coverage_with(sim_backend(), &prepared.circuit, &all_faults)
+            .coverage_with(sim_options(), &prepared.circuit, &all_faults)
             .detected_count();
         heuristics.push(HeuristicResult {
             heuristic: compaction.label().to_owned(),
@@ -448,7 +462,7 @@ pub fn run_enrich_on(prepared: &Prepared, workload: &Workload) -> EnrichCircuitR
         compaction: Compaction::ValueBased,
         justify_attempts: workload.attempts,
         secondary_mode: Default::default(),
-        backend: sim_backend(),
+        sim: sim_options(),
         cone_cache: workload.cone_cache,
         budget: workload.run_budget(),
         learned: prepared.learned.clone(),

@@ -7,7 +7,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 
-use pdf_experiments::{env_parse, filter_circuits, sim_backend, Workload};
+use pdf_experiments::{env_parse, filter_circuits, sim_backend, sim_options, Workload};
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
@@ -141,6 +141,83 @@ fn sim_backend_rejects_unknown_names() {
         assert!(msg.contains("scalar"), "must name accepted values: {msg}");
         assert!(msg.contains("packed"), "must name accepted values: {msg}");
     });
+}
+
+#[test]
+fn sim_options_read_width_and_events_and_reject_garbage() {
+    with_env(
+        &[
+            ("PDF_SIM_BACKEND", None),
+            ("PDF_SIM_WIDTH", Some("512")),
+            ("PDF_SIM_EVENTS", Some("off")),
+        ],
+        || {
+            let opts = sim_options();
+            assert_eq!(opts.backend, pdf_sim::SimBackend::Packed);
+            assert_eq!(opts.width, pdf_sim::SimWidth::W512);
+            assert!(!opts.events);
+        },
+    );
+    with_env(
+        &[
+            ("PDF_SIM_BACKEND", None),
+            ("PDF_SIM_WIDTH", None),
+            ("PDF_SIM_EVENTS", None),
+        ],
+        || {
+            let opts = sim_options();
+            assert_eq!(opts.width, pdf_sim::SimWidth::auto());
+            assert!(opts.events);
+        },
+    );
+    with_env(
+        &[
+            ("PDF_SIM_BACKEND", None),
+            ("PDF_SIM_WIDTH", Some("128")),
+            ("PDF_SIM_EVENTS", None),
+        ],
+        || {
+            let msg = panic_message(|| {
+                let _ = sim_options();
+            });
+            assert!(msg.contains("PDF_SIM_WIDTH"), "{msg}");
+            assert!(msg.contains("128"), "{msg}");
+            assert!(msg.contains("`64`"), "must name accepted values: {msg}");
+        },
+    );
+    with_env(
+        &[
+            ("PDF_SIM_BACKEND", None),
+            ("PDF_SIM_WIDTH", None),
+            ("PDF_SIM_EVENTS", Some("yes")),
+        ],
+        || {
+            let msg = panic_message(|| {
+                let _ = sim_options();
+            });
+            assert!(msg.contains("PDF_SIM_EVENTS"), "{msg}");
+            assert!(msg.contains("yes"), "{msg}");
+        },
+    );
+}
+
+#[test]
+fn sim_threads_override_is_strict() {
+    with_env(&[("PDF_SIM_THREADS", Some("3"))], || {
+        assert_eq!(pdf_sim::max_threads(), 3);
+    });
+    with_env(&[("PDF_SIM_THREADS", None)], || {
+        assert!(pdf_sim::max_threads() >= 1);
+    });
+    for bad in ["0", "many", "-2"] {
+        with_env(&[("PDF_SIM_THREADS", Some(bad))], || {
+            let msg = panic_message(|| {
+                let _ = pdf_sim::max_threads();
+            });
+            assert!(msg.contains("PDF_SIM_THREADS"), "{bad}: {msg}");
+            assert!(msg.contains(bad), "{bad}: {msg}");
+        });
+    }
 }
 
 #[test]

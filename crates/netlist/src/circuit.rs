@@ -189,6 +189,11 @@ pub struct Circuit {
     /// `d(g)`: the maximum total delay of any line sequence from the fanout
     /// of `g` to an output (0 for outputs). `len(p) = delay(p) + d(last)`.
     distance: Vec<u32>,
+    /// Process-unique structure id, shared by clones (which are
+    /// structurally identical). Lets incremental simulators detect that an
+    /// arena holds state from a *different* circuit — address identity
+    /// cannot do this, because allocators reuse addresses.
+    epoch: u64,
 }
 
 impl Circuit {
@@ -251,6 +256,18 @@ impl Circuit {
     #[must_use]
     pub fn topo_order(&self) -> &[LineId] {
         &self.topo
+    }
+
+    /// A process-unique id of this circuit's structure, assigned at build
+    /// time and shared by clones. Two circuits with different epochs may
+    /// still be structurally equal, but two with the same epoch are
+    /// guaranteed identical — which is the direction incremental
+    /// simulators need to decide whether cached per-line state is
+    /// trustworthy.
+    #[inline]
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The distance `d(g)` of the line to the outputs: the maximum total
@@ -613,6 +630,11 @@ impl CircuitBuilder {
 
         let distance = compute_distances(&lines, &topo);
 
+        // Relaxed is enough: the counter only needs uniqueness, not
+        // ordering against any other memory.
+        static EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let epoch = EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
         Ok(Circuit {
             name,
             lines,
@@ -620,6 +642,7 @@ impl CircuitBuilder {
             outputs,
             topo,
             distance,
+            epoch,
         })
     }
 }

@@ -1,7 +1,11 @@
-//! Selection between the scalar reference engine and the packed kernel.
+//! Selection between the scalar reference engine and the packed kernel,
+//! plus the full option block (backend × tile width × event propagation)
+//! the drivers thread through the simulation entry points.
 
 use core::fmt;
 use core::str::FromStr;
+
+use crate::word::SimWidth;
 
 /// Which simulation engine the high-level drivers use.
 ///
@@ -99,6 +103,139 @@ impl FromStr for SimBackend {
     }
 }
 
+/// The complete simulation configuration the high-level drivers accept:
+/// which engine, how wide its tiles are, and whether propagation is
+/// event-driven.
+///
+/// All three knobs are throughput-only — results (coverage flags,
+/// detection maps, justification witnesses) are identical across every
+/// combination, which the differential tests enforce. Because of that,
+/// most call sites take `impl Into<SimOptions>` and existing code passing
+/// a bare [`SimBackend`] keeps working: the backend converts into options
+/// with the auto-detected width and events on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Scalar oracle or the packed bit-plane kernel.
+    pub backend: SimBackend,
+    /// Tile width of the packed kernel (ignored by the scalar engine).
+    pub width: SimWidth,
+    /// Event-driven propagation: skip lines whose fanins did not change.
+    pub events: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions {
+            backend: SimBackend::default(),
+            width: SimWidth::auto(),
+            events: true,
+        }
+    }
+}
+
+impl From<SimBackend> for SimOptions {
+    fn from(backend: SimBackend) -> SimOptions {
+        SimOptions {
+            backend,
+            ..SimOptions::default()
+        }
+    }
+}
+
+impl SimOptions {
+    /// Replaces the backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> SimOptions {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the tile width.
+    #[must_use]
+    pub fn with_width(mut self, width: SimWidth) -> SimOptions {
+        self.width = width;
+        self
+    }
+
+    /// Enables or disables event-driven propagation.
+    #[must_use]
+    pub fn with_events(mut self, events: bool) -> SimOptions {
+        self.events = events;
+        self
+    }
+
+    /// Reads the whole option block from the environment:
+    /// `PDF_SIM_BACKEND`, `PDF_SIM_WIDTH` and `PDF_SIM_EVENTS`, each
+    /// falling back to its default (`packed`, `auto`, on) when unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending variable and value when any
+    /// of the three is set to something unrecognized. Drivers are
+    /// expected to fail fast on it at startup.
+    pub fn from_env() -> Result<SimOptions, String> {
+        Ok(SimOptions {
+            backend: SimBackend::from_env().map_err(|e| format!("PDF_SIM_BACKEND: {e}"))?,
+            width: SimWidth::from_env().map_err(|e| format!("PDF_SIM_WIDTH: {e}"))?,
+            events: events_from_env().map_err(|e| format!("PDF_SIM_EVENTS: {e}"))?,
+        })
+    }
+}
+
+/// Reads the event-propagation switch from `PDF_SIM_EVENTS` (`on`/`off`,
+/// `1`/`0` or `true`/`false`, case-insensitive). Unset means on; a
+/// present-but-unrecognized value is an error, per the strict `PDF_*`
+/// parsing contract.
+///
+/// # Errors
+///
+/// Returns [`ParseEventsError`] naming the bad value.
+pub fn events_from_env() -> Result<bool, ParseEventsError> {
+    match std::env::var("PDF_SIM_EVENTS") {
+        Ok(v) => parse_events(&v),
+        Err(std::env::VarError::NotPresent) => Ok(true),
+        Err(std::env::VarError::NotUnicode(v)) => Err(ParseEventsError {
+            found: v.to_string_lossy().into_owned(),
+        }),
+    }
+}
+
+fn parse_events(s: &str) -> Result<bool, ParseEventsError> {
+    match s.to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" => Ok(true),
+        "0" | "off" | "false" => Ok(false),
+        _ => Err(ParseEventsError {
+            found: s.to_owned(),
+        }),
+    }
+}
+
+/// Error returned when `PDF_SIM_EVENTS` holds an unrecognized value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEventsError {
+    found: String,
+}
+
+impl ParseEventsError {
+    /// The unrecognized switch value.
+    #[must_use]
+    pub fn found(&self) -> &str {
+        &self.found
+    }
+}
+
+impl fmt::Display for ParseEventsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown event-propagation switch `{}` (accepted values: `on`, `off`, `1`, `0`, `true`, `false`)",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseEventsError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +253,39 @@ mod tests {
     #[test]
     fn default_is_packed() {
         assert_eq!(SimBackend::default(), SimBackend::Packed);
+    }
+
+    #[test]
+    fn options_default_and_conversion() {
+        let opts = SimOptions::default();
+        assert_eq!(opts.backend, SimBackend::Packed);
+        assert_eq!(opts.width, SimWidth::auto());
+        assert!(opts.events);
+
+        let from_backend: SimOptions = SimBackend::Scalar.into();
+        assert_eq!(from_backend.backend, SimBackend::Scalar);
+        assert_eq!(from_backend.width, SimWidth::auto());
+        assert!(from_backend.events);
+
+        let tuned = SimOptions::default()
+            .with_backend(SimBackend::Scalar)
+            .with_width(SimWidth::W512)
+            .with_events(false);
+        assert_eq!(tuned.backend, SimBackend::Scalar);
+        assert_eq!(tuned.width, SimWidth::W512);
+        assert!(!tuned.events);
+    }
+
+    #[test]
+    fn events_switch_parses_strictly() {
+        for on in ["1", "on", "true", "ON", "True"] {
+            assert_eq!(parse_events(on), Ok(true), "{on}");
+        }
+        for off in ["0", "off", "false", "OFF"] {
+            assert_eq!(parse_events(off), Ok(false), "{off}");
+        }
+        let err = parse_events("yes").unwrap_err();
+        assert_eq!(err.found(), "yes");
+        assert!(err.to_string().contains("`yes`"));
     }
 }

@@ -49,10 +49,12 @@
 mod backend;
 mod packed;
 mod parallel;
+mod word;
 
-pub use backend::{ParseBackendError, SimBackend};
-pub use packed::{PackedBlock, LANES};
+pub use backend::{events_from_env, ParseBackendError, ParseEventsError, SimBackend, SimOptions};
+pub use packed::{KernelStats, PackedBlock, LANES};
 pub use parallel::{max_threads, panic_message, par_chunk_map};
+pub use word::{ParseWidthError, SimWidth, SimWord};
 
 use pdf_faults::{Assignments, FaultEntry};
 use pdf_logic::Triple;
@@ -88,21 +90,75 @@ impl<T: HasAssignments + ?Sized> HasAssignments for &T {
     }
 }
 
+/// Flushes a packed worker's drained kernel stats into the global
+/// telemetry counters (one locked update per sweep, not per line).
+fn flush_kernel_stats(parts: impl IntoIterator<Item = KernelStats>) {
+    let mut total = KernelStats::default();
+    for s in parts {
+        total.events_propagated += s.events_propagated;
+        total.lines_skipped += s.lines_skipped;
+    }
+    pdf_telemetry::count(
+        pdf_telemetry::counters::EVENTS_PROPAGATED,
+        total.events_propagated,
+    );
+    pdf_telemetry::count(pdf_telemetry::counters::LINES_SKIPPED, total.lines_skipped);
+}
+
+/// Width-generic packed coverage sweep: `W::LANES` tests per block,
+/// blocks fanned out over worker threads.
+fn packed_coverage<W: SimWord, T: HasAssignments>(
+    circuit: &Circuit,
+    tests: &[TwoPattern],
+    faults: &[T],
+    events: bool,
+) -> Vec<bool> {
+    let blocks: Vec<&[TwoPattern]> = tests.chunks(W::LANES).collect();
+    pdf_telemetry::count(pdf_telemetry::counters::PACKED_BLOCKS, blocks.len() as u64);
+    pdf_telemetry::record_max(pdf_telemetry::counters::SIM_WIDTH, W::LANES as u64);
+    let partials = par_chunk_map(&blocks, 1, |_, part| {
+        let mut block = PackedBlock::<W>::new().with_events(events);
+        let mut local = vec![false; faults.len()];
+        for tests_block in part {
+            block.load(circuit, tests_block);
+            for (i, fault) in faults.iter().enumerate() {
+                if !local[i] && !block.satisfied_lanes(fault.assignments()).is_zero() {
+                    local[i] = true;
+                }
+            }
+        }
+        (local, block.take_kernel_stats())
+    });
+    let mut detected = vec![false; faults.len()];
+    let mut stats = Vec::with_capacity(partials.len());
+    for (local, s) in partials {
+        stats.push(s);
+        for (d, l) in detected.iter_mut().zip(local) {
+            *d |= l;
+        }
+    }
+    flush_kernel_stats(stats);
+    detected
+}
+
 /// Simulates `tests` against `faults` and returns the per-fault detection
 /// flags — the kernel behind `TestSet::coverage`.
 ///
-/// Both backends return identical flags; the packed one simulates 64
-/// tests per pass and fans blocks out over worker threads.
+/// Accepts a bare [`SimBackend`] or a full [`SimOptions`]; every
+/// backend × width × events combination returns identical flags. The
+/// packed engine simulates `width` tests per pass and fans blocks out
+/// over worker threads.
 #[must_use]
 pub fn coverage_flags<T: HasAssignments>(
-    backend: SimBackend,
+    opts: impl Into<SimOptions>,
     circuit: &Circuit,
     tests: &[TwoPattern],
     faults: &[T],
 ) -> Vec<bool> {
+    let opts: SimOptions = opts.into();
     let _phase = pdf_telemetry::Span::enter("simulate");
     pdf_telemetry::count(pdf_telemetry::counters::SIM_PASSES, 1);
-    match backend {
+    match opts.backend {
         SimBackend::Scalar => {
             let mut detected = vec![false; faults.len()];
             let mut triples = Vec::new();
@@ -118,45 +174,68 @@ pub fn coverage_flags<T: HasAssignments>(
             }
             detected
         }
-        SimBackend::Packed => {
-            let blocks: Vec<&[TwoPattern]> = tests.chunks(LANES).collect();
-            pdf_telemetry::count(pdf_telemetry::counters::PACKED_BLOCKS, blocks.len() as u64);
-            let partials = par_chunk_map(&blocks, 1, |_, part| {
-                let mut block = PackedBlock::new();
-                let mut local = vec![false; faults.len()];
-                for tests_block in part {
-                    block.load(circuit, tests_block);
-                    for (i, fault) in faults.iter().enumerate() {
-                        if !local[i] && block.satisfied_lanes(fault.assignments()) != 0 {
-                            local[i] = true;
-                        }
+        SimBackend::Packed => match opts.width {
+            SimWidth::W64 => packed_coverage::<u64, T>(circuit, tests, faults, opts.events),
+            SimWidth::W256 => packed_coverage::<[u64; 4], T>(circuit, tests, faults, opts.events),
+            SimWidth::W512 => packed_coverage::<[u64; 8], T>(circuit, tests, faults, opts.events),
+        },
+    }
+}
+
+/// Width-generic packed per-test detection sweep.
+fn packed_per_test<W: SimWord, T: HasAssignments>(
+    circuit: &Circuit,
+    tests: &[TwoPattern],
+    faults: &[T],
+    events: bool,
+) -> Vec<Vec<usize>> {
+    let blocks: Vec<&[TwoPattern]> = tests.chunks(W::LANES).collect();
+    pdf_telemetry::count(pdf_telemetry::counters::PACKED_BLOCKS, blocks.len() as u64);
+    pdf_telemetry::record_max(pdf_telemetry::counters::SIM_WIDTH, W::LANES as u64);
+    let parts = par_chunk_map(&blocks, 1, |_, part| {
+        let mut block = PackedBlock::<W>::new().with_events(events);
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for tests_block in part {
+            block.load(circuit, tests_block);
+            let base = out.len();
+            out.extend(tests_block.iter().map(|_| Vec::new()));
+            for (i, fault) in faults.iter().enumerate() {
+                let lanes = block.satisfied_lanes(fault.assignments());
+                for k in 0..W::WORDS {
+                    let mut w = lanes.word(k);
+                    while w != 0 {
+                        let lane = k * 64 + w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        out[base + lane].push(i);
                     }
                 }
-                local
-            });
-            let mut detected = vec![false; faults.len()];
-            for local in partials {
-                for (d, l) in detected.iter_mut().zip(local) {
-                    *d |= l;
-                }
             }
-            detected
         }
+        (out, block.take_kernel_stats())
+    });
+    let mut result = Vec::with_capacity(tests.len());
+    let mut stats = Vec::with_capacity(parts.len());
+    for (out, s) in parts {
+        stats.push(s);
+        result.extend(out);
     }
+    flush_kernel_stats(stats);
+    result
 }
 
 /// For every test, the indices of the faults it detects (in increasing
 /// fault order) — the kernel behind static test-set compaction.
 #[must_use]
 pub fn per_test_detections<T: HasAssignments>(
-    backend: SimBackend,
+    opts: impl Into<SimOptions>,
     circuit: &Circuit,
     tests: &[TwoPattern],
     faults: &[T],
 ) -> Vec<Vec<usize>> {
+    let opts: SimOptions = opts.into();
     let _phase = pdf_telemetry::Span::enter("simulate");
     pdf_telemetry::count(pdf_telemetry::counters::SIM_PASSES, 1);
-    match backend {
+    match opts.backend {
         SimBackend::Scalar => {
             let mut triples = Vec::new();
             let mut waves = Vec::new();
@@ -174,29 +253,11 @@ pub fn per_test_detections<T: HasAssignments>(
                 })
                 .collect()
         }
-        SimBackend::Packed => {
-            let blocks: Vec<&[TwoPattern]> = tests.chunks(LANES).collect();
-            pdf_telemetry::count(pdf_telemetry::counters::PACKED_BLOCKS, blocks.len() as u64);
-            let parts = par_chunk_map(&blocks, 1, |_, part| {
-                let mut block = PackedBlock::new();
-                let mut out: Vec<Vec<usize>> = Vec::new();
-                for tests_block in part {
-                    block.load(circuit, tests_block);
-                    let base = out.len();
-                    out.extend(tests_block.iter().map(|_| Vec::new()));
-                    for (i, fault) in faults.iter().enumerate() {
-                        let mut lanes = block.satisfied_lanes(fault.assignments());
-                        while lanes != 0 {
-                            let lane = lanes.trailing_zeros() as usize;
-                            lanes &= lanes - 1;
-                            out[base + lane].push(i);
-                        }
-                    }
-                }
-                out
-            });
-            parts.into_iter().flatten().collect()
-        }
+        SimBackend::Packed => match opts.width {
+            SimWidth::W64 => packed_per_test::<u64, T>(circuit, tests, faults, opts.events),
+            SimWidth::W256 => packed_per_test::<[u64; 4], T>(circuit, tests, faults, opts.events),
+            SimWidth::W512 => packed_per_test::<[u64; 8], T>(circuit, tests, faults, opts.events),
+        },
     }
 }
 
@@ -344,6 +405,28 @@ mod tests {
         let packed = per_test_detections(SimBackend::Packed, &c, &tests, faults.entries());
         assert_eq!(scalar.len(), tests.len());
         assert_eq!(scalar, packed);
+    }
+
+    #[test]
+    fn all_widths_and_event_modes_agree_with_scalar() {
+        let (c, faults, tests) = setup();
+        let scalar = coverage_flags(SimBackend::Scalar, &c, &tests, faults.entries());
+        let scalar_per = per_test_detections(SimBackend::Scalar, &c, &tests, faults.entries());
+        for width in SimWidth::ALL {
+            for events in [true, false] {
+                let opts = SimOptions::default().with_width(width).with_events(events);
+                assert_eq!(
+                    coverage_flags(opts, &c, &tests, faults.entries()),
+                    scalar,
+                    "width {width} events {events}"
+                );
+                assert_eq!(
+                    per_test_detections(opts, &c, &tests, faults.entries()),
+                    scalar_per,
+                    "width {width} events {events}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,13 +10,33 @@
 use std::num::NonZeroUsize;
 use std::thread;
 
-/// The number of worker threads fan-outs use: the machine's available
-/// parallelism, or 1 when that cannot be determined.
+/// The number of worker threads fan-outs use: the `PDF_SIM_THREADS`
+/// override when set, otherwise the machine's available parallelism (or 1
+/// when that cannot be determined).
+///
+/// The variable is re-read on every call, so thread-scaling benchmarks
+/// can vary it between measurements within one process.
+///
+/// # Panics
+///
+/// Panics when `PDF_SIM_THREADS` is set to anything but a positive
+/// integer — the strict `PDF_*` parsing contract (a typo must not
+/// silently fall back to full parallelism).
 #[must_use]
 pub fn max_threads() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    match std::env::var("PDF_SIM_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("PDF_SIM_THREADS: `{v}` is not a positive integer"),
+        },
+        Err(std::env::VarError::NotPresent) => thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        Err(std::env::VarError::NotUnicode(v)) => panic!(
+            "PDF_SIM_THREADS: `{}` is not a positive integer",
+            v.to_string_lossy()
+        ),
+    }
 }
 
 /// Maps `f` over contiguous chunks of `items` in parallel, returning one

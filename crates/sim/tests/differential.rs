@@ -1,6 +1,8 @@
 //! Differential oracle: the packed bit-plane kernel must be bit-for-bit
 //! equivalent to the scalar triple simulator on random circuits — same
-//! waveforms, same satisfied requirements, same coverage flags.
+//! waveforms, same satisfied requirements, same coverage flags — at every
+//! tile width (64/256/512 lanes) and with event-driven propagation on or
+//! off.
 
 use proptest::prelude::*;
 
@@ -8,18 +10,24 @@ use pdf_faults::FaultList;
 use pdf_logic::Value;
 use pdf_netlist::{simulate_triples, Circuit, SynthProfile, TwoPattern};
 use pdf_paths::PathEnumerator;
-use pdf_sim::{PackedBlock, SimBackend, LANES};
+use pdf_sim::{PackedBlock, SimBackend, SimOptions, SimWidth, SimWord, LANES};
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (3usize..8, 10usize..60, 3usize..8, any::<u64>()).prop_map(|(inputs, gates, levels, seed)| {
-        SynthProfile::new("diff", seed)
-            .with_inputs(inputs)
-            .with_gates(gates)
-            .with_levels(levels)
-            .generate()
-            .to_circuit()
-            .expect("generated netlists are valid")
-    })
+    // `redundant` injects the `+r` stand-in redundancy gadgets: untestable
+    // stuck-structures that real benchmarks contain and that exercise the
+    // kernel's never-satisfied requirement paths.
+    (3usize..8, 10usize..60, 3usize..8, 0usize..3, any::<u64>()).prop_map(
+        |(inputs, gates, levels, redundant, seed)| {
+            SynthProfile::new("diff", seed)
+                .with_inputs(inputs)
+                .with_gates(gates)
+                .with_levels(levels)
+                .with_redundant_gadgets(redundant)
+                .generate()
+                .to_circuit()
+                .expect("generated netlists are valid")
+        },
+    )
 }
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -44,6 +52,34 @@ fn arb_tests(inputs: usize) -> impl Strategy<Value = Vec<TwoPattern>> {
     })
 }
 
+/// Loads `tests` into a `W`-tile block (chunked) and checks every lane's
+/// waveforms against the scalar simulator.
+fn check_waveforms<W: SimWord>(
+    c: &Circuit,
+    tests: &[TwoPattern],
+    events: bool,
+) -> Result<(), TestCaseError> {
+    let mut block: PackedBlock<W> = PackedBlock::new().with_events(events);
+    for chunk in tests.chunks(W::LANES) {
+        block.load(c, chunk);
+        for (lane, t) in chunk.iter().enumerate() {
+            let waves = simulate_triples(c, &t.to_triples());
+            for (id, _) in c.iter() {
+                prop_assert_eq!(
+                    block.triple(id, lane),
+                    waves[id.index()],
+                    "line {} lane {} events {} width {}",
+                    id,
+                    lane,
+                    events,
+                    W::LANES
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -54,21 +90,10 @@ proptest! {
             (Just(c), arb_tests(n))
         })
     ) {
-        let mut block = PackedBlock::new();
-        for chunk in tests.chunks(LANES) {
-            block.load(&c, chunk);
-            for (lane, t) in chunk.iter().enumerate() {
-                let waves = simulate_triples(&c, &t.to_triples());
-                for (id, _) in c.iter() {
-                    prop_assert_eq!(
-                        block.triple(id, lane),
-                        waves[id.index()],
-                        "line {} lane {}",
-                        id,
-                        lane
-                    );
-                }
-            }
+        for events in [true, false] {
+            check_waveforms::<u64>(&c, &tests, events)?;
+            check_waveforms::<[u64; 4]>(&c, &tests, events)?;
+            check_waveforms::<[u64; 8]>(&c, &tests, events)?;
         }
     }
 
@@ -86,15 +111,26 @@ proptest! {
 
         let scalar = pdf_sim::coverage_flags(
             SimBackend::Scalar, &c, &tests, faults.entries());
-        let packed = pdf_sim::coverage_flags(
-            SimBackend::Packed, &c, &tests, faults.entries());
-        prop_assert_eq!(&scalar, &packed);
-
         let scalar_per = pdf_sim::per_test_detections(
             SimBackend::Scalar, &c, &tests, faults.entries());
-        let packed_per = pdf_sim::per_test_detections(
-            SimBackend::Packed, &c, &tests, faults.entries());
-        prop_assert_eq!(scalar_per, packed_per);
+
+        // Every tile width × event mode must reproduce the oracle exactly.
+        for width in SimWidth::ALL {
+            for events in [true, false] {
+                let opts = SimOptions::default()
+                    .with_width(width)
+                    .with_events(events);
+                let packed = pdf_sim::coverage_flags(
+                    opts, &c, &tests, faults.entries());
+                prop_assert_eq!(
+                    &scalar, &packed, "coverage, width {} events {}", width, events);
+                let packed_per = pdf_sim::per_test_detections(
+                    opts, &c, &tests, faults.entries());
+                prop_assert_eq!(
+                    &scalar_per, &packed_per,
+                    "per-test, width {} events {}", width, events);
+            }
+        }
     }
 
     #[test]
@@ -108,7 +144,7 @@ proptest! {
         let (faults, _) = FaultList::build(&c, &paths.store);
         prop_assume!(!faults.is_empty());
 
-        let mut block = PackedBlock::new();
+        let mut block: PackedBlock = PackedBlock::new();
         let chunk = &tests[..tests.len().min(LANES)];
         block.load(&c, chunk);
         for entry in faults.iter() {
@@ -118,6 +154,32 @@ proptest! {
                 prop_assert_eq!(
                     lanes >> lane & 1 == 1,
                     entry.assignments.satisfied_by(&waves)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_satisfied_lanes_agree_with_scalar_requirement_check(
+        (c, tests) in arb_circuit().prop_flat_map(|c| {
+            let n = c.inputs().len();
+            (Just(c), arb_tests(n))
+        })
+    ) {
+        let paths = PathEnumerator::new(&c).with_cap(64).enumerate();
+        let (faults, _) = FaultList::build(&c, &paths.store);
+        prop_assume!(!faults.is_empty());
+
+        let mut block: PackedBlock<[u64; 8]> = PackedBlock::new();
+        block.load(&c, &tests);
+        for entry in faults.iter() {
+            let lanes = block.satisfied_lanes(&entry.assignments);
+            for (lane, t) in tests.iter().enumerate() {
+                let waves = simulate_triples(&c, &t.to_triples());
+                prop_assert_eq!(
+                    lanes.lane(lane),
+                    entry.assignments.satisfied_by(&waves),
+                    "lane {}", lane
                 );
             }
         }
