@@ -48,6 +48,12 @@ COMMANDS:
                         [--checkpoint-every K] [--resume FILE] [--static-learning]
                         [--sim-width 64|256|512|auto] [--sim-events on|off]
                                      generate a (optionally enriched) robust test set
+    matrix    [--cells N] [--circuits a,b] [--seeds s1,s2] [--full]
+              [--report FILE] [--repro-dir DIR] [--replay FILE]
+                                     cross-configuration invariant matrix
+                                     (no circuit argument); exits 4 when
+                                     violations are found, auto-minimizing
+                                     each into a repro artifact
     sim       <circuit> <v1> <v2>    two-pattern waveform simulation (patterns over {0,1,x})
     dot       <circuit>              Graphviz export
     bench     <circuit>              emit the netlist as .bench text
@@ -78,6 +84,16 @@ ENVIRONMENT:
     PDF_CHECKPOINT        checkpoint file for atpg (--checkpoint overrides)
     PDF_CHECKPOINT_EVERY  checkpoint after every K completed primary
                           targets (default 16; --checkpoint-every overrides)
+    PDF_MATRIX_CELLS      matrix cell budget (default 200; --cells overrides)
+    PDF_MATRIX_CIRCUITS   comma-separated circuit list for matrix
+                          (--circuits overrides)
+    PDF_MATRIX_SEEDS      comma-separated seed list for matrix
+                          (--seeds overrides)
+    PDF_MATRIX_FULL       `on` selects the full nightly axes (--full
+                          overrides; default: bounded smoke axes)
+    PDF_MATRIX_REPORT     path of the matrix report JSON (--report overrides)
+    PDF_MATRIX_REPRO_DIR  directory minimized repro artifacts are written
+                          to (--repro-dir overrides)
 
 Sequential netlists are reduced to their combinational core; XOR/XNOR
 gates are decomposed before path analysis. Both transformations print a
@@ -90,6 +106,10 @@ pub const EXIT_ERROR: i32 = 2;
 
 /// Exit status when linting finds error-severity diagnostics.
 pub const EXIT_LINT: i32 = 3;
+
+/// Exit status when the configuration matrix finds invariant violations
+/// (or a replayed repro artifact still reproduces).
+pub const EXIT_MATRIX: i32 = 4;
 
 /// A fatal command error: a message for stderr plus the process exit
 /// status the binary should return.
@@ -500,27 +520,49 @@ struct RunControl {
 }
 
 fn run_control_from(options: &Options) -> Result<RunControl, CliError> {
+    // Flag beats env, but the env twin is *validated* either way: a
+    // set-but-unparsable `PDF_*` knob always aborts (the strict parsing
+    // contract), never rides silently under a flag override.
+    let env_budget =
+        BudgetSpec::from_env().map_err(|e| CliError::new(format!("PDF_TIME_BUDGET: {e}")))?;
     let budget_spec = match options.value("time-budget") {
         Some(text) => Some(
             BudgetSpec::parse(text).map_err(|e| CliError::new(format!("--time-budget: {e}")))?,
         ),
-        None => BudgetSpec::from_env().map_err(|e| CliError::new(e.to_string()))?,
+        None => env_budget,
+    };
+    // The checkpoint path and cadence resolve independently: the path from
+    // `--checkpoint` (else `PDF_CHECKPOINT`), the cadence from
+    // `--checkpoint-every` (else `PDF_CHECKPOINT_EVERY`, else the
+    // default) — so a flag and an env var combine instead of conflicting.
+    let env_policy = CheckpointPolicy::from_env().map_err(CliError::new)?;
+    let every = match options.value("checkpoint-every") {
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            // `0` must fail here, at config parse, with the same
+            // variable+value shape as the env twin — not survive to the
+            // cadence clamp in pdf-runctl.
+            _ => {
+                return err(format!(
+                    "invalid --checkpoint-every=`{raw}`: expected a positive integer"
+                ))
+            }
+        },
+        None => env_policy
+            .as_ref()
+            .map_or(pdf_atpg::DEFAULT_CHECKPOINT_EVERY, |p| p.every),
     };
     let checkpoint = match options.value("checkpoint") {
-        Some(path) => {
-            let every: usize =
-                options.parsed("checkpoint-every", pdf_atpg::DEFAULT_CHECKPOINT_EVERY)?;
-            if every == 0 {
-                return err("--checkpoint-every must be a positive integer");
+        Some(path) => Some(CheckpointPolicy::new(path, every)),
+        None => match env_policy {
+            Some(policy) => Some(CheckpointPolicy { every, ..policy }),
+            None => {
+                if options.value("checkpoint-every").is_some() {
+                    return err("--checkpoint-every requires --checkpoint (or PDF_CHECKPOINT)");
+                }
+                None
             }
-            Some(CheckpointPolicy::new(path, every))
-        }
-        None => {
-            if options.value("checkpoint-every").is_some() {
-                return err("--checkpoint-every requires --checkpoint (or PDF_CHECKPOINT)");
-            }
-            CheckpointPolicy::from_env().map_err(CliError::new)?
-        }
+        },
     };
     let resume = match options.value("resume") {
         Some(path) => Some(
@@ -536,6 +578,199 @@ fn run_control_from(options: &Options) -> Result<RunControl, CliError> {
     })
 }
 
+/// Resolves a numeric knob with an environment twin: the `--flag` value
+/// when given, else the parsed `env` variable, else `default`. The env
+/// twin is validated (with the fail-fast variable+value message) even
+/// when the flag overrides it.
+fn parsed_with_env<T: std::str::FromStr>(
+    options: &Options,
+    flag: &str,
+    env: &str,
+    default: T,
+) -> Result<T, CliError> {
+    let env_value = match std::env::var(env) {
+        Ok(raw) => Some(raw.parse::<T>().map_err(|_| {
+            CliError::new(format!("invalid {env}=`{raw}`: expected a valid value"))
+        })?),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            return err(format!("invalid {env}={raw:?}: not valid unicode"))
+        }
+    };
+    match options.value(flag) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::new(format!("invalid value for --{flag}: `{v}`"))),
+        None => Ok(env_value.unwrap_or(default)),
+    }
+}
+
+/// Resolves a string knob with an environment twin: flag wins, env
+/// applies otherwise.
+fn string_with_env(options: &Options, flag: &str, env: &str) -> Result<Option<String>, CliError> {
+    if let Some(v) = options.value(flag) {
+        return Ok(Some(v.to_owned()));
+    }
+    match std::env::var(env) {
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            err(format!("invalid {env}={raw:?}: not valid unicode"))
+        }
+    }
+}
+
+/// Resolves a boolean switch with an environment twin: the bare `--flag`
+/// turns it on, else the env value applies. The env twin is validated
+/// even when the flag is given.
+fn switch_with_env(options: &Options, flag: &str, env: &str) -> Result<bool, CliError> {
+    let env_value = match std::env::var(env) {
+        Ok(raw) => Some(match raw.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" => true,
+            "0" | "off" | "false" => false,
+            _ => {
+                return err(format!(
+                    "invalid {env}=`{raw}`: expected `on`/`off` (or 1/0, true/false)"
+                ))
+            }
+        }),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            return err(format!("invalid {env}={raw:?}: not valid unicode"))
+        }
+    };
+    Ok(options.has(flag) || env_value.unwrap_or(false))
+}
+
+/// `pdfatpg matrix`: runs the cross-configuration invariant matrix (or
+/// replays a minimized repro artifact with `--replay`). Violations exit
+/// with [`EXIT_MATRIX`] and the summary on stderr, mirroring `lint`.
+pub fn cmd_matrix(options: &Options) -> Result<String, CliError> {
+    if let Some(path) = options.value("replay") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read `{path}`: {e}")))?;
+        let repro = pdf_matrix::ReproCase::parse(&text)
+            .map_err(|e| CliError::new(format!("`{path}` is not a repro artifact: {e}")))?;
+        return match pdf_matrix::replay(&repro).map_err(CliError::new)? {
+            Some(detail) => Err(CliError {
+                message: format!(
+                    "repro `{path}` still reproduces [{}]: {detail}",
+                    repro.invariant.label()
+                ),
+                code: EXIT_MATRIX,
+            }),
+            None => Ok(format!(
+                "repro `{path}` [{}] no longer reproduces\n",
+                repro.invariant.label()
+            )),
+        };
+    }
+
+    let full = switch_with_env(options, "full", "PDF_MATRIX_FULL")?;
+    let mut axes = if full {
+        pdf_matrix::MatrixAxes::full()
+    } else {
+        pdf_matrix::MatrixAxes::smoke()
+    };
+    if let Some(list) = string_with_env(options, "circuits", "PDF_MATRIX_CIRCUITS")? {
+        let circuits: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if circuits.is_empty() {
+            return err(format!("invalid circuit list `{list}`: selects nothing"));
+        }
+        for c in &circuits {
+            if pdf_matrix::resolve_circuit(c).is_none() {
+                return err(format!("unknown matrix circuit `{c}`"));
+            }
+        }
+        axes.circuits = circuits;
+    }
+    if let Some(list) = string_with_env(options, "seeds", "PDF_MATRIX_SEEDS")? {
+        let seeds: Vec<u64> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| CliError::new(format!("invalid seed `{s}` in `{list}`")))
+            })
+            .collect::<Result<_, CliError>>()?;
+        if seeds.is_empty() {
+            return err(format!("invalid seed list `{list}`: selects nothing"));
+        }
+        axes.seeds = seeds;
+    }
+    let max_cells: usize = parsed_with_env(options, "cells", "PDF_MATRIX_CELLS", 200)?;
+    if max_cells == 0 {
+        return err("invalid --cells=`0`: expected a positive integer");
+    }
+
+    let started = Instant::now();
+    let outcome = pdf_matrix::MatrixRunner::new(axes)
+        .with_max_cells(max_cells)
+        .run();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if let Some(path) = string_with_env(options, "report", "PDF_MATRIX_REPORT")? {
+        std::fs::write(&path, outcome.to_report_json().to_pretty())
+            .map_err(|e| CliError::new(format!("cannot write report `{path}`: {e}")))?;
+    }
+    if let Some(dir) = string_with_env(options, "repro-dir", "PDF_MATRIX_REPRO_DIR")? {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::new(format!("cannot create `{dir}`: {e}")))?;
+        for (i, repro) in outcome.repros.iter().enumerate() {
+            let path = std::path::Path::new(&dir).join(format!("pdf-matrix-repro-{i}.json"));
+            std::fs::write(&path, repro.to_json().to_pretty()).map_err(|e| {
+                CliError::new(format!("cannot write repro `{}`: {e}", path.display()))
+            })?;
+        }
+    }
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "matrix: {} cells in {elapsed:.1}s",
+        outcome.observations.len()
+    );
+    for invariant in pdf_matrix::Invariant::ALL {
+        let count = outcome
+            .violations
+            .iter()
+            .filter(|v| v.invariant == invariant)
+            .count();
+        let _ = writeln!(
+            summary,
+            "  {:<10} {}",
+            invariant.label(),
+            if count == 0 {
+                "ok".to_owned()
+            } else {
+                format!("{count} violation(s)")
+            }
+        );
+    }
+    for violation in &outcome.violations {
+        let _ = writeln!(
+            summary,
+            "  [{}] {}",
+            violation.invariant.label(),
+            violation.detail
+        );
+    }
+    if outcome.passed() {
+        Ok(summary)
+    } else {
+        Err(CliError {
+            message: summary,
+            code: EXIT_MATRIX,
+        })
+    }
+}
+
 /// `pdfatpg atpg`.
 pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
     let started = Instant::now();
@@ -547,7 +782,12 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
     let n_p0: usize = options.parsed("np0", 1_000)?;
     let seed: u64 = options.parsed("seed", 2002)?;
     let attempts: u32 = options.parsed("attempts", 1)?;
-    let cone_cache: usize = options.parsed("cone-cache", pdf_atpg::DEFAULT_CONE_CACHE)?;
+    let cone_cache: usize = parsed_with_env(
+        options,
+        "cone-cache",
+        "PDF_CONE_CACHE",
+        pdf_atpg::DEFAULT_CONE_CACHE,
+    )?;
     let RunControl {
         budget_spec,
         checkpoint,
@@ -768,6 +1008,23 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     // whatever the command — not surface halfway through a generation run.
     let _ = sim_options_from_env()?;
     let _telemetry = pdf_telemetry::Guard::from_env();
+    // The matrix command runs over its own circuit axis, not a single
+    // circuit argument.
+    if command == "matrix" {
+        let options = Options::parse(
+            &args[1..],
+            &[
+                "cells",
+                "circuits",
+                "seeds",
+                "report",
+                "repro-dir",
+                "replay",
+            ],
+            &["full"],
+        )?;
+        return cmd_matrix(&options);
+    }
     let Some(spec) = args.get(1) else {
         return err(format!(
             "`{command}` requires a circuit argument\n\n{USAGE}"

@@ -1,0 +1,165 @@
+//! End-to-end checks of the `matrix` subcommand: a bounded smoke run
+//! passes and writes a parseable report, misconfiguration is rejected at
+//! parse time with the dedicated error exit (2), and `--replay` verifies
+//! repro artifacts (clean artifact exits 0, malformed artifact exits 2).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use pdf_atpg::SimBackend;
+use pdf_matrix::{CellConfig, Invariant, ReproCase};
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pdfatpg-matrix-cli-{}-{name}", std::process::id()))
+}
+
+fn run(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pdfatpg"));
+    cmd.args(args);
+    for var in [
+        "PDF_MATRIX_CELLS",
+        "PDF_MATRIX_CIRCUITS",
+        "PDF_MATRIX_SEEDS",
+        "PDF_MATRIX_FULL",
+        "PDF_MATRIX_REPORT",
+        "PDF_MATRIX_REPRO_DIR",
+        "PDF_SIM_THREADS",
+    ] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn pdfatpg")
+}
+
+#[test]
+fn matrix_smoke_run_passes_and_reports_every_family() {
+    let out = run(&["matrix", "--circuits", "s27", "--cells", "8"], &[]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matrix: 8 cells"), "stdout: {stdout}");
+    for family in ["ident", "kmono", "resume", "learning"] {
+        assert!(stdout.contains(family), "missing {family}: {stdout}");
+    }
+}
+
+#[test]
+fn matrix_writes_a_parseable_report_file() {
+    let report = scratch("report.json");
+    let out = run(
+        &[
+            "matrix",
+            "--circuits",
+            "s27",
+            "--cells",
+            "6",
+            "--report",
+            report.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&report).expect("report written");
+    std::fs::remove_file(&report).ok();
+    let json = pdf_telemetry::Json::parse(&text).expect("report parses");
+    assert_eq!(
+        json.get("schema").and_then(pdf_telemetry::Json::as_str),
+        Some("pdf-matrix-report")
+    );
+    assert_eq!(
+        json.get("cells").and_then(pdf_telemetry::Json::as_num),
+        Some(6.0)
+    );
+    assert!(matches!(
+        json.get("passed"),
+        Some(pdf_telemetry::Json::Bool(true))
+    ));
+}
+
+#[test]
+fn matrix_rejects_zero_cell_budget() {
+    let out = run(&["matrix", "--cells", "0"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--cells"), "stderr: {stderr}");
+}
+
+#[test]
+fn matrix_rejects_unknown_circuit() {
+    let out = run(&["matrix", "--circuits", "nosuch", "--cells", "4"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nosuch"), "stderr: {stderr}");
+}
+
+#[test]
+fn matrix_validates_env_twin_even_when_flag_wins() {
+    // The strict env contract: a malformed PDF_MATRIX_CELLS fails fast by
+    // variable name, even though --cells would override its value.
+    let out = run(
+        &["matrix", "--cells", "4"],
+        &[("PDF_MATRIX_CELLS", "bogus")],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDF_MATRIX_CELLS"), "stderr: {stderr}");
+}
+
+#[test]
+fn matrix_env_twins_select_the_run_shape() {
+    let out = run(
+        &["matrix"],
+        &[("PDF_MATRIX_CELLS", "4"), ("PDF_MATRIX_CIRCUITS", "s27")],
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matrix: 4 cells"), "stdout: {stdout}");
+}
+
+#[test]
+fn matrix_replay_of_a_clean_artifact_exits_zero() {
+    // A hand-built artifact whose cells hold no bug: replay must report
+    // that it no longer reproduces and exit 0.
+    let mut scalar = CellConfig::default_cell();
+    scalar.backend = SimBackend::Scalar;
+    let repro = ReproCase {
+        invariant: Invariant::Ident,
+        detail: "fixed upstream".to_owned(),
+        circuit: "s27".to_owned(),
+        bench: None,
+        cells: vec![CellConfig::default_cell(), scalar],
+    };
+    let path = scratch("clean-repro.json");
+    std::fs::write(&path, repro.to_json().to_pretty()).unwrap();
+    let out = run(&["matrix", "--replay", path.to_str().unwrap()], &[]);
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no longer reproduces"), "stdout: {stdout}");
+}
+
+#[test]
+fn matrix_replay_rejects_a_malformed_artifact() {
+    let path = scratch("bad-repro.json");
+    std::fs::write(&path, "{\"schema\": \"wrong\"}").unwrap();
+    let out = run(&["matrix", "--replay", path.to_str().unwrap()], &[]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -59,6 +59,59 @@ impl TargetSplit {
         split
     }
 
+    /// The k-set generalization of the paper's cumulative rule: set 0 is
+    /// the exact `P_0` of [`TargetSplit::by_cumulative_length`], and the
+    /// remainder is subdivided by re-applying the same rule (each next
+    /// set takes the faults on the longest remaining paths until another
+    /// `n_p0` is accumulated) until `k` sets exist or the population runs
+    /// out. The last set absorbs whatever is left, so the union of the
+    /// sets is always the whole population and `k = 2` reproduces the
+    /// paper's two-set scheme exactly.
+    ///
+    /// Degenerate populations may yield fewer than `k` non-empty sets;
+    /// the split still reports `k` sets (trailing ones empty) so callers
+    /// can index by set number uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (one set is not a split — run the basic
+    /// procedure on the whole population instead).
+    #[must_use]
+    pub fn by_nested_cumulative(faults: &FaultList, n_p0: usize, k: usize) -> TargetSplit {
+        assert!(k >= 2, "a nested split needs at least two sets");
+        let first = TargetSplit::by_cumulative_length(faults, n_p0);
+        let i0 = first.i0;
+        let mut cutoffs = vec![first.cutoffs[0]];
+        let mut remaining: Vec<u32> = faults.delays().filter(|&d| d < first.cutoffs[0]).collect();
+        while cutoffs.len() < k - 1 && !remaining.is_empty() {
+            let histogram = LengthHistogram::from_lengths(remaining.iter().copied());
+            let cutoff = match histogram.cutoff(n_p0) {
+                Some(i) => histogram.length_at(i).expect("cutoff returns valid index"),
+                None => histogram.classes().last().map_or(0, |c| c.length),
+            };
+            // The rule can swallow the whole remainder (cutoff at the
+            // shortest length); the final catch-all set covers that case.
+            if cutoff >= *cutoffs.last().expect("at least one cutoff") {
+                break;
+            }
+            remaining.retain(|&d| d < cutoff);
+            if remaining.is_empty() && cutoffs.len() + 2 == k {
+                // The cutoff drains the remainder exactly: keep it, the
+                // final set is legitimately empty.
+                cutoffs.push(cutoff);
+                break;
+            }
+            cutoffs.push(cutoff);
+        }
+        let mut split = TargetSplit::by_thresholds(faults, &cutoffs);
+        split.i0 = i0;
+        // Pad to k sets so set numbers are stable across populations.
+        while split.sets.len() < k {
+            split.sets.push(FaultList::from_iter(Vec::new()));
+        }
+        split
+    }
+
     /// Generalized k-set partition: `thresholds` lists decreasing length
     /// cutoffs; set `j` receives the faults with
     /// `thresholds[j] <= delay` (and `delay < thresholds[j-1]` for
@@ -171,6 +224,57 @@ mod tests {
         assert!(split.sets()[0].iter().all(|e| e.delay >= 10));
         assert!(split.sets()[1].iter().all(|e| (8..10).contains(&e.delay)));
         assert!(split.sets()[2].iter().all(|e| e.delay < 8));
+    }
+
+    #[test]
+    fn nested_cumulative_matches_the_two_set_rule_at_k2() {
+        let list = faults();
+        let nested = TargetSplit::by_nested_cumulative(&list, 10, 2);
+        let flat = TargetSplit::by_cumulative_length(&list, 10);
+        assert_eq!(nested.i0(), flat.i0());
+        assert_eq!(nested.cutoffs(), flat.cutoffs());
+        assert_eq!(nested.p0().len(), flat.p0().len());
+        assert_eq!(nested.p1().len(), flat.p1().len());
+    }
+
+    #[test]
+    fn nested_cumulative_builds_k_sets_that_cover_the_population() {
+        let list = faults();
+        for k in 2..=4 {
+            let split = TargetSplit::by_nested_cumulative(&list, 5, k);
+            assert_eq!(split.sets().len(), k, "k={k}");
+            assert_eq!(split.total(), list.len(), "k={k}");
+            // Sets are ordered most-critical first: every fault in set j
+            // is on a path at least as long as every fault in set j+1.
+            for w in split.sets().windows(2) {
+                let min_prev = w[0].iter().map(|e| e.delay).min();
+                let max_next = w[1].iter().map(|e| e.delay).max();
+                if let (Some(lo), Some(hi)) = (min_prev, max_next) {
+                    assert!(lo > hi);
+                }
+            }
+            // Set 0 is the same P_0 regardless of k.
+            let flat = TargetSplit::by_cumulative_length(&list, 5);
+            assert_eq!(split.p0().len(), flat.p0().len(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn nested_cumulative_pads_exhausted_populations_with_empty_sets() {
+        let list = faults();
+        // n_p0 larger than the population: everything lands in set 0 and
+        // the trailing sets are empty but still present.
+        let split = TargetSplit::by_nested_cumulative(&list, 1_000_000, 4);
+        assert_eq!(split.sets().len(), 4);
+        assert_eq!(split.p0().len(), list.len());
+        assert!(split.sets()[1..].iter().all(FaultList::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sets")]
+    fn nested_cumulative_rejects_k1() {
+        let list = faults();
+        let _ = TargetSplit::by_nested_cumulative(&list, 10, 1);
     }
 
     #[test]

@@ -67,6 +67,14 @@ pub struct Workload {
     /// generation (`PDF_STATIC_LEARNING`). Off by default: a disabled
     /// table leaves every experiment byte-identical.
     pub static_learning: bool,
+    /// Programmatic simulation options. `None` (the default, and what
+    /// [`Workload::from_env`] always produces) defers to the
+    /// `PDF_SIM_BACKEND`/`PDF_SIM_WIDTH`/`PDF_SIM_EVENTS` environment at
+    /// run time, exactly as before this field existed; `Some` pins the
+    /// options for this workload, letting harnesses (the `pdf-matrix`
+    /// cross-config sweeps) drive many configurations concurrently
+    /// without touching process-global state.
+    pub sim: Option<SimOptions>,
 }
 
 impl Default for Workload {
@@ -79,6 +87,7 @@ impl Default for Workload {
             cone_cache: pdf_atpg::DEFAULT_CONE_CACHE,
             time_budget: None,
             static_learning: false,
+            sim: None,
         }
     }
 }
@@ -103,7 +112,16 @@ impl Workload {
             cone_cache: env_parse("PDF_CONE_CACHE").unwrap_or(d.cone_cache),
             time_budget: BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")),
             static_learning: static_learning_from_env(),
+            sim: None,
         }
+    }
+
+    /// The simulation options this workload runs with: the pinned
+    /// [`Workload::sim`] block when set, otherwise the environment-driven
+    /// [`sim_options`] (which panics on unparsable `PDF_SIM_*` values).
+    #[must_use]
+    pub fn sim_resolved(&self) -> SimOptions {
+        self.sim.unwrap_or_else(sim_options)
     }
 
     /// A fresh [`RunBudget`] for one generation run: the workload's time
@@ -369,6 +387,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
         .chain(prepared.split.p1().iter())
         .cloned()
         .collect();
+    let sim = workload.sim_resolved();
     let mut heuristics = Vec::new();
     for compaction in Compaction::ALL {
         let config = AtpgConfig {
@@ -376,7 +395,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
             compaction,
             justify_attempts: workload.attempts,
             secondary_mode: Default::default(),
-            sim: sim_options(),
+            sim,
             cone_cache: workload.cone_cache,
             budget: workload.run_budget(),
             learned: prepared.learned.clone(),
@@ -390,7 +409,7 @@ pub fn run_basic_on(prepared: &Prepared, workload: &Workload) -> BasicCircuitRes
         note_budget_exhaustion(&prepared.name, compaction.label(), &outcome);
         let accidental = outcome
             .tests()
-            .coverage_with(sim_options(), &prepared.circuit, &all_faults)
+            .coverage_with(sim, &prepared.circuit, &all_faults)
             .detected_count();
         heuristics.push(HeuristicResult {
             heuristic: compaction.label().to_owned(),
@@ -462,7 +481,7 @@ pub fn run_enrich_on(prepared: &Prepared, workload: &Workload) -> EnrichCircuitR
         compaction: Compaction::ValueBased,
         justify_attempts: workload.attempts,
         secondary_mode: Default::default(),
-        sim: sim_options(),
+        sim: workload.sim_resolved(),
         cone_cache: workload.cone_cache,
         budget: workload.run_budget(),
         learned: prepared.learned.clone(),

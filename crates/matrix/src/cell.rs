@@ -1,0 +1,549 @@
+//! One cell of the configuration matrix: the full axis assignment, the
+//! lazily-decoded cross-product, and the runner that turns a cell into a
+//! [`CellObservation`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use pdf_atpg::{
+    AtpgConfig, CancelToken, Checkpoint, CheckpointPolicy, Compaction, EnrichmentAtpg, RunBudget,
+    SimBackend, SimOptions, SimWidth, TargetSplit,
+};
+use pdf_faults::{FaultList, Sensitization};
+use pdf_netlist::Circuit;
+use pdf_paths::PathEnumerator;
+use pdf_telemetry::Json;
+
+/// How the cell's generation run is driven through the run-control layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunMode {
+    /// One uninterrupted run.
+    Direct,
+    /// Three runs: uninterrupted, cancelled after the given number of
+    /// budget polls (with a checkpoint written every completed test), and
+    /// resumed from that checkpoint. The resume invariant compares the
+    /// composite against the uninterrupted run.
+    CheckpointResume {
+        /// Budget polls before the cancel token trips.
+        cancel_after_polls: u64,
+    },
+}
+
+impl RunMode {
+    /// A short label for report keys (`direct` / `resume@N`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RunMode::Direct => "direct".to_owned(),
+            RunMode::CheckpointResume { cancel_after_polls } => {
+                format!("resume@{cancel_after_polls}")
+            }
+        }
+    }
+
+    fn parse(s: &str) -> Option<RunMode> {
+        if s == "direct" {
+            return Some(RunMode::Direct);
+        }
+        let polls = s.strip_prefix("resume@")?.parse().ok()?;
+        Some(RunMode::CheckpointResume {
+            cancel_after_polls: polls,
+        })
+    }
+}
+
+/// One fully-specified configuration cell of the matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellConfig {
+    /// Circuit name (resolvable by [`crate::resolve_circuit`]).
+    pub circuit: String,
+    /// Simulation engine.
+    pub backend: SimBackend,
+    /// Packed tile width.
+    pub width: SimWidth,
+    /// Event-driven propagation.
+    pub events: bool,
+    /// Compaction heuristic.
+    pub compaction: Compaction,
+    /// Number of target sets (`>= 2`; the paper uses 2).
+    pub k: usize,
+    /// Enumeration cap `N_P`.
+    pub n_p: usize,
+    /// `P_0` sizing threshold `N_P0`.
+    pub n_p0: usize,
+    /// Static implication learning on/off.
+    pub learning: bool,
+    /// Direct run or the cancel/checkpoint/resume dance.
+    pub run_mode: RunMode,
+    /// Master seed.
+    pub seed: u64,
+    /// Generous wall-clock budget in minutes (`None` = unlimited). A
+    /// never-exhausted budget must not perturb results — its polling is
+    /// covered by the identity invariant.
+    pub budget_minutes: Option<u64>,
+}
+
+impl CellConfig {
+    /// The canonical default cell (smoke-sized workload on `s27`).
+    #[must_use]
+    pub fn default_cell() -> CellConfig {
+        CellConfig {
+            circuit: "s27".to_owned(),
+            backend: SimBackend::Packed,
+            width: SimWidth::W64,
+            events: true,
+            compaction: Compaction::ValueBased,
+            k: 2,
+            n_p: 300,
+            n_p0: 60,
+            learning: false,
+            run_mode: RunMode::Direct,
+            seed: 2002,
+            budget_minutes: None,
+        }
+    }
+
+    /// The options block the cell's throughput axes select.
+    #[must_use]
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions::default()
+            .with_backend(self.backend)
+            .with_width(self.width)
+            .with_events(self.events)
+    }
+
+    /// A compact one-line label (`b09 packed/w64/events values k=2 ...`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {} k={} np={} np0={} learn={} {} seed={} budget={}",
+            self.circuit,
+            self.sim_options().label(),
+            self.compaction.label(),
+            self.k,
+            self.n_p,
+            self.n_p0,
+            if self.learning { "on" } else { "off" },
+            self.run_mode.label(),
+            self.seed,
+            self.budget_minutes
+                .map_or("none".to_owned(), |m| format!("{m}m")),
+        )
+    }
+
+    /// The cell as a JSON object (the repro-artifact cell schema).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("circuit", self.circuit.as_str())
+            .field("backend", self.backend.label())
+            .field("width", self.width.label())
+            .field("events", self.events)
+            .field("compaction", self.compaction.label())
+            .field("k", self.k)
+            .field("n_p", self.n_p)
+            .field("n_p0", self.n_p0)
+            .field("learning", self.learning)
+            .field("run_mode", self.run_mode.label())
+            .field("seed", self.seed)
+            .field(
+                "budget_minutes",
+                self.budget_minutes.map_or(Json::Null, Json::from),
+            )
+    }
+
+    /// Parses a cell from its [`CellConfig::to_json`] form.
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<CellConfig> {
+        let s = |k: &str| json.get(k).and_then(Json::as_str);
+        let n = |k: &str| json.get(k).and_then(Json::as_num);
+        let b = |k: &str| match json.get(k) {
+            Some(Json::Bool(v)) => Some(*v),
+            _ => None,
+        };
+        Some(CellConfig {
+            circuit: s("circuit")?.to_owned(),
+            backend: s("backend")?.parse().ok()?,
+            width: s("width")?.parse().ok()?,
+            events: b("events")?,
+            compaction: compaction_from_label(s("compaction")?)?,
+            k: n("k")? as usize,
+            n_p: n("n_p")? as usize,
+            n_p0: n("n_p0")? as usize,
+            learning: b("learning")?,
+            run_mode: RunMode::parse(s("run_mode")?)?,
+            seed: n("seed")? as u64,
+            budget_minutes: match json.get("budget_minutes") {
+                Some(Json::Num(m)) => Some(*m as u64),
+                _ => None,
+            },
+        })
+    }
+}
+
+/// Resolves a compaction heuristic from its `label()`.
+#[must_use]
+pub fn compaction_from_label(label: &str) -> Option<Compaction> {
+    Compaction::ALL.into_iter().find(|c| c.label() == label)
+}
+
+/// The axes of the cross-product. `cells()` decodes indices lazily in
+/// mixed radix — the full product is never materialized beyond the
+/// (possibly sampled) cell list.
+#[derive(Clone, Debug)]
+pub struct MatrixAxes {
+    /// Circuit names.
+    pub circuits: Vec<String>,
+    /// Simulation backends.
+    pub backends: Vec<SimBackend>,
+    /// Packed tile widths.
+    pub widths: Vec<SimWidth>,
+    /// Event-driven propagation settings.
+    pub events: Vec<bool>,
+    /// Compaction heuristics.
+    pub compactions: Vec<Compaction>,
+    /// Target-set counts.
+    pub ks: Vec<usize>,
+    /// Enumeration caps.
+    pub n_ps: Vec<usize>,
+    /// `P_0` thresholds.
+    pub n_p0s: Vec<usize>,
+    /// Static learning settings.
+    pub learnings: Vec<bool>,
+    /// Run modes.
+    pub run_modes: Vec<RunMode>,
+    /// Seeds.
+    pub seeds: Vec<u64>,
+    /// Budget settings (minutes; `None` = unlimited).
+    pub budgets: Vec<Option<u64>>,
+}
+
+impl MatrixAxes {
+    /// The bounded smoke matrix CI runs on every push: tiny circuits,
+    /// every invariant family exercised, 512 raw cells before sampling.
+    #[must_use]
+    pub fn smoke() -> MatrixAxes {
+        MatrixAxes {
+            circuits: vec!["s27".to_owned(), "b09".to_owned()],
+            backends: vec![SimBackend::Scalar, SimBackend::Packed],
+            widths: vec![SimWidth::W64, SimWidth::W512],
+            events: vec![true, false],
+            compactions: vec![Compaction::Uncompacted, Compaction::ValueBased],
+            ks: vec![2, 3],
+            n_ps: vec![300],
+            n_p0s: vec![60],
+            learnings: vec![false, true],
+            run_modes: vec![
+                RunMode::Direct,
+                RunMode::CheckpointResume {
+                    cancel_after_polls: 7,
+                },
+            ],
+            seeds: vec![2002],
+            budgets: vec![None, Some(10)],
+        }
+    }
+
+    /// The nightly full-axis matrix: more circuits, every heuristic, two
+    /// seeds, larger workloads.
+    #[must_use]
+    pub fn full() -> MatrixAxes {
+        MatrixAxes {
+            circuits: vec![
+                "s27".to_owned(),
+                "b03".to_owned(),
+                "b09".to_owned(),
+                "b09+r".to_owned(),
+                "s1196".to_owned(),
+            ],
+            backends: vec![SimBackend::Scalar, SimBackend::Packed],
+            widths: vec![SimWidth::W64, SimWidth::W256, SimWidth::W512],
+            events: vec![true, false],
+            compactions: Compaction::ALL.to_vec(),
+            ks: vec![2, 3, 4],
+            n_ps: vec![300, 1000],
+            n_p0s: vec![60, 200],
+            learnings: vec![false, true],
+            run_modes: vec![
+                RunMode::Direct,
+                RunMode::CheckpointResume {
+                    cancel_after_polls: 3,
+                },
+                RunMode::CheckpointResume {
+                    cancel_after_polls: 11,
+                },
+            ],
+            seeds: vec![2002, 7],
+            budgets: vec![None, Some(10)],
+        }
+    }
+
+    /// The size of the raw cross-product.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.circuits.len()
+            * self.backends.len()
+            * self.widths.len()
+            * self.events.len()
+            * self.compactions.len()
+            * self.ks.len()
+            * self.n_ps.len()
+            * self.n_p0s.len()
+            * self.learnings.len()
+            * self.run_modes.len()
+            * self.seeds.len()
+            * self.budgets.len()
+    }
+
+    /// Decodes cell `index` of the cross-product (mixed-radix, circuit
+    /// slowest so samples spread over circuits first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= cell_count()` or any axis is empty.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> CellConfig {
+        assert!(index < self.cell_count(), "cell index out of range");
+        let mut rest = index;
+        let mut take = |len: usize| {
+            let i = rest % len;
+            rest /= len;
+            i
+        };
+        // Fastest-varying axes first: throughput knobs, so neighboring
+        // indices form identity groups and stride sampling spreads over
+        // the semantic axes.
+        let backend = self.backends[take(self.backends.len())];
+        let width = self.widths[take(self.widths.len())];
+        let events = self.events[take(self.events.len())];
+        let budget_minutes = self.budgets[take(self.budgets.len())];
+        let run_mode = self.run_modes[take(self.run_modes.len())];
+        let k = self.ks[take(self.ks.len())];
+        let learning = self.learnings[take(self.learnings.len())];
+        let compaction = self.compactions[take(self.compactions.len())];
+        let n_p = self.n_ps[take(self.n_ps.len())];
+        let n_p0 = self.n_p0s[take(self.n_p0s.len())];
+        let seed = self.seeds[take(self.seeds.len())];
+        let circuit = self.circuits[take(self.circuits.len())].clone();
+        CellConfig {
+            circuit,
+            backend,
+            width,
+            events,
+            compaction,
+            k,
+            n_p,
+            n_p0,
+            learning,
+            run_mode,
+            seed,
+            budget_minutes,
+        }
+    }
+
+    /// The cell list, deterministically stride-sampled down to at most
+    /// `max_cells` when the raw product is larger: sample `j` is cell
+    /// `j * count / max_cells`, so the samples spread evenly across the
+    /// whole product and two runs with equal axes pick equal cells.
+    #[must_use]
+    pub fn cells(&self, max_cells: usize) -> Vec<CellConfig> {
+        let count = self.cell_count();
+        let max = max_cells.max(1);
+        if count <= max {
+            (0..count).map(|i| self.cell(i)).collect()
+        } else {
+            (0..max).map(|j| self.cell(j * count / max)).collect()
+        }
+    }
+}
+
+/// Everything observed from running one cell; the invariant checkers
+/// compare these across cells.
+#[derive(Clone, Debug)]
+pub struct CellObservation {
+    /// The cell that produced this observation.
+    pub config: CellConfig,
+    /// Canonical text of the generated test set.
+    pub tests_text: String,
+    /// Per-fault detection flags, split order (set 0 first).
+    pub detected: Vec<bool>,
+    /// Total faults detected across all sets.
+    pub detected_total: usize,
+    /// Population size per set.
+    pub set_sizes: Vec<usize>,
+    /// Fault identity keys, aligned with `detected`.
+    pub fault_keys: Vec<String>,
+    /// Whether the (generous) budget was reported exhausted.
+    pub budget_exhausted: bool,
+    /// For [`RunMode::CheckpointResume`]: the test text of the
+    /// cancelled-then-resumed composite run.
+    pub resume_tests_text: Option<String>,
+    /// For [`RunMode::CheckpointResume`]: detected total of the resumed
+    /// composite.
+    pub resume_detected_total: Option<usize>,
+    /// A run-level failure (resume rejection, checkpoint I/O) that is
+    /// itself a violation.
+    pub error: Option<String>,
+}
+
+/// Test-only corruption hook: applied to every observation right after
+/// its cell runs, including the re-runs the minimizer performs — so an
+/// injected failure survives shrinking, which is exactly what makes the
+/// minimizer testable.
+pub type Injection = Arc<dyn Fn(&CellConfig, &mut CellObservation) + Send + Sync>;
+
+fn unique_checkpoint_path(cell: &CellConfig) -> std::path::PathBuf {
+    let mut h = DefaultHasher::new();
+    format!("{cell:?}").hash(&mut h);
+    std::env::temp_dir().join(format!(
+        "pdf_matrix_ckpt_{}_{:016x}.json",
+        std::process::id(),
+        h.finish()
+    ))
+}
+
+/// Runs one cell on an already-resolved circuit.
+///
+/// The split is built with [`TargetSplit::by_nested_cumulative`], the
+/// generator is always the enrichment procedure (the `k` axis covers the
+/// paper's two-set scheme at `k = 2`), and [`RunMode::CheckpointResume`]
+/// additionally performs the cancel/checkpoint/resume dance.
+#[must_use]
+pub fn run_cell(circuit: &Circuit, cell: &CellConfig) -> CellObservation {
+    let learned = cell
+        .learning
+        .then(|| Arc::new(pdf_analyze::learn_implications(circuit)));
+    let enumeration = PathEnumerator::new(circuit).with_cap(cell.n_p).enumerate();
+    let (faults, _) = FaultList::build_with_learned(
+        circuit,
+        &enumeration.store,
+        Sensitization::Robust,
+        learned.as_deref(),
+    );
+    let split = TargetSplit::by_nested_cumulative(&faults, cell.n_p0, cell.k.max(2));
+    let fault_keys: Vec<String> = split
+        .sets()
+        .iter()
+        .flat_map(|s| s.iter().map(|e| e.fault.to_string()))
+        .collect();
+    let set_sizes: Vec<usize> = split.sets().iter().map(FaultList::len).collect();
+
+    let budget = || match cell.budget_minutes {
+        Some(m) => RunBudget::with_deadline(pdf_atpg::Deadline::after(
+            std::time::Duration::from_secs(m * 60),
+        )),
+        None => RunBudget::unlimited(),
+    };
+    let base_config = AtpgConfig {
+        seed: cell.seed,
+        compaction: cell.compaction,
+        sim: cell.sim_options(),
+        budget: budget(),
+        learned: learned.clone(),
+        ..AtpgConfig::default()
+    };
+
+    let atpg = EnrichmentAtpg::new(circuit).with_config(base_config.clone());
+    let outcome = atpg.run(&split);
+
+    let mut observation = CellObservation {
+        config: cell.clone(),
+        tests_text: outcome.tests().to_text(),
+        detected: outcome.detected().to_vec(),
+        detected_total: outcome.detected_total(),
+        set_sizes,
+        fault_keys,
+        budget_exhausted: outcome.budget_exhausted(),
+        resume_tests_text: None,
+        resume_detected_total: None,
+        error: None,
+    };
+
+    if let RunMode::CheckpointResume { cancel_after_polls } = cell.run_mode {
+        let path = unique_checkpoint_path(cell);
+        let cancelled_config = AtpgConfig {
+            budget: budget().and_cancel(CancelToken::cancel_after_polls(cancel_after_polls)),
+            checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+            ..base_config.clone()
+        };
+        let _ = EnrichmentAtpg::new(circuit)
+            .with_config(cancelled_config)
+            .run(&split);
+        match Checkpoint::load(&path) {
+            Ok(checkpoint) => {
+                let resumed = EnrichmentAtpg::new(circuit)
+                    .with_config(AtpgConfig {
+                        budget: budget(),
+                        ..base_config
+                    })
+                    .run_resumed(&split, &checkpoint);
+                match resumed {
+                    Ok(out) => {
+                        observation.resume_tests_text = Some(out.tests().to_text());
+                        observation.resume_detected_total = Some(out.detected_total());
+                    }
+                    Err(e) => observation.error = Some(format!("resume rejected: {e}")),
+                }
+            }
+            Err(e) => observation.error = Some(format!("checkpoint unreadable: {e}")),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    observation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_decodes_every_index_exactly_once() {
+        let axes = MatrixAxes::smoke();
+        let count = axes.cell_count();
+        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2);
+        let mut labels: Vec<String> = (0..count).map(|i| axes.cell(i).label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), count, "decoded cells must be distinct");
+    }
+
+    #[test]
+    fn stride_sampling_is_deterministic_and_bounded() {
+        let axes = MatrixAxes::smoke();
+        let a = axes.cells(200);
+        let b = axes.cells(200);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a, b);
+        // Sampling must still spread over the slowest axis (circuits).
+        let circuits: std::collections::BTreeSet<&str> =
+            a.iter().map(|c| c.circuit.as_str()).collect();
+        assert_eq!(circuits.len(), 2);
+        // Unbounded: the whole product.
+        assert_eq!(axes.cells(usize::MAX).len(), axes.cell_count());
+    }
+
+    #[test]
+    fn cell_json_round_trips() {
+        let axes = MatrixAxes::full();
+        for i in [0, 1, 17, axes.cell_count() - 1] {
+            let cell = axes.cell(i);
+            let back = CellConfig::from_json(&cell.to_json()).unwrap();
+            assert_eq!(back, cell, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn run_mode_labels_round_trip() {
+        for m in [
+            RunMode::Direct,
+            RunMode::CheckpointResume {
+                cancel_after_polls: 42,
+            },
+        ] {
+            assert_eq!(RunMode::parse(&m.label()), Some(m));
+        }
+        assert_eq!(RunMode::parse("resume@x"), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Combinatoric cross-configuration scenario harness for the path delay
+//! fault ATPG pipeline.
+//!
+//! The paper's procedures carry many orthogonal knobs — circuit, delay
+//! population sizing (`N_P`/`N_P0`), number of target sets `k`, compaction
+//! heuristic, simulation backend/width/events, static learning, budgets
+//! and checkpoint/resume. Each knob is tested in isolation elsewhere; this
+//! crate tests their *products*. It enumerates the cross-product of axis
+//! values ([`MatrixAxes`]), runs every (sampled) cell through the shared
+//! generation session fanned out over worker threads, and checks four
+//! cross-cell invariant families ([`invariants`]):
+//!
+//! * **ident** — throughput axes (backend × width × events × generous
+//!   budget × run mode) never change results,
+//! * **kmono** — uncompacted generation is independent of `k`,
+//! * **resume** — cancel + checkpoint + resume equals uninterrupted,
+//! * **learning** — static learning removes only proven-untestable faults.
+//!
+//! Any failing cell is auto-minimized abi-cafe-style ([`minimize`]) into
+//! the smallest reproducing circuit + configuration, written as a
+//! self-contained `pdf-matrix-repro` JSON artifact ([`ReproCase`]) that
+//! replays to the same failure, and the whole run is summarized in a
+//! `pdf-matrix-report` document ([`MatrixOutcome::to_report_json`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod invariants;
+pub mod minimize;
+pub mod report;
+pub mod repro;
+
+use std::collections::BTreeMap;
+
+use pdf_netlist::Circuit;
+use pdf_sim::par_chunk_map;
+
+pub use cell::{run_cell, CellConfig, CellObservation, Injection, MatrixAxes, RunMode};
+pub use invariants::{check_all, Invariant, Violation};
+pub use minimize::{minimize, netlist_by_name, FailureProbe, Minimized};
+pub use report::{MatrixOutcome, REPORT_SCHEMA, REPORT_VERSION};
+pub use repro::{ReproCase, REPRO_SCHEMA, REPRO_VERSION};
+
+/// Resolves a circuit name the way every matrix entry point does: the
+/// paper's exact `s27`, or a synthetic benchmark stand-in.
+#[must_use]
+pub fn resolve_circuit(name: &str) -> Option<Circuit> {
+    if name == "s27" {
+        return Some(pdf_netlist::iscas::s27());
+    }
+    netlist_by_name(name).and_then(|n| n.to_circuit().ok())
+}
+
+/// The matrix driver: axes, sampling bound, and the optional test-only
+/// observation injection.
+pub struct MatrixRunner {
+    axes: MatrixAxes,
+    max_cells: usize,
+    injection: Option<Injection>,
+}
+
+impl MatrixRunner {
+    /// A runner over `axes` with no sampling bound.
+    #[must_use]
+    pub fn new(axes: MatrixAxes) -> MatrixRunner {
+        MatrixRunner {
+            axes,
+            max_cells: usize::MAX,
+            injection: None,
+        }
+    }
+
+    /// Caps the number of executed cells; the cross-product is
+    /// deterministically stride-sampled down to the cap.
+    #[must_use]
+    pub fn with_max_cells(mut self, max_cells: usize) -> MatrixRunner {
+        self.max_cells = max_cells;
+        self
+    }
+
+    /// Installs a test-only observation corruption hook. The hook runs
+    /// after every cell execution — including the re-runs the minimizer
+    /// performs, so injected failures survive shrinking.
+    #[must_use]
+    pub fn with_injection(mut self, injection: Injection) -> MatrixRunner {
+        self.injection = Some(injection);
+        self
+    }
+
+    /// The cells this runner would execute.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellConfig> {
+        self.axes.cells(self.max_cells)
+    }
+
+    fn observe(&self, circuit: &Circuit, config: &CellConfig) -> CellObservation {
+        let mut observation = run_cell(circuit, config);
+        if let Some(injection) = &self.injection {
+            injection(config, &mut observation);
+        }
+        observation
+    }
+
+    /// Re-runs `cells` on `circuit` and returns the detail of the first
+    /// violation of `invariant`, if the family still fails — the probe
+    /// the minimizer drives.
+    #[must_use]
+    pub fn probe(
+        &self,
+        circuit: &Circuit,
+        cells: &[CellConfig],
+        invariant: Invariant,
+    ) -> Option<String> {
+        let observations: Vec<CellObservation> =
+            cells.iter().map(|c| self.observe(circuit, c)).collect();
+        check_all(&observations)
+            .into_iter()
+            .find(|v| v.invariant == invariant)
+            .map(|v| v.detail)
+    }
+
+    /// Runs the matrix: resolve circuits, fan the cells out over worker
+    /// threads, check all invariant families, and minimize every
+    /// violation into a repro artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an axis names a circuit that does not resolve — a
+    /// misconfigured matrix must not silently shrink.
+    #[must_use]
+    pub fn run(&self) -> MatrixOutcome {
+        let cells = self.cells();
+        let mut circuits: BTreeMap<String, Circuit> = BTreeMap::new();
+        for cell in &cells {
+            if !circuits.contains_key(&cell.circuit) {
+                let circuit = resolve_circuit(&cell.circuit)
+                    .unwrap_or_else(|| panic!("unknown matrix circuit `{}`", cell.circuit));
+                circuits.insert(cell.circuit.clone(), circuit);
+            }
+        }
+
+        // One chunk per worker over the cell list; results come back in
+        // cell order, so the whole observation list is deterministic.
+        let observations: Vec<CellObservation> = par_chunk_map(&cells, 1, |_, chunk| {
+            chunk
+                .iter()
+                .map(|cell| self.observe(&circuits[&cell.circuit], cell))
+                .collect::<Vec<CellObservation>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        let violations = check_all(&observations);
+        let repros = violations
+            .iter()
+            .map(|violation| {
+                let name = &violation.cells[0].circuit;
+                let netlist = netlist_by_name(name);
+                let minimized = minimize(
+                    &circuits[name],
+                    netlist.as_ref(),
+                    &violation.cells,
+                    violation.invariant,
+                    &violation.detail,
+                    &|circuit, cells, invariant| self.probe(circuit, cells, invariant),
+                );
+                ReproCase {
+                    invariant: violation.invariant,
+                    detail: minimized.detail,
+                    circuit: name.clone(),
+                    bench: minimized.bench,
+                    cells: minimized.cells,
+                }
+            })
+            .collect();
+
+        MatrixOutcome {
+            observations,
+            violations,
+            repros,
+        }
+    }
+}
+
+/// Replays a repro artifact: re-runs its cells on its circuit and
+/// re-checks its invariant family.
+///
+/// Returns the failure detail when the artifact still reproduces, `None`
+/// when the underlying bug is fixed.
+///
+/// # Errors
+///
+/// Returns a message when the artifact's circuit cannot be resolved.
+pub fn replay(repro: &ReproCase) -> Result<Option<String>, String> {
+    let circuit = repro.resolve_circuit()?;
+    let runner = MatrixRunner::new(MatrixAxes::smoke());
+    Ok(runner.probe(&circuit, &repro.cells, repro.invariant))
+}

@@ -1,0 +1,86 @@
+//! The `pdf-matrix-report` JSON document summarizing one matrix run:
+//! cell counts, per-invariant results, every violation, and the repro
+//! artifacts the minimizer produced. Rendered with the shared
+//! [`pdf_telemetry::Json`] writer so CI tooling parses it with the same
+//! round-trip-tested parser as the telemetry reports.
+
+use pdf_telemetry::Json;
+
+use crate::cell::{CellConfig, CellObservation};
+use crate::invariants::{Invariant, Violation};
+use crate::repro::ReproCase;
+
+/// Schema name stamped into every report.
+pub const REPORT_SCHEMA: &str = "pdf-matrix-report";
+/// Current schema version.
+pub const REPORT_VERSION: u32 = 1;
+
+/// The complete result of one matrix run.
+#[derive(Clone, Debug)]
+pub struct MatrixOutcome {
+    /// One observation per executed cell, cell order.
+    pub observations: Vec<CellObservation>,
+    /// Every invariant violation found.
+    pub violations: Vec<Violation>,
+    /// One minimized repro per violation, same order.
+    pub repros: Vec<ReproCase>,
+}
+
+impl MatrixOutcome {
+    /// Whether the run is clean.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the run report.
+    #[must_use]
+    pub fn to_report_json(&self) -> Json {
+        let per_invariant = Invariant::ALL.iter().fold(Json::object(), |obj, inv| {
+            let count = self
+                .violations
+                .iter()
+                .filter(|v| v.invariant == *inv)
+                .count();
+            obj.field(
+                inv.label(),
+                Json::object()
+                    .field("violations", count)
+                    .field("passed", count == 0),
+            )
+        });
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| {
+                Json::object()
+                    .field("invariant", v.invariant.label())
+                    .field("detail", v.detail.as_str())
+                    .field(
+                        "cells",
+                        Json::Arr(v.cells.iter().map(CellConfig::to_json).collect()),
+                    )
+            })
+            .collect();
+        let circuits: std::collections::BTreeSet<&str> = self
+            .observations
+            .iter()
+            .map(|o| o.config.circuit.as_str())
+            .collect();
+        Json::object()
+            .field("schema", REPORT_SCHEMA)
+            .field("version", REPORT_VERSION)
+            .field("cells", self.observations.len())
+            .field(
+                "circuits",
+                Json::Arr(circuits.into_iter().map(Json::from).collect()),
+            )
+            .field("passed", self.passed())
+            .field("invariants", per_invariant)
+            .field("violations", Json::Arr(violations))
+            .field(
+                "repros",
+                Json::Arr(self.repros.iter().map(ReproCase::to_json).collect()),
+            )
+    }
+}

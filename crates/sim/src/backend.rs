@@ -164,6 +164,18 @@ impl SimOptions {
         self
     }
 
+    /// A compact human-readable label (`"packed/w512/events"`,
+    /// `"scalar/auto/no-events"`) for report keys and log lines.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/w{}/{}",
+            self.backend.label(),
+            self.width.label(),
+            if self.events { "events" } else { "no-events" }
+        )
+    }
+
     /// Reads the whole option block from the environment:
     /// `PDF_SIM_BACKEND`, `PDF_SIM_WIDTH` and `PDF_SIM_EVENTS`, each
     /// falling back to its default (`packed`, `auto`, on) when unset.
@@ -274,6 +286,19 @@ mod tests {
         assert_eq!(tuned.backend, SimBackend::Scalar);
         assert_eq!(tuned.width, SimWidth::W512);
         assert!(!tuned.events);
+    }
+
+    #[test]
+    fn options_label_is_compact_and_distinct() {
+        let a = SimOptions::default()
+            .with_backend(SimBackend::Packed)
+            .with_width(SimWidth::W512)
+            .with_events(true);
+        assert_eq!(a.label(), "packed/w512/events");
+        let b = a.with_events(false);
+        assert_eq!(b.label(), "packed/w512/no-events");
+        let c = b.with_backend(SimBackend::Scalar).with_width(SimWidth::W64);
+        assert_eq!(c.label(), "scalar/w64/no-events");
     }
 
     #[test]

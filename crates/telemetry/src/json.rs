@@ -362,19 +362,7 @@ impl Parser<'_> {
                         b'n' => s.push('\n'),
                         b'r' => s.push('\r'),
                         b't' => s.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogates are not paired up; reports never
-                            // emit them.
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
+                        b'u' => s.push(self.unicode_escape()?),
                         other => {
                             return Err(self.err(format!("unknown escape `\\{}`", other as char)))
                         }
@@ -382,6 +370,52 @@ impl Parser<'_> {
                 }
                 _ => return Err(self.err("unterminated string")),
             }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape (the `\u` itself already consumed).
+    fn hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decodes one `\uXXXX` escape, pairing UTF-16 surrogates: a high
+    /// surrogate must be immediately followed by a `\uXXXX` low surrogate
+    /// (together encoding one supplementary-plane character), and a
+    /// surrogate in any other position is a hard parse error — replacing
+    /// it with U+FFFD would silently corrupt round-tripped report strings.
+    fn unicode_escape(&mut self) -> Result<char, ParseJsonError> {
+        let code = self.hex4()?;
+        match code {
+            0xD800..=0xDBFF => {
+                if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                    return Err(self.err(format!(
+                        "lone surrogate \\u{code:04X} (a high surrogate must be \
+                         followed by a \\u low-surrogate escape)"
+                    )));
+                }
+                self.pos += 2;
+                let low = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&low) {
+                    return Err(self.err(format!(
+                        "lone surrogate \\u{code:04X} (followed by \\u{low:04X}, \
+                         which is not a low surrogate)"
+                    )));
+                }
+                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                Ok(char::from_u32(scalar).expect("paired surrogates decode to a valid scalar"))
+            }
+            0xDC00..=0xDFFF => Err(self.err(format!(
+                "lone surrogate \\u{code:04X} (a low surrogate without a preceding \
+                 high surrogate)"
+            ))),
+            _ => Ok(char::from_u32(code).expect("non-surrogate BMP code points are chars")),
         }
     }
 
@@ -491,6 +525,75 @@ mod tests {
         let e = Json::parse("[1, @]").unwrap_err();
         assert_eq!(e.offset, 4);
         assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_characters() {
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::Str("\u{1F600}".to_owned())
+        );
+        assert_eq!(
+            Json::parse(r#""a𐀀b""#).unwrap(),
+            Json::Str("a\u{10000}b".to_owned())
+        );
+        assert_eq!(
+            Json::parse(r#""􏿿""#).unwrap(),
+            Json::Str("\u{10FFFF}".to_owned())
+        );
+        // BMP escapes still decode directly.
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".to_owned()));
+    }
+
+    #[test]
+    fn lone_surrogates_are_named_parse_errors() {
+        for bad in [
+            r#""\uD800""#,       // high surrogate at end of string
+            r#""\uD83Dx""#,      // high surrogate followed by a plain char
+            r#""\uD83D\n""#,     // high surrogate followed by a non-\u escape
+            r#""\uD83D\uD83D""#, // high surrogate followed by another high
+            r#""\uDE00""#,       // low surrogate on its own
+            r#""\uDC00\uD800""#, // pair in the wrong order
+        ] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(
+                e.message.contains("lone surrogate"),
+                "{bad}: expected a lone-surrogate error, got: {e}"
+            );
+        }
+        // A truncated low half still reports the truncation.
+        let e = Json::parse(r#""\uD83D\uDE"#).unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+
+        /// Writer → parser round trip over arbitrary strings, including
+        /// supplementary-plane characters (which the writer emits as raw
+        /// UTF-8) and control characters (which it `\u`-escapes).
+        fn arbitrary_strings_round_trip(
+            codes in proptest::collection::vec(0u32..0x11_0000, 0usize..64)
+        ) {
+            let s: String = codes
+                .into_iter()
+                .filter_map(char::from_u32) // skips the surrogate gap
+                .collect();
+            let doc = Json::object()
+                .field("s", s.clone())
+                .field("arr", Json::Arr(vec![Json::Str(s.clone())]));
+            let parsed = Json::parse(&doc.to_pretty());
+            proptest::prop_assert_eq!(parsed.as_ref(), Ok(&doc));
+
+            // The same string forced through `\u` escapes (UTF-16 code
+            // units, surrogate pairs for non-BMP) must decode identically.
+            let mut escaped = String::from('"');
+            for unit in s.encode_utf16() {
+                let _ = write!(escaped, "\\u{unit:04x}");
+            }
+            escaped.push('"');
+            proptest::prop_assert_eq!(Json::parse(&escaped), Ok(Json::Str(s)));
+        }
     }
 
     #[test]
