@@ -1,0 +1,163 @@
+//! Measures parallel test-generation wall-clock scaling on the largest
+//! bundled stand-in and writes the result to `BENCH_pipeline.json`.
+//!
+//! The figure of merit is the end-to-end enrichment-generation time at
+//! 1/2/4/8 worker threads over the same fault population. Every pooled
+//! run is asserted byte-identical to the single-threaded reference (test
+//! text, detection counts, justification counters) before its time is
+//! recorded — a scaling number from a run that diverged would be
+//! meaningless. The report also records the auto-selected packed tile
+//! width alongside a per-width coverage timing of the generated test
+//! set, so the width calibration is auditable from the same artifact.
+//! Run with `--release` (ideally `RUSTFLAGS="-C target-cpu=native"`);
+//! circuit and workload can be overridden via `PDF_BENCH_CIRCUIT`,
+//! `PDF_BENCH_NP`, `PDF_BENCH_NP0`.
+
+use std::time::Instant;
+
+use pdf_atpg::{
+    AtpgConfig, BudgetSpec, EnrichmentAtpg, RunBudget, SimBackend, SimOptions, SimWidth,
+};
+use pdf_bench::setup;
+use pdf_experiments::json::Json;
+
+/// The optional `PDF_TIME_BUDGET` bound on the sampling loops. The budget
+/// gates *harness repetitions*, never the generation itself: an exhausted
+/// budget means fewer samples, not different outcomes.
+fn bench_budget() -> RunBudget {
+    match BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")) {
+        Some(spec) => {
+            let now = Instant::now();
+            RunBudget::with_deadline(spec.deadline_for("bench", now, now))
+        }
+        None => RunBudget::unlimited(),
+    }
+}
+
+/// One warm-up, then the best of up to two timed runs; the budget only
+/// trims the extra sample.
+fn measure<R>(budget: &RunBudget, f: impl Fn() -> R) -> (f64, R) {
+    let mut result = f();
+    let mut best = f64::INFINITY;
+    for sample in 0..2 {
+        if sample > 0 && budget.exhausted() {
+            eprintln!("warning: time budget exhausted after {sample} sample(s)");
+            break;
+        }
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let _telemetry = pdf_telemetry::Guard::from_env();
+    let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
+    let n_p: usize = pdf_experiments::env_parse("PDF_BENCH_NP").unwrap_or(2_000);
+    let n_p0: usize = pdf_experiments::env_parse("PDF_BENCH_NP0").unwrap_or(200);
+    let sim = SimOptions::from_env().unwrap_or_else(|e| panic!("{e}"));
+
+    pdf_experiments::preflight_lint(&[circuit_name.as_str()]);
+    let s = setup(&circuit_name, n_p, n_p0);
+    let budget = bench_budget();
+
+    let generate = |threads: usize| {
+        let config = AtpgConfig {
+            sim,
+            threads,
+            ..AtpgConfig::default()
+        };
+        EnrichmentAtpg::new(&s.circuit)
+            .with_config(config)
+            .run(&s.split)
+    };
+
+    // The single-threaded reference: every pooled run must reproduce it
+    // byte for byte before its wall-clock counts.
+    let (serial_s, reference) = measure(&budget, || generate(1));
+    let reference_text = reference.tests().to_text();
+
+    let mut curve = Json::object();
+    let mut curve_rows = vec![(1_usize, serial_s)];
+    for threads in [2_usize, 4, 8] {
+        let (seconds, outcome) = measure(&budget, || generate(threads));
+        assert_eq!(
+            outcome.tests().to_text(),
+            reference_text,
+            "{threads}-thread test set diverged from the serial reference"
+        );
+        assert_eq!(
+            outcome.detected_total(),
+            reference.detected_total(),
+            "{threads}-thread detection diverged"
+        );
+        assert_eq!(
+            outcome.stats().justify,
+            reference.stats().justify,
+            "{threads}-thread justification counters diverged"
+        );
+        curve_rows.push((threads, seconds));
+    }
+    let mut speedup_at_4 = 1.0;
+    for &(threads, seconds) in &curve_rows {
+        let speedup = serial_s / seconds;
+        if threads == 4 {
+            speedup_at_4 = speedup;
+        }
+        curve = curve.field(
+            &threads.to_string(),
+            Json::object()
+                .field("seconds", seconds)
+                .field("speedup_vs_single", speedup),
+        );
+    }
+
+    // Width calibration row: coverage of the generated test set at every
+    // packed tile width, plus the width `auto` resolved to.
+    let tests = reference.tests();
+    let mut per_width = Json::object();
+    for width in SimWidth::ALL {
+        let o = sim.with_backend(SimBackend::Packed).with_width(width);
+        let (seconds, det) = measure(&budget, || {
+            tests
+                .coverage_with(o, &s.circuit, &s.faults)
+                .detected_count()
+        });
+        assert_eq!(det, reference.detected_total(), "width {width} disagrees");
+        per_width = per_width.field(width.label(), Json::object().field("seconds", seconds));
+    }
+
+    println!(
+        "pipeline_throughput {circuit_name}: {} faults, {} tests; 1t {serial_s:.3}s, \
+         4t speedup {speedup_at_4:.2}x, auto width {}",
+        s.faults.len(),
+        tests.len(),
+        SimWidth::auto().lanes(),
+    );
+    for &(threads, seconds) in &curve_rows {
+        println!(
+            "  threads {threads}: {seconds:.3}s ({:.2}x)",
+            serial_s / seconds
+        );
+    }
+
+    // Scaling is bounded by the machine: a 1-core runner records ~1x at
+    // every count, so the curve is only meaningful next to `cores`.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let report = Json::object()
+        .field("schema", "pdf-bench-pipeline")
+        .field("circuit", circuit_name.as_str())
+        .field("cores", cores)
+        .field("lines", s.circuit.line_count())
+        .field("faults", s.faults.len())
+        .field("tests", tests.len())
+        .field("detected", reference.detected_total())
+        .field("threads_curve", curve)
+        .field("speedup_at_4", speedup_at_4)
+        .field("auto_width", SimWidth::auto().lanes())
+        .field("width", sim.width.lanes())
+        .field("per_width", per_width);
+    std::fs::write("BENCH_pipeline.json", report.to_pretty())
+        .expect("cannot write BENCH_pipeline.json");
+}

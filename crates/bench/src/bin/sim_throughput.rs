@@ -6,8 +6,9 @@
 //! `tests × faults` of them. The packed engine is measured at every tile
 //! width (64/256/512 lanes) with event-driven propagation on; the
 //! headline `packed` row uses the width selected by `PDF_SIM_WIDTH`
-//! (default: auto-detected), and a `thread_scaling` row re-measures that
-//! configuration single-threaded to expose the fan-out gain. Run with
+//! (default: auto-detected), and a `thread_scaling` row sweeps that
+//! configuration over the real worker counts (1, 2, 4, … up to the
+//! machine's fan-out) to expose the scaling curve. Run with
 //! `--release` (ideally `RUSTFLAGS="-C target-cpu=native"` so the wide
 //! tiles vectorize); circuit and workload can be overridden via
 //! `PDF_BENCH_CIRCUIT`, `PDF_BENCH_TESTS`.
@@ -103,18 +104,50 @@ fn main() {
     let (packed_s, packed_det) = measure(&budget, || coverage(packed_opts));
     assert_eq!(scalar_det, packed_det, "backends disagree on coverage");
 
-    // Thread scaling: the same configuration pinned to one worker. The
-    // kernel re-reads `PDF_SIM_THREADS` on every fan-out, so the pin can
-    // be scoped to this measurement.
+    // Thread scaling: the same configuration swept over the actual
+    // worker counts (1, 2, 4, … up to the machine's full fan-out), each
+    // measured with `PDF_SIM_THREADS` pinned. The kernel re-reads the
+    // variable on every fan-out, so the pin scopes to one measurement.
     let threads = pdf_sim::max_threads();
+    let mut counts: Vec<usize> = std::iter::successors(Some(1_usize), |n| n.checked_mul(2))
+        .take_while(|&n| n < threads)
+        .collect();
+    counts.push(threads);
     let saved_threads = std::env::var("PDF_SIM_THREADS").ok();
-    std::env::set_var("PDF_SIM_THREADS", "1");
-    let (single_s, single_det) = measure(&budget, || coverage(packed_opts));
+    let mut curve = Json::object();
+    let mut curve_rates = Vec::new();
+    let mut single_s = packed_s;
+    let mut full_s = packed_s;
+    for &n in &counts {
+        std::env::set_var("PDF_SIM_THREADS", n.to_string());
+        let (seconds, det) = measure(&budget, || coverage(packed_opts));
+        assert_eq!(det, packed_det, "{n} thread(s) changed coverage");
+        if n == 1 {
+            single_s = seconds;
+        }
+        if n == threads {
+            full_s = seconds;
+        }
+        curve_rates.push((n, checks / seconds));
+        curve = curve.field(
+            &n.to_string(),
+            Json::object()
+                .field("seconds", seconds)
+                .field("checks_per_sec", checks / seconds)
+                .field("scaling_vs_single", single_s / seconds),
+        );
+    }
     match saved_threads {
         Some(v) => std::env::set_var("PDF_SIM_THREADS", v),
         None => std::env::remove_var("PDF_SIM_THREADS"),
     }
-    assert_eq!(single_det, packed_det, "thread count changed coverage");
+    // Schema self-check: the headline `threads` count must be a point on
+    // the emitted curve, so the row can never go stale against the
+    // machine again.
+    assert!(
+        counts.contains(&threads),
+        "thread_scaling curve omits the full fan-out ({threads} threads)"
+    );
 
     let speedup = scalar_s / packed_s;
     println!(
@@ -128,10 +161,13 @@ fn main() {
         packed_opts.width.lanes(),
         threads,
         if packed_opts.events { "on" } else { "off" },
-        single_s / packed_s,
+        single_s / full_s,
     );
     for (width, rate) in &width_rates {
         println!("  width {:>3}: {rate:.3e} checks/s", width.lanes());
+    }
+    for (n, rate) in &curve_rates {
+        println!("  threads {n:>3}: {rate:.3e} checks/s");
     }
 
     let report = Json::object()
@@ -161,13 +197,8 @@ fn main() {
             "thread_scaling",
             Json::object()
                 .field("threads", threads)
-                .field(
-                    "single_thread",
-                    Json::object()
-                        .field("seconds", single_s)
-                        .field("checks_per_sec", checks / single_s),
-                )
-                .field("scaling", single_s / packed_s),
+                .field("curve", curve)
+                .field("scaling", single_s / full_s),
         );
     std::fs::write("BENCH_sim.json", report.to_pretty()).expect("cannot write BENCH_sim.json");
 }

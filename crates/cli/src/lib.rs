@@ -47,6 +47,7 @@ COMMANDS:
                         [--time-budget SPEC] [--checkpoint FILE]
                         [--checkpoint-every K] [--resume FILE] [--static-learning]
                         [--sim-width 64|256|512|auto] [--sim-events on|off]
+                        [--threads N]
                                      generate a (optionally enriched) robust test set
     matrix    [--cells N] [--circuits a,b] [--seeds s1,s2] [--full]
               [--report FILE] [--repro-dir DIR] [--replay FILE]
@@ -68,6 +69,10 @@ ENVIRONMENT:
                           not change (--sim-events overrides)
     PDF_SIM_THREADS       worker-thread count for fault-simulation fan-outs
                           (default: all available cores)
+    PDF_THREADS           worker-thread count for atpg test generation
+                          (default 1; --threads overrides); the test set,
+                          counters and checkpoints are byte-identical at
+                          every thread count
     PDF_LINT              `deny` (default), `warn`, or `off`: whether the
                           automatic structural lint after circuit loading
                           aborts on errors, prints them, or is skipped
@@ -605,6 +610,37 @@ fn parsed_with_env<T: std::str::FromStr>(
     }
 }
 
+/// Resolves a positive-integer knob with an environment twin: flag wins,
+/// env applies otherwise. Both reject `0` and unparsable values at config
+/// parse with the variable+value fail-fast message, and the env twin is
+/// validated even when the flag overrides it.
+fn positive_with_env(
+    options: &Options,
+    flag: &str,
+    env: &str,
+    default: usize,
+) -> Result<usize, CliError> {
+    let parse = |raw: &str, name: &str| -> Result<usize, CliError> {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(CliError::new(format!(
+                "invalid {name}=`{raw}`: expected a positive integer"
+            ))),
+        }
+    };
+    let env_value = match std::env::var(env) {
+        Ok(raw) => Some(parse(&raw, env)?),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            return err(format!("invalid {env}={raw:?}: not valid unicode"))
+        }
+    };
+    match options.value(flag) {
+        Some(raw) => parse(raw, &format!("--{flag}")),
+        None => Ok(env_value.unwrap_or(default)),
+    }
+}
+
 /// Resolves a string knob with an environment twin: flag wins, env
 /// applies otherwise.
 fn string_with_env(options: &Options, flag: &str, env: &str) -> Result<Option<String>, CliError> {
@@ -788,6 +824,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         "PDF_CONE_CACHE",
         pdf_atpg::DEFAULT_CONE_CACHE,
     )?;
+    let threads = positive_with_env(options, "threads", "PDF_THREADS", 1)?;
     let RunControl {
         budget_spec,
         checkpoint,
@@ -807,6 +844,7 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         budget,
         checkpoint,
         learned: table.clone(),
+        threads,
         ..AtpgConfig::default()
     };
 
@@ -1074,6 +1112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "resume",
                     "sim-width",
                     "sim-events",
+                    "threads",
                 ],
                 &["enrich", "minimize", "static-learning"],
             )?;

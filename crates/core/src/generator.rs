@@ -10,12 +10,30 @@
 //! candidates are drawn from `P_0` first and only then from `P_1` (or the
 //! further sets of a k-set split), so the number of tests stays determined
 //! by `P_0` alone while `P_1` detections come for free.
+//!
+//! # Round-based parallel generation
+//!
+//! The fault loop is organized in **rounds**. Each round selects up to
+//! [`AtpgConfig::batch`] eligible primaries from the committed state,
+//! builds a candidate test for every one of them speculatively — each
+//! build is a pure function of `(committed state, primary)` — and then
+//! commits the results strictly in selection order. The builds are
+//! sharded across a persistent [`pdf_pool`] worker pool whose
+//! sequence-number reorder buffer delivers them back in that order, so
+//! the committed outcome (test set, flags, counters, checkpoints) is
+//! byte-identical for any [`AtpgConfig::threads`] value and any steal
+//! schedule. A build whose primary was meanwhile detected by an earlier
+//! commit of the same round is discarded whole (counted in
+//! [`AtpgStats::builds_discarded`]); everything else lands exactly as a
+//! single-threaded round would have landed it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use pdf_faults::{Assignments, FaultEntry, FaultList};
 use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineId, SplitMix64};
+use pdf_pool::{Control, PoolOptions};
 use pdf_runctl::{Checkpoint, CheckpointPolicy, RunBudget, CHECKPOINT_VERSION};
 
 use pdf_sim::SimOptions;
@@ -113,19 +131,23 @@ pub struct AtpgConfig {
     /// seed; a bare [`SimBackend`] converts via `.into()`.
     pub sim: SimOptions,
     /// Capacity of the justifier's cone-topology LRU cache (entries);
-    /// `0` disables caching.
+    /// `0` disables caching. Each worker keeps its own cache — there is
+    /// no shared mutable simulation state between builds.
     pub cone_cache: usize,
     /// Cooperative time/cancellation budget. An exhausted budget makes the
-    /// run stop targeting new faults, discard any test still under
-    /// construction, and finalize the partial test set with
-    /// [`AtpgOutcome::budget_exhausted`] set. Exhaustion is polled at
-    /// fault-loop and justification-attempt granularity, so a run degrades
-    /// gracefully rather than overshooting its deadline.
+    /// run stop targeting new faults, roll the round in flight back to the
+    /// last committed boundary, and finalize the partial test set with
+    /// [`AtpgOutcome::budget_exhausted`] set. Counted exhaustion polls
+    /// happen at round-selection granularity on the commit thread only;
+    /// builds observe the budget through non-consuming peek views, so the
+    /// poll sequence — and with it the output — is identical for every
+    /// thread count.
     pub budget: RunBudget,
     /// Crash-safe checkpointing: when set, run state is persisted
-    /// atomically to the policy's file after every `every` completed
-    /// primary targets (plus once when the run ends). Feed the file back
-    /// through a `run_resumed` call to continue an interrupted run.
+    /// atomically to the policy's file after every round that brings the
+    /// completed-test count at least `every` past the last write (plus
+    /// once when the run ends). Feed the file back through a
+    /// `run_resumed` call to continue an interrupted run.
     pub checkpoint: Option<CheckpointPolicy>,
     /// Per-fault panic quarantine. When on (the default), a panic raised
     /// while processing one fault — justification, the implication
@@ -143,6 +165,22 @@ pub struct AtpgConfig {
     /// not produce identical sets). The checkpoint fingerprint records
     /// the table size when one is set.
     pub learned: Option<std::sync::Arc<pdf_faults::LearnedImplications>>,
+    /// Worker threads for the per-round speculative builds. `0` and `1`
+    /// both run builds inline on the caller's thread. The value is
+    /// deliberately **not** part of the checkpoint fingerprint: the test
+    /// set, flags, counters and checkpoints are byte-identical for every
+    /// thread count, so a run may be interrupted at one count and resumed
+    /// at another.
+    pub threads: usize,
+    /// Primaries speculatively built per round. Outputs *do* depend on
+    /// this value (a larger batch speculates further past each commit),
+    /// so it is pinned in the checkpoint fingerprint. `0` is treated
+    /// as `1`.
+    pub batch: usize,
+    /// Test instrumentation: forces the pool's pathological steal
+    /// schedule (workers prefer stealing over their own deque). Results
+    /// must not change; the differential tests flip this to prove it.
+    pub force_steal: bool,
 }
 
 impl Default for AtpgConfig {
@@ -158,24 +196,29 @@ impl Default for AtpgConfig {
             checkpoint: None,
             quarantine: true,
             learned: None,
+            threads: 1,
+            batch: 8,
+            force_steal: false,
         }
     }
 }
 
 /// The configuration facets a checkpoint pins: resuming under a different
-/// compaction heuristic, secondary mode, attempt count or backend would
-/// silently diverge from the interrupted run, so resume refuses them.
-/// Tile width and event mode are deliberately *not* pinned: witnesses are
-/// byte-identical across them, so resuming a run on a machine with a
-/// different vector width is safe.
+/// compaction heuristic, secondary mode, attempt count, backend or round
+/// batch size would silently diverge from the interrupted run, so resume
+/// refuses them. Tile width, event mode and the thread count are
+/// deliberately *not* pinned: witnesses are byte-identical across them,
+/// so resuming a run on a machine with a different vector width or core
+/// count is safe.
 #[must_use]
 pub fn config_fingerprint(config: &AtpgConfig) -> String {
     let mut fp = format!(
-        "{}:{}:{}:{}",
+        "{}:{}:{}:{}:batch={}",
         config.compaction.label(),
         config.secondary_mode.label(),
         config.justify_attempts,
-        config.sim.backend
+        config.sim.backend,
+        config.batch.max(1)
     );
     if let Some(table) = &config.learned {
         // A learned table changes which secondaries reach justification
@@ -205,8 +248,28 @@ pub struct AtpgStats {
     pub faults_quarantined: usize,
     /// Checkpoint files written (including the final one).
     pub checkpoints_written: usize,
+    /// Speculative round builds dropped whole because an earlier commit
+    /// of the same round already detected (or quarantined) their primary.
+    /// Their work never enters the other counters.
+    pub builds_discarded: usize,
     /// Justifier counters.
     pub justify: JustifyStats,
+}
+
+impl AtpgStats {
+    /// Merges the delta counters a committed build accumulated. The
+    /// session-owned counters (`faults_quarantined`,
+    /// `checkpoints_written`, `builds_discarded`) are never merged from
+    /// builds — quarantine transitions are counted at commit and the
+    /// other two only ever happen on the commit thread.
+    fn absorb_build(&mut self, build: &AtpgStats) {
+        self.aborted_primaries += build.aborted_primaries;
+        self.secondary_accepts += build.secondary_accepts;
+        self.free_accepts += build.free_accepts;
+        self.secondary_rejects += build.secondary_rejects;
+        self.conflict_rejects += build.conflict_rejects;
+        self.justify.absorb(&build.justify);
+    }
 }
 
 /// A checkpoint refused by a `run_resumed` call: the file does not match
@@ -496,362 +559,195 @@ impl<'c> EnrichmentAtpg<'c> {
     }
 }
 
-/// Internal engine shared by both public procedures.
-struct Session<'c, 'f> {
+/// The read-only run context every worker shares: circuit, configuration
+/// and the fault population. Nothing in here changes after construction,
+/// which is what lets builds run concurrently without locks.
+struct SessionCtx<'c, 'f> {
     circuit: &'c Circuit,
     config: AtpgConfig,
-    justifier: Justifier<'c>,
     /// All faults, set 0 first.
     faults: Vec<&'f FaultEntry>,
     /// First index of each set in `faults` (plus a final sentinel).
     set_starts: Vec<usize>,
+    /// Primary (and arbit/length secondary) order over set-0 indices.
+    primary_order: Vec<usize>,
+}
+
+impl SessionCtx<'_, '_> {
+    fn set_sizes(&self) -> Vec<usize> {
+        self.set_starts.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+/// The committed run state. Mutated only on the commit thread, only
+/// between rounds or while applying one build result; round boundaries
+/// are the sole checkpointable (and rollback) points.
+struct SessionState {
     detected: Vec<bool>,
     aborted: Vec<bool>,
     quarantined: Vec<bool>,
-    /// Primary (and arbit/length secondary) order over set-0 indices.
-    primary_order: Vec<usize>,
     stats: AtpgStats,
     /// Tests pushed so far (checkpoint interval anchor).
     completed: usize,
-    /// State at the last primary-processed boundary. Budget exhaustion
-    /// mid-test rolls back to it and checkpoints always describe it, so a
-    /// checkpoint never captures a half-built test or a mid-justification
-    /// RNG position.
-    boundary_rng: u64,
-    boundary_detected: Vec<bool>,
-    boundary_aborted: Vec<bool>,
-    boundary_quarantined: Vec<bool>,
-    boundary_stats: AtpgStats,
+    /// `completed` as of the last checkpoint write.
+    last_checkpoint_at: usize,
     /// A checkpoint write already failed and was reported (warn once).
     checkpoint_warned: bool,
 }
 
-impl<'c, 'f> Session<'c, 'f> {
-    fn new(circuit: &'c Circuit, config: AtpgConfig, sets: &[&'f FaultList]) -> Session<'c, 'f> {
-        let mut faults = Vec::new();
-        let mut set_starts = vec![0usize];
-        for set in sets {
-            faults.extend(set.iter());
-            set_starts.push(faults.len());
-        }
-        // Decorrelate the shuffle stream from the justifier's stream.
-        let mut rng = SplitMix64::new(config.seed ^ 0x0A1B_2C3D_4E5F_6071);
-        let mut primary_order: Vec<usize> = (0..set_starts[1]).collect();
-        if matches!(config.compaction, Compaction::Arbitrary) {
-            // Fisher-Yates with the deterministic generator.
-            for i in (1..primary_order.len()).rev() {
-                let j = rng.next_below(i + 1);
-                primary_order.swap(i, j);
-            }
-        }
-        let justifier = Justifier::new(circuit, config.seed)
-            .with_attempts(config.justify_attempts)
-            .with_options(config.sim)
-            .with_cone_cache(config.cone_cache)
-            .with_budget(config.budget.clone());
-        Session {
-            circuit,
-            config,
-            justifier,
-            faults,
-            set_starts,
-            detected: vec![false; 0],
-            aborted: vec![false; 0],
-            quarantined: vec![false; 0],
-            primary_order,
-            stats: AtpgStats::default(),
-            completed: 0,
-            boundary_rng: 0,
-            boundary_detected: vec![false; 0],
-            boundary_aborted: vec![false; 0],
-            boundary_quarantined: vec![false; 0],
-            boundary_stats: AtpgStats::default(),
-            checkpoint_warned: false,
-        }
+/// Internal engine shared by both public procedures.
+struct Session<'c, 'f> {
+    ctx: SessionCtx<'c, 'f>,
+    state: SessionState,
+}
+
+/// The committed flags a round's builds all read. Frozen at round start;
+/// rolling a cut round back restores exactly this.
+struct RoundSnapshot {
+    detected: Vec<bool>,
+    aborted: Vec<bool>,
+    quarantined: Vec<bool>,
+}
+
+/// One unit of pool work: build a candidate test around `primary`
+/// against the round's committed snapshot.
+struct BuildJob {
+    primary: usize,
+    snapshot: Arc<RoundSnapshot>,
+}
+
+/// What one speculative build produced.
+enum BuildOutcome {
+    /// A finished candidate test (to be swept and pushed at commit).
+    Test(Justified),
+    /// The primary failed justification: abort it.
+    Aborted,
+    /// The primary panicked mid-justification and quarantined itself;
+    /// the detail is in the build's quarantine log.
+    PrimaryQuarantined,
+    /// The build observed an exhausted budget (through its peek view)
+    /// and stopped early. The whole round is rolled back: a truncated
+    /// build says nothing reproducible about its primary.
+    Cut,
+}
+
+/// A build's result as delivered through the reorder buffer.
+struct BuildResult {
+    primary: usize,
+    outcome: BuildOutcome,
+    /// Delta counters this build accumulated (merged only if committed).
+    stats: AtpgStats,
+    /// Faults this build saw panic, with the context string the commit
+    /// thread reports on the first (committing) observation.
+    quarantined: Vec<(usize, String)>,
+}
+
+/// Decorrelated per-primary justifier seed: every build draws from its
+/// own stream, so a build's randomness depends only on the run seed and
+/// its primary — never on which builds ran before it or where.
+fn build_seed(seed: u64, primary: usize) -> u64 {
+    seed ^ (primary as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One speculative build: the per-fault pipeline (primary justification,
+/// secondary folding) evaluated against a frozen snapshot. Local flag
+/// copies keep the bookkeeping identical to the historical inline code;
+/// nothing here touches shared mutable state.
+struct Build<'a, 'c, 'f> {
+    ctx: &'a SessionCtx<'c, 'f>,
+    /// Abort flags from the snapshot (builds never abort other faults).
+    aborted: &'a [bool],
+    detected: Vec<bool>,
+    quarantined: Vec<bool>,
+    justifier: Justifier<'c>,
+    /// Non-consuming peek view of the run budget.
+    budget: RunBudget,
+    stats: AtpgStats,
+    /// Locally observed fault panics, in observation order.
+    quarantine_log: Vec<(usize, String)>,
+    /// The peeked budget fired mid-build: the result must become `Cut`.
+    cut: bool,
+}
+
+/// Executes one build job. Pure in the functional sense: the result
+/// depends only on `(ctx, job.primary, job.snapshot)`.
+fn run_build<'c>(ctx: &SessionCtx<'c, '_>, job: BuildJob) -> BuildResult {
+    let BuildJob { primary, snapshot } = job;
+    let budget = ctx.config.budget.peek_view();
+    // A fresh justifier per build: its RNG stream is a function of the
+    // primary alone, and its cone cache is private to this worker call.
+    let justifier = Justifier::new(ctx.circuit, build_seed(ctx.config.seed, primary))
+        .with_attempts(ctx.config.justify_attempts)
+        .with_options(ctx.config.sim)
+        .with_cone_cache(ctx.config.cone_cache)
+        .with_budget(budget.clone());
+    let mut build = Build {
+        ctx,
+        aborted: &snapshot.aborted,
+        detected: snapshot.detected.clone(),
+        quarantined: snapshot.quarantined.clone(),
+        justifier,
+        budget,
+        stats: AtpgStats::default(),
+        quarantine_log: Vec::new(),
+        cut: false,
+    };
+    let outcome = build.run(primary);
+    let mut stats = build.stats;
+    stats.justify = build.justifier.stats();
+    BuildResult {
+        primary,
+        outcome,
+        stats,
+        quarantined: build.quarantine_log,
     }
+}
 
-    fn run(mut self, resume: Option<&Checkpoint>) -> Result<AtpgOutcome, ResumeError> {
-        let _phase = pdf_telemetry::Span::enter("generate");
-        let n = self.faults.len();
-        self.detected = vec![false; n];
-        self.aborted = vec![false; n];
-        self.quarantined = vec![false; n];
-        let mut test_set = match resume {
-            Some(checkpoint) => self.apply_resume(checkpoint)?,
-            None => TestSet::new(),
-        };
-        self.snapshot_boundary();
-
-        loop {
-            // The fault-loop granularity poll: budget exhaustion between
-            // tests stops targeting new faults, boundary state intact.
-            if self.config.budget.exhausted() {
-                break;
+impl<'c> Build<'_, 'c, '_> {
+    fn run(&mut self, primary: usize) -> BuildOutcome {
+        let req = self.ctx.faults[primary].assignments.clone();
+        let Some(justified) = self.justify_guarded(primary, &req, None) else {
+            if self.quarantined[primary] {
+                return BuildOutcome::PrimaryQuarantined;
             }
-            let Some(primary) = self.next_primary() else {
-                break;
+            if self.budget.exhausted() {
+                // A budget-truncated search says nothing about the
+                // fault: the round is rolled back and the fault stays
+                // unaborted for the resumed run.
+                return BuildOutcome::Cut;
+            }
+            self.stats.aborted_primaries += 1;
+            return BuildOutcome::Aborted;
+        };
+        let mut union = req;
+        // Under the freeze-values mode, input values committed so far
+        // are pinned for every later secondary (Goel-Rosales style).
+        let mut frozen: Vec<(LineId, Value, Value)> =
+            if matches!(self.ctx.config.secondary_mode, SecondaryMode::FreezeValues) {
+                justified.assignment.clone()
+            } else {
+                Vec::new()
             };
-            pdf_telemetry::count(pdf_telemetry::counters::FAULTS_TARGETED, 1);
-            let req = self.faults[primary].assignments.clone();
-            let Some(justified) = self.justify_guarded(primary, &req, None) else {
-                if self.quarantined[primary] {
-                    self.snapshot_boundary();
-                    continue;
-                }
-                if self.config.budget.already_exhausted() {
-                    // A budget-truncated search says nothing about the
-                    // fault: leave it unaborted for the resumed run.
-                    break;
-                }
-                self.aborted[primary] = true;
-                self.stats.aborted_primaries += 1;
-                self.snapshot_boundary();
-                continue;
-            };
-            let mut union = req;
-            // Under the freeze-values mode, input values committed so far
-            // are pinned for every later secondary (Goel-Rosales style).
-            let mut frozen: Vec<(LineId, Value, Value)> =
-                if matches!(self.config.secondary_mode, SecondaryMode::FreezeValues) {
-                    justified.assignment.clone()
-                } else {
-                    Vec::new()
-                };
-            let mut current = justified;
+        let mut current = justified;
 
-            if !matches!(self.config.compaction, Compaction::Uncompacted) {
-                self.extend_with_secondaries(primary, &mut union, &mut current, &mut frozen);
-            }
-            if self.config.budget.already_exhausted() {
-                // The budget fired mid-construction: the truncated
-                // secondary phase would differ from the uninterrupted
-                // run's, so the in-flight test is discarded outright and
-                // the resumed run rebuilds it from the boundary RNG.
-                self.discard_in_flight();
-                break;
-            }
-
-            // Drop every fault the finished test detects (the paper's
-            // per-test fault simulation), fanned out over fault chunks.
-            self.sweep(&current.waves);
-            debug_assert!(self.detected[primary], "primary must be detected");
-            test_set.push(current.test);
-            self.completed += 1;
-            self.snapshot_boundary();
-            let every = self.config.checkpoint.as_ref().map(|p| p.every);
-            if every.is_some_and(|every| self.completed.is_multiple_of(every)) {
-                self.write_checkpoint(&test_set, false);
-            }
+        if !matches!(self.ctx.config.compaction, Compaction::Uncompacted) {
+            self.extend_with_secondaries(primary, &mut union, &mut current, &mut frozen);
         }
-
-        let budget_exhausted = self.config.budget.already_exhausted();
-        if self.config.checkpoint.is_some() {
-            self.write_checkpoint(&test_set, !budget_exhausted);
+        if self.cut || self.budget.exhausted() {
+            return BuildOutcome::Cut;
         }
-        self.stats.justify = self.justifier.stats();
-        let set_sizes = self.set_starts.windows(2).map(|w| w[1] - w[0]).collect();
-        Ok(AtpgOutcome {
-            test_set,
-            detected: self.detected,
-            aborted: self.aborted,
-            quarantined: self.quarantined,
-            set_sizes,
-            stats: self.stats,
-            budget_exhausted,
-        })
+        BuildOutcome::Test(current)
     }
 
-    /// Validates `checkpoint` against this run and installs its state:
-    /// flags, counters, completed-test count and the boundary RNG. Returns
-    /// the carried test set.
-    fn apply_resume(&mut self, checkpoint: &Checkpoint) -> Result<TestSet, ResumeError> {
-        let mismatch = |field: &'static str, expected: String, found: String| {
-            Err(ResumeError::Mismatch {
-                field,
-                expected,
-                found,
-            })
-        };
-        if checkpoint.version != CHECKPOINT_VERSION {
-            return mismatch(
-                "version",
-                checkpoint.version.to_string(),
-                CHECKPOINT_VERSION.to_string(),
-            );
-        }
-        if checkpoint.circuit != self.circuit.name() {
-            return mismatch(
-                "circuit",
-                checkpoint.circuit.clone(),
-                self.circuit.name().to_owned(),
-            );
-        }
-        if checkpoint.seed != self.config.seed {
-            return mismatch(
-                "seed",
-                format!("{:#018x}", checkpoint.seed),
-                format!("{:#018x}", self.config.seed),
-            );
-        }
-        let fingerprint = config_fingerprint(&self.config);
-        if checkpoint.fingerprint != fingerprint {
-            return mismatch("fingerprint", checkpoint.fingerprint.clone(), fingerprint);
-        }
-        let set_sizes: Vec<usize> = self.set_starts.windows(2).map(|w| w[1] - w[0]).collect();
-        if checkpoint.set_sizes != set_sizes {
-            return mismatch(
-                "set_sizes",
-                format!("{:?}", checkpoint.set_sizes),
-                format!("{set_sizes:?}"),
-            );
-        }
-        let n = self.faults.len();
-        for (field, flags) in [
-            ("detected", &checkpoint.detected),
-            ("aborted", &checkpoint.aborted),
-            ("quarantined", &checkpoint.quarantined),
-        ] {
-            if flags.len() != n {
-                return mismatch(
-                    field,
-                    format!("{} flags", flags.len()),
-                    format!("{n} faults"),
-                );
-            }
-        }
-        let test_set =
-            TestSet::from_text(&checkpoint.tests.join("\n")).map_err(ResumeError::BadTests)?;
-        let width = self.circuit.inputs().len();
-        if let Some(t) = test_set.tests().iter().find(|t| t.len() != width) {
-            return mismatch(
-                "test width",
-                t.len().to_string(),
-                format!("{width} circuit inputs"),
-            );
-        }
-        if test_set.len() != checkpoint.completed {
-            return mismatch(
-                "completed",
-                checkpoint.completed.to_string(),
-                format!("{} carried tests", test_set.len()),
-            );
-        }
-        self.detected.copy_from_slice(&checkpoint.detected);
-        self.aborted.copy_from_slice(&checkpoint.aborted);
-        self.quarantined.copy_from_slice(&checkpoint.quarantined);
-        self.completed = checkpoint.completed;
-        self.justifier.set_rng_state(checkpoint.rng_state);
-        self.stats.aborted_primaries = checkpoint.counter("aborted_primaries") as usize;
-        self.stats.secondary_accepts = checkpoint.counter("secondary_accepts") as usize;
-        self.stats.free_accepts = checkpoint.counter("free_accepts") as usize;
-        self.stats.secondary_rejects = checkpoint.counter("secondary_rejects") as usize;
-        self.stats.conflict_rejects = checkpoint.counter("conflict_rejects") as usize;
-        self.stats.faults_quarantined = checkpoint.counter("faults_quarantined") as usize;
-        self.stats.checkpoints_written = checkpoint.counter("checkpoints_written") as usize;
-        Ok(test_set)
-    }
-
-    /// Records the current state as the primary-processed boundary.
-    fn snapshot_boundary(&mut self) {
-        self.boundary_rng = self.justifier.rng_state();
-        self.boundary_detected.clone_from(&self.detected);
-        self.boundary_aborted.clone_from(&self.aborted);
-        self.boundary_quarantined.clone_from(&self.quarantined);
-        self.boundary_stats = self.stats;
-    }
-
-    /// Rolls flags and counters back to the last boundary, abandoning a
-    /// test whose construction the budget truncated.
-    fn discard_in_flight(&mut self) {
-        self.detected.clone_from(&self.boundary_detected);
-        self.aborted.clone_from(&self.boundary_aborted);
-        self.quarantined.clone_from(&self.boundary_quarantined);
-        self.stats = self.boundary_stats;
-    }
-
-    /// Writes a boundary checkpoint through the configured policy. A
-    /// refused write is reported once and the run continues — losing
-    /// crash-recoverability must not fail the run itself.
-    fn write_checkpoint(&mut self, test_set: &TestSet, complete: bool) {
-        let Some(policy) = &self.config.checkpoint else {
-            return;
-        };
-        let checkpoint = Checkpoint {
-            version: CHECKPOINT_VERSION,
-            circuit: self.circuit.name().to_owned(),
-            seed: self.config.seed,
-            fingerprint: config_fingerprint(&self.config),
-            set_sizes: self.set_starts.windows(2).map(|w| w[1] - w[0]).collect(),
-            completed: self.completed,
-            rng_state: self.boundary_rng,
-            detected: self.boundary_detected.clone(),
-            aborted: self.boundary_aborted.clone(),
-            quarantined: self.boundary_quarantined.clone(),
-            tests: test_set
-                .tests()
-                .iter()
-                .map(crate::testset::test_line)
-                .collect(),
-            counters: vec![
-                (
-                    "aborted_primaries".to_owned(),
-                    self.boundary_stats.aborted_primaries as u64,
-                ),
-                (
-                    "secondary_accepts".to_owned(),
-                    self.boundary_stats.secondary_accepts as u64,
-                ),
-                (
-                    "free_accepts".to_owned(),
-                    self.boundary_stats.free_accepts as u64,
-                ),
-                (
-                    "secondary_rejects".to_owned(),
-                    self.boundary_stats.secondary_rejects as u64,
-                ),
-                (
-                    "conflict_rejects".to_owned(),
-                    self.boundary_stats.conflict_rejects as u64,
-                ),
-                (
-                    "faults_quarantined".to_owned(),
-                    self.boundary_stats.faults_quarantined as u64,
-                ),
-                (
-                    "checkpoints_written".to_owned(),
-                    (self.stats.checkpoints_written + 1) as u64,
-                ),
-            ],
-            complete,
-        };
-        match checkpoint.save(&policy.path) {
-            Ok(()) => {
-                self.stats.checkpoints_written += 1;
-                self.boundary_stats.checkpoints_written = self.stats.checkpoints_written;
-            }
-            Err(e) => {
-                if !self.checkpoint_warned {
-                    eprintln!("warning: checkpoint write failed, continuing without: {e}");
-                    self.checkpoint_warned = true;
-                }
-            }
-        }
-    }
-
-    /// Marks fault `i` quarantined: it panicked mid-processing and is
-    /// skipped (never targeted, never offered as a secondary, never swept)
-    /// for the rest of the run.
+    /// Marks fault `i` quarantined for the rest of this build and logs it
+    /// for the commit thread, which owns the transition (counter, warning
+    /// line) on first observation.
     fn quarantine_fault(&mut self, i: usize, context: &str) {
         if self.quarantined[i] {
             return;
         }
         self.quarantined[i] = true;
-        self.stats.faults_quarantined += 1;
-        pdf_telemetry::count(pdf_telemetry::counters::FAULTS_QUARANTINED, 1);
-        eprintln!(
-            "warning: quarantined fault {} after a panic during {context}",
-            self.faults[i].fault
-        );
+        self.quarantine_log.push((i, context.to_owned()));
     }
 
     /// A justification call attributable to fault `i`: under quarantine,
@@ -867,7 +763,7 @@ impl<'c, 'f> Session<'c, 'f> {
             None => justifier.justify(req),
             Some(pins) => justifier.justify_seeded(req, pins),
         };
-        if !self.config.quarantine {
+        if !self.ctx.config.quarantine {
             return run(&mut self.justifier);
         }
         let justifier = &mut self.justifier;
@@ -881,39 +777,6 @@ impl<'c, 'f> Session<'c, 'f> {
         }
     }
 
-    /// The per-test fault simulation sweep, fault panics quarantined.
-    fn sweep(&mut self, waves: &[pdf_logic::Triple]) {
-        if !self.config.quarantine {
-            for i in pdf_sim::newly_satisfied(waves, &self.faults, &self.detected) {
-                self.detected[i] = true;
-            }
-            return;
-        }
-        let skip: Vec<bool> = self
-            .detected
-            .iter()
-            .zip(&self.quarantined)
-            .map(|(&d, &q)| d || q)
-            .collect();
-        let swept = pdf_sim::newly_satisfied_guarded(waves, &self.faults, &skip);
-        for i in swept.satisfied {
-            self.detected[i] = true;
-        }
-        for i in swept.panicked {
-            self.quarantine_fault(i, "fault simulation");
-        }
-    }
-
-    /// The next set-0 fault to build a test around: undetected, not yet
-    /// tried as a primary, not quarantined; longest-first except under the
-    /// arbitrary order.
-    fn next_primary(&self) -> Option<usize> {
-        self.primary_order
-            .iter()
-            .copied()
-            .find(|&i| !self.detected[i] && !self.aborted[i] && !self.quarantined[i])
-    }
-
     /// Folds secondary targets into the current test, set by set.
     fn extend_with_secondaries(
         &mut self,
@@ -922,11 +785,11 @@ impl<'c, 'f> Session<'c, 'f> {
         current: &mut Justified,
         frozen: &mut Vec<(LineId, Value, Value)>,
     ) {
-        let set_count = self.set_starts.len() - 1;
+        let set_count = self.ctx.set_starts.len() - 1;
         for set in 0..set_count {
             // Per the paper, faults of a later set are considered only
             // after all faults of the earlier sets.
-            match self.config.compaction {
+            match self.ctx.config.compaction {
                 Compaction::Uncompacted => unreachable!("checked by caller"),
                 Compaction::Arbitrary | Compaction::LengthBased => {
                     self.ordered_pass(set, primary, union, current, frozen);
@@ -948,15 +811,16 @@ impl<'c, 'f> Session<'c, 'f> {
         current: &mut Justified,
         frozen: &mut Vec<(LineId, Value, Value)>,
     ) {
-        let (lo, hi) = (self.set_starts[set], self.set_starts[set + 1]);
+        let (lo, hi) = (self.ctx.set_starts[set], self.ctx.set_starts[set + 1]);
         let order: Vec<usize> = if set == 0 {
-            self.primary_order.clone()
+            self.ctx.primary_order.clone()
         } else {
             (lo..hi).collect()
         };
         for i in order {
-            if self.config.budget.already_exhausted() {
-                return; // the truncated test is discarded by the caller
+            if self.budget.exhausted() {
+                self.cut = true; // the whole round is rolled back
+                return;
             }
             if self.eligible_secondary(i, primary) {
                 self.try_candidate(i, union, current, frozen);
@@ -975,11 +839,12 @@ impl<'c, 'f> Session<'c, 'f> {
         current: &mut Justified,
         frozen: &mut Vec<(LineId, Value, Value)>,
     ) {
-        let (lo, hi) = (self.set_starts[set], self.set_starts[set + 1]);
+        let (lo, hi) = (self.ctx.set_starts[set], self.ctx.set_starts[set + 1]);
         let mut considered = vec![false; hi - lo];
         loop {
-            if self.config.budget.already_exhausted() {
-                return; // the truncated test is discarded by the caller
+            if self.budget.exhausted() {
+                self.cut = true; // the whole round is rolled back
+                return;
             }
             // Rank all unconsidered candidates by n_Δ against the current
             // union; conflicting candidates are rejected outright.
@@ -988,7 +853,7 @@ impl<'c, 'f> Session<'c, 'f> {
                 if considered[i - lo] || !self.eligible_secondary(i, primary) {
                     continue;
                 }
-                match union.delta_count(&self.faults[i].assignments) {
+                match union.delta_count(&self.ctx.faults[i].assignments) {
                     Some(delta) => ranked.push((delta, i)),
                     None => {
                         considered[i - lo] = true;
@@ -1024,13 +889,13 @@ impl<'c, 'f> Session<'c, 'f> {
         current: &mut Justified,
         frozen: &mut Vec<(LineId, Value, Value)>,
     ) -> bool {
-        let entry = self.faults[i];
+        let entry = self.ctx.faults[i];
         let a = &entry.assignments;
         // Free acceptance: the test built so far already detects it. Its
         // requirements still join the union so that later regenerations
         // keep detecting it; if that grows the union, the caller must
         // recompute its Δ ranking (the paper recomputes Δ per selection).
-        let satisfied = if self.config.quarantine {
+        let satisfied = if self.ctx.config.quarantine {
             let waves = &current.waves;
             match catch_unwind(AssertUnwindSafe(|| a.satisfied_by(waves))) {
                 Ok(satisfied) => satisfied,
@@ -1062,10 +927,10 @@ impl<'c, 'f> Session<'c, 'f> {
         // for the merged requirements, so the (much costlier) randomized
         // justification is skipped. Sound — it only rejects candidates
         // justification could never accept.
-        let conflicting = if self.config.quarantine {
-            let circuit = self.circuit;
+        let conflicting = if self.ctx.config.quarantine {
+            let circuit = self.ctx.circuit;
             let merged_ref = &merged;
-            let learned = self.config.learned.as_deref();
+            let learned = self.ctx.config.learned.as_deref();
             match catch_unwind(AssertUnwindSafe(|| {
                 pdf_faults::Implicator::from_assignments_with(circuit, merged_ref, learned).is_err()
             })) {
@@ -1078,9 +943,9 @@ impl<'c, 'f> Session<'c, 'f> {
             }
         } else {
             pdf_faults::Implicator::from_assignments_with(
-                self.circuit,
+                self.ctx.circuit,
                 &merged,
-                self.config.learned.as_deref(),
+                self.ctx.config.learned.as_deref(),
             )
             .is_err()
         };
@@ -1088,13 +953,13 @@ impl<'c, 'f> Session<'c, 'f> {
             self.stats.conflict_rejects += 1;
             return false;
         }
-        let result = match self.config.secondary_mode {
+        let result = match self.ctx.config.secondary_mode {
             SecondaryMode::Regenerate => self.justify_guarded(i, &merged, None),
             SecondaryMode::FreezeValues => self.justify_guarded(i, &merged, Some(frozen)),
         };
         match result {
             Some(justified) => {
-                if matches!(self.config.secondary_mode, SecondaryMode::FreezeValues) {
+                if matches!(self.ctx.config.secondary_mode, SecondaryMode::FreezeValues) {
                     // Pin the newly committed input values for the rest of
                     // this test's construction.
                     for &(line, v1, v2) in &justified.assignment {
@@ -1116,6 +981,431 @@ impl<'c, 'f> Session<'c, 'f> {
                     self.stats.secondary_rejects += 1;
                 }
                 false
+            }
+        }
+    }
+}
+
+impl<'c, 'f> Session<'c, 'f> {
+    fn new(circuit: &'c Circuit, config: AtpgConfig, sets: &[&'f FaultList]) -> Session<'c, 'f> {
+        let mut faults = Vec::new();
+        let mut set_starts = vec![0usize];
+        for set in sets {
+            faults.extend(set.iter());
+            set_starts.push(faults.len());
+        }
+        // Decorrelate the shuffle stream from the justifier's streams.
+        let mut rng = SplitMix64::new(config.seed ^ 0x0A1B_2C3D_4E5F_6071);
+        let mut primary_order: Vec<usize> = (0..set_starts[1]).collect();
+        if matches!(config.compaction, Compaction::Arbitrary) {
+            // Fisher-Yates with the deterministic generator.
+            for i in (1..primary_order.len()).rev() {
+                let j = rng.next_below(i + 1);
+                primary_order.swap(i, j);
+            }
+        }
+        let n = faults.len();
+        Session {
+            ctx: SessionCtx {
+                circuit,
+                config,
+                faults,
+                set_starts,
+                primary_order,
+            },
+            state: SessionState {
+                detected: vec![false; n],
+                aborted: vec![false; n],
+                quarantined: vec![false; n],
+                stats: AtpgStats::default(),
+                completed: 0,
+                last_checkpoint_at: 0,
+                checkpoint_warned: false,
+            },
+        }
+    }
+
+    fn run(self, resume: Option<&Checkpoint>) -> Result<AtpgOutcome, ResumeError> {
+        let _phase = pdf_telemetry::Span::enter("generate");
+        let Session { ctx, mut state } = self;
+        let mut test_set = match resume {
+            Some(checkpoint) => apply_resume(&ctx, &mut state, checkpoint)?,
+            None => TestSet::new(),
+        };
+        state.last_checkpoint_at = state.completed;
+
+        let batch = ctx.config.batch.max(1);
+        let options = PoolOptions::new(ctx.config.threads).with_force_steal(ctx.config.force_steal);
+        let ctx_ref = &ctx;
+        let state_ref = &mut state;
+        let tests_ref = &mut test_set;
+        let stopped_early = pdf_pool::with_pool(
+            &options,
+            |job: BuildJob| run_build(ctx_ref, job),
+            move |pool| {
+                let mut stopped = false;
+                'rounds: loop {
+                    // Round selection: up to `batch` eligible primaries
+                    // from the committed state, one counted budget poll
+                    // per selection attempt. This is the only place the
+                    // run consumes budget polls, so the poll sequence is
+                    // independent of the thread count.
+                    let mut primaries: Vec<usize> = Vec::new();
+                    while primaries.len() < batch {
+                        if ctx_ref.config.budget.exhausted() {
+                            stopped = true;
+                            break 'rounds;
+                        }
+                        let Some(p) = next_primary(ctx_ref, state_ref, &primaries) else {
+                            break;
+                        };
+                        pdf_telemetry::count(pdf_telemetry::counters::FAULTS_TARGETED, 1);
+                        primaries.push(p);
+                    }
+                    if primaries.is_empty() {
+                        break; // natural end: nothing left to target
+                    }
+                    pdf_telemetry::count(pdf_telemetry::counters::POOL_ROUNDS, 1);
+                    let snapshot = Arc::new(RoundSnapshot {
+                        detected: state_ref.detected.clone(),
+                        aborted: state_ref.aborted.clone(),
+                        quarantined: state_ref.quarantined.clone(),
+                    });
+                    let round_stats = state_ref.stats;
+                    let round_completed = state_ref.completed;
+                    let round_tests = tests_ref.len();
+                    let jobs: Vec<BuildJob> = primaries
+                        .iter()
+                        .map(|&primary| BuildJob {
+                            primary,
+                            snapshot: Arc::clone(&snapshot),
+                        })
+                        .collect();
+                    let mut round_cut = false;
+                    pool.run_round(jobs, |_, result| {
+                        if matches!(result.outcome, BuildOutcome::Cut) {
+                            round_cut = true;
+                            return Control::Stop;
+                        }
+                        commit_result(ctx_ref, state_ref, tests_ref, result);
+                        Control::Continue
+                    });
+                    if round_cut {
+                        // A build hit the budget: the round's commits are
+                        // unwound to the boundary the snapshot describes,
+                        // so the finalized prefix is exactly what an
+                        // uninterrupted run would have committed by then.
+                        state_ref.detected.clone_from(&snapshot.detected);
+                        state_ref.aborted.clone_from(&snapshot.aborted);
+                        state_ref.quarantined.clone_from(&snapshot.quarantined);
+                        state_ref.stats = round_stats;
+                        state_ref.completed = round_completed;
+                        tests_ref.truncate(round_tests);
+                        stopped = true;
+                        break;
+                    }
+                    if let Some(policy) = &ctx_ref.config.checkpoint {
+                        if state_ref.completed - state_ref.last_checkpoint_at >= policy.every {
+                            write_checkpoint(ctx_ref, state_ref, tests_ref, false);
+                            state_ref.last_checkpoint_at = state_ref.completed;
+                        }
+                    }
+                }
+                stopped
+            },
+        );
+
+        if stopped_early && !ctx.config.budget.already_exhausted() {
+            // The cut was observed through a non-latching peek view (a
+            // deadline expiring mid-round); consume one counted poll so
+            // the outcome and final checkpoint record the exhaustion.
+            let _ = ctx.config.budget.exhausted();
+        }
+        let budget_exhausted = ctx.config.budget.already_exhausted();
+        if ctx.config.checkpoint.is_some() {
+            write_checkpoint(&ctx, &mut state, &test_set, !budget_exhausted);
+        }
+        let set_sizes = ctx.set_sizes();
+        Ok(AtpgOutcome {
+            test_set,
+            detected: state.detected,
+            aborted: state.aborted,
+            quarantined: state.quarantined,
+            set_sizes,
+            stats: state.stats,
+            budget_exhausted,
+        })
+    }
+}
+
+/// The next set-0 fault to build a test around: undetected, not yet
+/// tried as a primary, not quarantined, not already in this round's
+/// batch; longest-first except under the arbitrary order.
+fn next_primary(
+    ctx: &SessionCtx<'_, '_>,
+    state: &SessionState,
+    pending: &[usize],
+) -> Option<usize> {
+    ctx.primary_order.iter().copied().find(|&i| {
+        !state.detected[i] && !state.aborted[i] && !state.quarantined[i] && !pending.contains(&i)
+    })
+}
+
+/// Applies one build result to the committed state, in sequence order.
+fn commit_result(
+    ctx: &SessionCtx<'_, '_>,
+    state: &mut SessionState,
+    test_set: &mut TestSet,
+    result: BuildResult,
+) {
+    let BuildResult {
+        primary,
+        outcome,
+        stats,
+        quarantined,
+    } = result;
+    // Read the duplicate verdict before this build's quarantine log
+    // lands: a build that quarantined its own primary is the primary's
+    // own committed attempt, not a duplicate.
+    let duplicate = state.detected[primary] || state.quarantined[primary];
+    for (i, context) in &quarantined {
+        commit_quarantine(ctx, state, *i, context);
+    }
+    if duplicate {
+        // An earlier commit of this round already detected (or
+        // quarantined) the primary. The speculative build is dropped
+        // whole — merging its counters would break the
+        // `tests + aborted primaries = justification calls` ledger the
+        // committed outcome maintains.
+        state.stats.builds_discarded += 1;
+        pdf_telemetry::count(pdf_telemetry::counters::POOL_BUILDS_DISCARDED, 1);
+        return;
+    }
+    state.stats.absorb_build(&stats);
+    match outcome {
+        BuildOutcome::Cut => unreachable!("cut results stop the round before commit"),
+        BuildOutcome::Aborted => state.aborted[primary] = true,
+        BuildOutcome::PrimaryQuarantined => {}
+        BuildOutcome::Test(current) => {
+            // Drop every fault the finished test detects (the paper's
+            // per-test fault simulation), fanned out over fault chunks.
+            commit_sweep(ctx, state, &current.waves);
+            debug_assert!(state.detected[primary], "primary must be detected");
+            test_set.push(current.test);
+            state.completed += 1;
+        }
+    }
+}
+
+/// Marks fault `i` quarantined in the committed state: it panicked
+/// mid-processing and is skipped (never targeted, never offered as a
+/// secondary, never swept) for the rest of the run. Only the first
+/// observation counts and warns — later builds of the same round may
+/// rediscover the same panic.
+fn commit_quarantine(ctx: &SessionCtx<'_, '_>, state: &mut SessionState, i: usize, context: &str) {
+    if state.quarantined[i] {
+        return;
+    }
+    state.quarantined[i] = true;
+    state.stats.faults_quarantined += 1;
+    pdf_telemetry::count(pdf_telemetry::counters::FAULTS_QUARANTINED, 1);
+    eprintln!(
+        "warning: quarantined fault {} after a panic during {context}",
+        ctx.faults[i].fault
+    );
+}
+
+/// The per-test fault simulation sweep at commit, fault panics
+/// quarantined.
+fn commit_sweep(ctx: &SessionCtx<'_, '_>, state: &mut SessionState, waves: &[pdf_logic::Triple]) {
+    if !ctx.config.quarantine {
+        for i in pdf_sim::newly_satisfied(waves, &ctx.faults, &state.detected) {
+            state.detected[i] = true;
+        }
+        return;
+    }
+    let skip: Vec<bool> = state
+        .detected
+        .iter()
+        .zip(&state.quarantined)
+        .map(|(&d, &q)| d || q)
+        .collect();
+    let swept = pdf_sim::newly_satisfied_guarded(waves, &ctx.faults, &skip);
+    for i in swept.satisfied {
+        state.detected[i] = true;
+    }
+    for i in swept.panicked {
+        commit_quarantine(ctx, state, i, "fault simulation");
+    }
+}
+
+/// Validates `checkpoint` against this run and installs its state: flags,
+/// counters and the completed-test count. Returns the carried test set.
+/// Since version 2 no RNG position is carried: every build's stream is
+/// re-derived from `(seed, primary)`, so the committed flags alone
+/// determine the continuation.
+fn apply_resume(
+    ctx: &SessionCtx<'_, '_>,
+    state: &mut SessionState,
+    checkpoint: &Checkpoint,
+) -> Result<TestSet, ResumeError> {
+    let mismatch = |field: &'static str, expected: String, found: String| {
+        Err(ResumeError::Mismatch {
+            field,
+            expected,
+            found,
+        })
+    };
+    if checkpoint.version != CHECKPOINT_VERSION {
+        return mismatch(
+            "version",
+            checkpoint.version.to_string(),
+            CHECKPOINT_VERSION.to_string(),
+        );
+    }
+    if checkpoint.circuit != ctx.circuit.name() {
+        return mismatch(
+            "circuit",
+            checkpoint.circuit.clone(),
+            ctx.circuit.name().to_owned(),
+        );
+    }
+    if checkpoint.seed != ctx.config.seed {
+        return mismatch(
+            "seed",
+            format!("{:#018x}", checkpoint.seed),
+            format!("{:#018x}", ctx.config.seed),
+        );
+    }
+    let fingerprint = config_fingerprint(&ctx.config);
+    if checkpoint.fingerprint != fingerprint {
+        return mismatch("fingerprint", checkpoint.fingerprint.clone(), fingerprint);
+    }
+    let set_sizes = ctx.set_sizes();
+    if checkpoint.set_sizes != set_sizes {
+        return mismatch(
+            "set_sizes",
+            format!("{:?}", checkpoint.set_sizes),
+            format!("{set_sizes:?}"),
+        );
+    }
+    let n = ctx.faults.len();
+    for (field, flags) in [
+        ("detected", &checkpoint.detected),
+        ("aborted", &checkpoint.aborted),
+        ("quarantined", &checkpoint.quarantined),
+    ] {
+        if flags.len() != n {
+            return mismatch(
+                field,
+                format!("{} flags", flags.len()),
+                format!("{n} faults"),
+            );
+        }
+    }
+    let test_set =
+        TestSet::from_text(&checkpoint.tests.join("\n")).map_err(ResumeError::BadTests)?;
+    let width = ctx.circuit.inputs().len();
+    if let Some(t) = test_set.tests().iter().find(|t| t.len() != width) {
+        return mismatch(
+            "test width",
+            t.len().to_string(),
+            format!("{width} circuit inputs"),
+        );
+    }
+    if test_set.len() != checkpoint.completed {
+        return mismatch(
+            "completed",
+            checkpoint.completed.to_string(),
+            format!("{} carried tests", test_set.len()),
+        );
+    }
+    state.detected.copy_from_slice(&checkpoint.detected);
+    state.aborted.copy_from_slice(&checkpoint.aborted);
+    state.quarantined.copy_from_slice(&checkpoint.quarantined);
+    state.completed = checkpoint.completed;
+    state.stats.aborted_primaries = checkpoint.counter("aborted_primaries") as usize;
+    state.stats.secondary_accepts = checkpoint.counter("secondary_accepts") as usize;
+    state.stats.free_accepts = checkpoint.counter("free_accepts") as usize;
+    state.stats.secondary_rejects = checkpoint.counter("secondary_rejects") as usize;
+    state.stats.conflict_rejects = checkpoint.counter("conflict_rejects") as usize;
+    state.stats.faults_quarantined = checkpoint.counter("faults_quarantined") as usize;
+    state.stats.checkpoints_written = checkpoint.counter("checkpoints_written") as usize;
+    state.stats.builds_discarded = checkpoint.counter("builds_discarded") as usize;
+    Ok(test_set)
+}
+
+/// Writes a round-boundary checkpoint through the configured policy. A
+/// refused write is reported once and the run continues — losing
+/// crash-recoverability must not fail the run itself.
+fn write_checkpoint(
+    ctx: &SessionCtx<'_, '_>,
+    state: &mut SessionState,
+    test_set: &TestSet,
+    complete: bool,
+) {
+    let Some(policy) = &ctx.config.checkpoint else {
+        return;
+    };
+    let checkpoint = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        circuit: ctx.circuit.name().to_owned(),
+        seed: ctx.config.seed,
+        fingerprint: config_fingerprint(&ctx.config),
+        set_sizes: ctx.set_sizes(),
+        completed: state.completed,
+        // Vestigial since version 2: resume re-derives every build's
+        // stream from (seed, primary) instead of a carried RNG position.
+        rng_state: 0,
+        detected: state.detected.clone(),
+        aborted: state.aborted.clone(),
+        quarantined: state.quarantined.clone(),
+        tests: test_set
+            .tests()
+            .iter()
+            .map(crate::testset::test_line)
+            .collect(),
+        counters: vec![
+            (
+                "aborted_primaries".to_owned(),
+                state.stats.aborted_primaries as u64,
+            ),
+            (
+                "secondary_accepts".to_owned(),
+                state.stats.secondary_accepts as u64,
+            ),
+            ("free_accepts".to_owned(), state.stats.free_accepts as u64),
+            (
+                "secondary_rejects".to_owned(),
+                state.stats.secondary_rejects as u64,
+            ),
+            (
+                "conflict_rejects".to_owned(),
+                state.stats.conflict_rejects as u64,
+            ),
+            (
+                "faults_quarantined".to_owned(),
+                state.stats.faults_quarantined as u64,
+            ),
+            (
+                "checkpoints_written".to_owned(),
+                (state.stats.checkpoints_written + 1) as u64,
+            ),
+            (
+                "builds_discarded".to_owned(),
+                state.stats.builds_discarded as u64,
+            ),
+        ],
+        complete,
+    };
+    match checkpoint.save(&policy.path) {
+        Ok(()) => {
+            state.stats.checkpoints_written += 1;
+        }
+        Err(e) => {
+            if !state.checkpoint_warned {
+                eprintln!("warning: checkpoint write failed, continuing without: {e}");
+                state.checkpoint_warned = true;
             }
         }
     }
@@ -1179,7 +1469,9 @@ mod tests {
         let outcome = BasicAtpg::new(&c)
             .with_config(config(Compaction::Uncompacted))
             .run(&faults);
-        // Each test corresponds to exactly one successful primary attempt.
+        // Each test corresponds to exactly one successful primary attempt
+        // (duplicate speculative builds are dropped whole, so they do not
+        // disturb the ledger).
         assert_eq!(
             outcome.tests().len() + outcome.stats().aborted_primaries,
             outcome.stats().justify.calls
@@ -1197,6 +1489,39 @@ mod tests {
         assert_eq!(a.detected(), b.detected());
         for (ta, tb) in a.tests().tests().iter().zip(b.tests().tests()) {
             assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn thread_count_and_steal_schedule_do_not_change_results() {
+        let (c, faults) = s27_faults();
+        let reference = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&faults);
+        for threads in [2usize, 4] {
+            for force_steal in [false, true] {
+                let mut cfg = config(Compaction::ValueBased);
+                cfg.threads = threads;
+                cfg.force_steal = force_steal;
+                let outcome = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+                assert_eq!(
+                    outcome.tests().to_text(),
+                    reference.tests().to_text(),
+                    "threads={threads} force_steal={force_steal}"
+                );
+                assert_eq!(outcome.detected(), reference.detected());
+                assert_eq!(outcome.aborted(), reference.aborted());
+                assert_eq!(outcome.quarantined(), reference.quarantined());
+                assert_eq!(
+                    outcome.stats().aborted_primaries,
+                    reference.stats().aborted_primaries
+                );
+                assert_eq!(
+                    outcome.stats().builds_discarded,
+                    reference.stats().builds_discarded
+                );
+                assert_eq!(outcome.stats().justify, reference.stats().justify);
+            }
         }
     }
 
@@ -1447,6 +1772,35 @@ mod tests {
     }
 
     #[test]
+    fn resume_accepts_a_checkpoint_taken_at_a_different_thread_count() {
+        let (c, faults) = s27_faults();
+        let full = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run(&faults);
+        let path = std::env::temp_dir().join(format!(
+            "pdf_generator_thread_resume_{}.json",
+            std::process::id()
+        ));
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.threads = 4;
+        cfg.budget =
+            RunBudget::unlimited().and_cancel(pdf_runctl::CancelToken::cancel_after_polls(17));
+        cfg.checkpoint = Some(pdf_runctl::CheckpointPolicy::new(&path, 1));
+        let _ = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        let checkpoint = pdf_runctl::Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // A 4-thread run's checkpoint resumes on a single thread and
+        // still lands the uninterrupted single-thread set: the thread
+        // count is not a pinned facet.
+        let resumed = BasicAtpg::new(&c)
+            .with_config(config(Compaction::ValueBased))
+            .run_resumed(&faults, &checkpoint)
+            .unwrap();
+        assert_eq!(resumed.tests().to_text(), full.tests().to_text());
+        assert_eq!(resumed.detected(), full.detected());
+    }
+
+    #[test]
     fn resume_rejects_a_foreign_checkpoint() {
         let (c, faults) = s27_faults();
         let path =
@@ -1478,5 +1832,21 @@ mod tests {
             ),
             "{err}"
         );
+
+        // A different round batch is a different run: the fingerprint
+        // pins it.
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.batch = 3;
+        let err = BasicAtpg::new(&c)
+            .with_config(cfg)
+            .run_resumed(&faults, &checkpoint)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ResumeError::Mismatch {
+                field: "fingerprint",
+                ..
+            }
+        ));
     }
 }

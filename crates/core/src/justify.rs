@@ -98,6 +98,27 @@ pub struct JustifyStats {
     pub lines_skipped: u64,
 }
 
+impl JustifyStats {
+    /// Adds another engine's counters into this one. The parallel
+    /// generator gives every speculative build its own justifier and
+    /// absorbs the per-build deltas at commit, in sequence order, so the
+    /// merged totals are schedule-independent.
+    pub fn absorb(&mut self, other: &JustifyStats) {
+        self.calls += other.calls;
+        self.successes += other.successes;
+        self.conflicts += other.conflicts;
+        self.unsatisfied += other.unsatisfied;
+        self.simulations += other.simulations;
+        self.completion_attempts += other.completion_attempts;
+        self.packed_blocks += other.packed_blocks;
+        self.lane_hits += other.lane_hits;
+        self.cone_hits += other.cone_hits;
+        self.cone_misses += other.cone_misses;
+        self.events_propagated += other.events_propagated;
+        self.lines_skipped += other.lines_skipped;
+    }
+}
+
 /// The simulation-based justification engine.
 ///
 /// The engine owns a deterministic RNG: two engines created with the same

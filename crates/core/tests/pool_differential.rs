@@ -1,0 +1,287 @@
+//! Differential oracle for the parallel generation pool: for any thread
+//! count (2/4/8) and any steal schedule (the forced-steal instrument
+//! inverts every worker's deque preference) a pooled run must be
+//! byte-identical to the single-threaded reference — the test set, the
+//! per-fault verdict flags, the telemetry counter totals and the
+//! checkpoint files — including runs cut short by an exhausted budget
+//! and runs with quarantined (panicking) faults.
+
+use std::sync::{Mutex, PoisonError};
+
+use proptest::prelude::*;
+
+use pdf_atpg::{
+    AtpgConfig, AtpgOutcome, BasicAtpg, CancelToken, CheckpointPolicy, Compaction, EnrichmentAtpg,
+    RunBudget, TargetSplit,
+};
+use pdf_faults::{FaultEntry, FaultList};
+use pdf_netlist::{Circuit, LineId, SynthProfile};
+use pdf_paths::PathEnumerator;
+use pdf_sim::SimOptions;
+
+/// Telemetry counters are process-global; tests that record them
+/// serialize here so a neighbor's counts never bleed into a delta.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// The pooled configurations under test: every thread count with the
+/// natural schedule and with every claim forced onto a victim's deque.
+const POOLED: [(usize, bool); 6] = [
+    (2, false),
+    (2, true),
+    (4, false),
+    (4, true),
+    (8, false),
+    (8, true),
+];
+
+fn config(threads: usize, force_steal: bool) -> AtpgConfig {
+    AtpgConfig {
+        sim: SimOptions::from_env().unwrap_or_else(|e| panic!("{e}")),
+        threads,
+        force_steal,
+        ..AtpgConfig::default()
+    }
+}
+
+fn assert_outcomes_identical(reference: &AtpgOutcome, pooled: &AtpgOutcome, label: &str) {
+    assert_eq!(
+        reference.tests().to_text(),
+        pooled.tests().to_text(),
+        "{label}: test set diverged"
+    );
+    assert_eq!(reference.detected(), pooled.detected(), "{label}: detected");
+    assert_eq!(reference.aborted(), pooled.aborted(), "{label}: aborted");
+    assert_eq!(
+        reference.quarantined(),
+        pooled.quarantined(),
+        "{label}: quarantined"
+    );
+    assert_eq!(
+        reference.budget_exhausted(),
+        pooled.budget_exhausted(),
+        "{label}: budget_exhausted"
+    );
+    let (r, p) = (reference.stats(), pooled.stats());
+    assert_eq!(r.aborted_primaries, p.aborted_primaries, "{label}");
+    assert_eq!(r.secondary_accepts, p.secondary_accepts, "{label}");
+    assert_eq!(r.free_accepts, p.free_accepts, "{label}");
+    assert_eq!(r.secondary_rejects, p.secondary_rejects, "{label}");
+    assert_eq!(r.conflict_rejects, p.conflict_rejects, "{label}");
+    assert_eq!(r.faults_quarantined, p.faults_quarantined, "{label}");
+    assert_eq!(r.builds_discarded, p.builds_discarded, "{label}");
+    assert_eq!(r.justify, p.justify, "{label}: justify counters");
+}
+
+fn faults_of(c: &Circuit, cap: usize) -> FaultList {
+    let paths = PathEnumerator::new(c).with_cap(cap).enumerate();
+    FaultList::build(c, &paths.store).0
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (3usize..8, 10usize..50, 3usize..7, 0usize..3, any::<u64>()).prop_map(
+        |(inputs, gates, levels, redundant, seed)| {
+            SynthProfile::new("pool", seed)
+                .with_inputs(inputs)
+                .with_gates(gates)
+                .with_levels(levels)
+                .with_redundant_gadgets(redundant)
+                .generate()
+                .to_circuit()
+                .expect("generated netlists are valid")
+        },
+    )
+}
+
+/// Replaces `slot`'s requirements with an out-of-circuit line so every
+/// engine that touches the fault panics (and quarantines it).
+fn poison(faults: &FaultList, slot: usize) -> FaultList {
+    let mut entries: Vec<FaultEntry> = faults.iter().cloned().collect();
+    let mut bad = pdf_faults::Assignments::new();
+    bad.require(LineId::new(9_999), pdf_logic::Triple::RISING)
+        .unwrap();
+    entries[slot].assignments = bad;
+    entries.into_iter().collect()
+}
+
+#[test]
+fn enrichment_runs_are_identical_at_every_thread_count() {
+    let c = pdf_netlist::stand_in_profile("b09")
+        .expect("known stand-in")
+        .generate()
+        .to_circuit()
+        .expect("combinational");
+    let faults = faults_of(&c, 400);
+    let split = TargetSplit::by_cumulative_length(&faults, faults.len() / 4);
+    let run = |threads, force_steal| {
+        EnrichmentAtpg::new(&c)
+            .with_config(config(threads, force_steal))
+            .run(&split)
+    };
+    let reference = run(1, false);
+    for (threads, force_steal) in POOLED {
+        let pooled = run(threads, force_steal);
+        assert_outcomes_identical(
+            &reference,
+            &pooled,
+            &format!("{threads} threads, force_steal={force_steal}"),
+        );
+    }
+}
+
+#[test]
+fn checkpoint_files_are_byte_identical_across_thread_counts() {
+    let (c, faults) = {
+        let c = pdf_netlist::iscas::s27();
+        let faults = faults_of(&c, 300);
+        (c, faults)
+    };
+    let path_for = |tag: &str| {
+        std::env::temp_dir().join(format!("pdf_pool_diff_{tag}_{}.json", std::process::id()))
+    };
+    let run = |threads: usize, force_steal: bool, tag: &str| {
+        let path = path_for(tag);
+        let outcome = BasicAtpg::new(&c)
+            .with_config(AtpgConfig {
+                checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+                ..config(threads, force_steal)
+            })
+            .run(&faults);
+        let bytes = std::fs::read(&path).expect("checkpoint written");
+        let _ = std::fs::remove_file(&path);
+        (outcome, bytes)
+    };
+    let (reference, reference_bytes) = run(1, false, "serial");
+    for (threads, force_steal) in POOLED {
+        let tag = format!("t{threads}_{force_steal}");
+        let (pooled, bytes) = run(threads, force_steal, &tag);
+        assert_outcomes_identical(&reference, &pooled, &tag);
+        assert_eq!(
+            reference_bytes, bytes,
+            "{tag}: final checkpoint file diverged"
+        );
+    }
+}
+
+#[test]
+fn telemetry_counter_totals_are_schedule_independent() {
+    let _guard = TELEMETRY_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let c = pdf_netlist::iscas::s27();
+    let faults = faults_of(&c, 300);
+    let counters_of = |threads, force_steal| {
+        let _ = pdf_telemetry::begin_recording();
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(threads, force_steal))
+            .run(&faults);
+        let report = pdf_telemetry::report();
+        pdf_telemetry::disable();
+        pdf_telemetry::reset();
+        let counters: Vec<(String, u64)> = report
+            .counters
+            .iter()
+            // The steal count is the one deliberately schedule-dependent
+            // diagnostic; everything else must be exact.
+            .filter(|(name, _)| name != "pool_steals")
+            .cloned()
+            .collect();
+        (outcome, counters)
+    };
+    let (reference, reference_counters) = counters_of(1, false);
+    for (threads, force_steal) in POOLED {
+        let label = format!("{threads} threads, force_steal={force_steal}");
+        let (pooled, counters) = counters_of(threads, force_steal);
+        assert_outcomes_identical(&reference, &pooled, &label);
+        assert_eq!(reference_counters, counters, "{label}: counter totals");
+    }
+}
+
+#[test]
+fn budget_exhausted_partial_prefixes_match_serial() {
+    let c = pdf_netlist::iscas::s27();
+    let faults = faults_of(&c, 300);
+    for polls in [1, 2, 5, 13] {
+        let run = |threads, force_steal| {
+            BasicAtpg::new(&c)
+                .with_config(AtpgConfig {
+                    budget: RunBudget::unlimited()
+                        .and_cancel(CancelToken::cancel_after_polls(polls)),
+                    ..config(threads, force_steal)
+                })
+                .run(&faults)
+        };
+        let reference = run(1, false);
+        assert!(reference.budget_exhausted(), "polls={polls} must cut");
+        for (threads, force_steal) in POOLED {
+            let pooled = run(threads, force_steal);
+            assert_outcomes_identical(
+                &reference,
+                &pooled,
+                &format!("polls={polls}, {threads} threads, force_steal={force_steal}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn quarantined_fault_runs_match_serial() {
+    let c = pdf_netlist::iscas::s27();
+    let faults = faults_of(&c, 300);
+    // Poison the first primary and a mid-population secondary: both the
+    // justification guard and the sweep guard fire under the pool.
+    for slot in [0, faults.len() / 2] {
+        let poisoned = poison(&faults, slot);
+        let run = |threads, force_steal| {
+            BasicAtpg::new(&c)
+                .with_config(config(threads, force_steal))
+                .run(&poisoned)
+        };
+        let reference = run(1, false);
+        assert!(reference.quarantined()[slot], "slot {slot}");
+        assert_eq!(reference.stats().faults_quarantined, 1);
+        for (threads, force_steal) in POOLED {
+            let pooled = run(threads, force_steal);
+            assert_outcomes_identical(
+                &reference,
+                &pooled,
+                &format!("slot={slot}, {threads} threads, force_steal={force_steal}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pooled_generation_matches_serial_on_synth_circuits(
+        c in arb_circuit(),
+        seed in any::<u64>(),
+    ) {
+        let compaction = [
+            Compaction::Uncompacted,
+            Compaction::ValueBased,
+            Compaction::LengthBased,
+        ][(seed % 3) as usize];
+        let faults = faults_of(&c, 200);
+        prop_assume!(!faults.is_empty());
+        let run = |threads, force_steal| {
+            BasicAtpg::new(&c)
+                .with_config(AtpgConfig {
+                    seed,
+                    compaction,
+                    ..config(threads, force_steal)
+                })
+                .run(&faults)
+        };
+        let reference = run(1, false);
+        for (threads, force_steal) in [(2, true), (4, true), (8, false)] {
+            let pooled = run(threads, force_steal);
+            assert_outcomes_identical(
+                &reference,
+                &pooled,
+                &format!("seed={seed}, {threads} threads, force_steal={force_steal}"),
+            );
+        }
+    }
+}

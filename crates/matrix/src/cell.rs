@@ -76,6 +76,9 @@ pub struct CellConfig {
     pub learning: bool,
     /// Direct run or the cancel/checkpoint/resume dance.
     pub run_mode: RunMode,
+    /// Generation worker-thread count. A throughput knob like the sim
+    /// axes: every observation must be byte-identical at every count.
+    pub threads: usize,
     /// Master seed.
     pub seed: u64,
     /// Generous wall-clock budget in minutes (`None` = unlimited). A
@@ -99,6 +102,7 @@ impl CellConfig {
             n_p0: 60,
             learning: false,
             run_mode: RunMode::Direct,
+            threads: 1,
             seed: 2002,
             budget_minutes: None,
         }
@@ -117,7 +121,7 @@ impl CellConfig {
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{} {} {} k={} np={} np0={} learn={} {} seed={} budget={}",
+            "{} {} {} k={} np={} np0={} learn={} {} t={} seed={} budget={}",
             self.circuit,
             self.sim_options().label(),
             self.compaction.label(),
@@ -126,6 +130,7 @@ impl CellConfig {
             self.n_p0,
             if self.learning { "on" } else { "off" },
             self.run_mode.label(),
+            self.threads,
             self.seed,
             self.budget_minutes
                 .map_or("none".to_owned(), |m| format!("{m}m")),
@@ -146,6 +151,7 @@ impl CellConfig {
             .field("n_p0", self.n_p0)
             .field("learning", self.learning)
             .field("run_mode", self.run_mode.label())
+            .field("threads", self.threads)
             .field("seed", self.seed)
             .field(
                 "budget_minutes",
@@ -173,6 +179,8 @@ impl CellConfig {
             n_p0: n("n_p0")? as usize,
             learning: b("learning")?,
             run_mode: RunMode::parse(s("run_mode")?)?,
+            // Artifacts predating the threads axis replay single-threaded.
+            threads: n("threads").map_or(1, |v| (v as usize).max(1)),
             seed: n("seed")? as u64,
             budget_minutes: match json.get("budget_minutes") {
                 Some(Json::Num(m)) => Some(*m as u64),
@@ -213,6 +221,8 @@ pub struct MatrixAxes {
     pub learnings: Vec<bool>,
     /// Run modes.
     pub run_modes: Vec<RunMode>,
+    /// Generation worker-thread counts.
+    pub threads: Vec<usize>,
     /// Seeds.
     pub seeds: Vec<u64>,
     /// Budget settings (minutes; `None` = unlimited).
@@ -240,6 +250,7 @@ impl MatrixAxes {
                     cancel_after_polls: 7,
                 },
             ],
+            threads: vec![1, 4],
             seeds: vec![2002],
             budgets: vec![None, Some(10)],
         }
@@ -274,6 +285,7 @@ impl MatrixAxes {
                     cancel_after_polls: 11,
                 },
             ],
+            threads: vec![1, 2, 4, 8],
             seeds: vec![2002, 7],
             budgets: vec![None, Some(10)],
         }
@@ -292,6 +304,7 @@ impl MatrixAxes {
             * self.n_p0s.len()
             * self.learnings.len()
             * self.run_modes.len()
+            * self.threads.len()
             * self.seeds.len()
             * self.budgets.len()
     }
@@ -314,6 +327,7 @@ impl MatrixAxes {
         // Fastest-varying axes first: throughput knobs, so neighboring
         // indices form identity groups and stride sampling spreads over
         // the semantic axes.
+        let threads = self.threads[take(self.threads.len())];
         let backend = self.backends[take(self.backends.len())];
         let width = self.widths[take(self.widths.len())];
         let events = self.events[take(self.events.len())];
@@ -337,6 +351,7 @@ impl MatrixAxes {
             n_p0,
             learning,
             run_mode,
+            threads,
             seed,
             budget_minutes,
         }
@@ -441,6 +456,7 @@ pub fn run_cell(circuit: &Circuit, cell: &CellConfig) -> CellObservation {
         sim: cell.sim_options(),
         budget: budget(),
         learned: learned.clone(),
+        threads: cell.threads.max(1),
         ..AtpgConfig::default()
     };
 
@@ -502,7 +518,7 @@ mod tests {
     fn cross_product_decodes_every_index_exactly_once() {
         let axes = MatrixAxes::smoke();
         let count = axes.cell_count();
-        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2);
+        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2);
         let mut labels: Vec<String> = (0..count).map(|i| axes.cell(i).label()).collect();
         labels.sort();
         labels.dedup();

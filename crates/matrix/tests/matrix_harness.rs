@@ -30,7 +30,8 @@ fn with_threads<R>(threads: Option<&str>, body: impl FnOnce() -> R) -> R {
 
 /// A fast s27-only matrix that still exercises every invariant family:
 /// both backends, both event modes, uncompacted + compacted, two k
-/// values, learning on/off, direct + checkpoint/resume, budget on/off.
+/// values, learning on/off, direct + checkpoint/resume, budget on/off,
+/// serial + pooled generation.
 fn s27_axes() -> MatrixAxes {
     MatrixAxes {
         circuits: vec!["s27".to_owned()],
@@ -51,6 +52,7 @@ fn s27_axes() -> MatrixAxes {
                 cancel_after_polls: 5,
             },
         ],
+        threads: vec![1, 2],
         seeds: vec![2002],
         budgets: vec![None, Some(10)],
     }
@@ -60,7 +62,7 @@ fn s27_axes() -> MatrixAxes {
 fn clean_s27_matrix_passes_all_invariants() {
     with_threads(None, || {
         let outcome = MatrixRunner::new(s27_axes()).run();
-        assert_eq!(outcome.observations.len(), 2 * 2 * 2 * 2 * 2 * 2 * 2);
+        assert_eq!(outcome.observations.len(), 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2);
         let details: Vec<String> = outcome
             .violations
             .iter()
@@ -95,6 +97,7 @@ fn clean_b09_slice_passes_all_invariants() {
             n_p0s: vec![60],
             learnings: vec![false, true],
             run_modes: vec![RunMode::Direct],
+            threads: vec![1, 4],
             seeds: vec![2002],
             budgets: vec![None],
         };
@@ -125,6 +128,7 @@ fn corrupted_runner() -> MatrixRunner {
         n_p0s: vec![10],
         learnings: vec![false],
         run_modes: vec![RunMode::Direct],
+        threads: vec![1],
         seeds: vec![2002],
         budgets: vec![None],
     };

@@ -47,8 +47,12 @@ pub const CHECKPOINT_ENV: &str = "PDF_CHECKPOINT";
 pub const CHECKPOINT_EVERY_ENV: &str = "PDF_CHECKPOINT_EVERY";
 /// Default checkpoint interval when `PDF_CHECKPOINT_EVERY` is unset.
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 16;
-/// Version tag written into checkpoint files.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version tag written into checkpoint files. Version 2 checkpoints are
+/// written by the round-based (batched) generator: their `rng_state`
+/// field is vestigial (per-build RNG streams are derived from the master
+/// seed and the fault index, so a boundary carries no RNG position) and
+/// resume ignores it.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Deadline
@@ -202,6 +206,10 @@ pub struct RunBudget {
     deadline: Deadline,
     cancel: Option<CancelToken>,
     fired: Arc<AtomicBool>,
+    /// A peek view observes exhaustion without consuming polls, advancing
+    /// countdowns, latching, or counting telemetry (see
+    /// [`RunBudget::peek_view`]).
+    peek: bool,
 }
 
 impl RunBudget {
@@ -240,6 +248,15 @@ impl RunBudget {
         if !self.is_limited() {
             return false;
         }
+        if self.peek {
+            // A peek view only *observes*: the shared latch, the token's
+            // non-consuming flag, and the wall clock. No countdown is
+            // advanced, nothing is latched, no poll is counted — so any
+            // number of peeks leaves the counting holders' state intact.
+            return self.fired.load(Ordering::Relaxed)
+                || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                || self.deadline.expired();
+        }
         pdf_telemetry::count(counters::CANCEL_POLLS, 1);
         if self.fired.load(Ordering::Relaxed) {
             return true;
@@ -262,6 +279,22 @@ impl RunBudget {
     #[must_use]
     pub fn already_exhausted(&self) -> bool {
         self.fired.load(Ordering::Relaxed)
+    }
+
+    /// A non-counting view of this budget for speculative workers: its
+    /// [`RunBudget::exhausted`] reports the shared latch, the token's
+    /// cancellation flag, and the deadline, but never advances a poll
+    /// countdown, never latches, and never counts `cancel_polls`
+    /// telemetry. Deterministic-countdown budgets therefore fire at
+    /// exactly the same counted poll no matter how many workers peek —
+    /// the property the parallel generator's schedule-independence rests
+    /// on.
+    #[must_use]
+    pub fn peek_view(&self) -> RunBudget {
+        RunBudget {
+            peek: true,
+            ..self.clone()
+        }
     }
 }
 
@@ -831,6 +864,30 @@ mod tests {
         assert!(b.exhausted());
         assert!(handed_out.already_exhausted(), "clones share the latch");
         assert!(handed_out.exhausted());
+    }
+
+    #[test]
+    fn peek_view_never_consumes_polls_or_latches() {
+        let b = RunBudget::unlimited().and_cancel(CancelToken::cancel_after_polls(2));
+        let peek = b.peek_view();
+        for _ in 0..10 {
+            assert!(!peek.exhausted(), "peeks must not advance the countdown");
+        }
+        assert!(!b.exhausted(), "first counted poll");
+        assert!(!peek.exhausted(), "no latch, no cancellation yet");
+        assert!(b.exhausted(), "second counted poll fires");
+        assert!(peek.exhausted(), "the peek view sees the shared latch");
+        assert!(b.already_exhausted());
+    }
+
+    #[test]
+    fn peek_view_sees_an_expired_deadline_without_latching() {
+        let b = RunBudget::with_deadline(Deadline::at(Instant::now() - Duration::from_millis(1)));
+        let peek = b.peek_view();
+        assert!(peek.exhausted());
+        assert!(!b.already_exhausted(), "peeks must not latch");
+        assert!(b.exhausted());
+        assert!(b.already_exhausted());
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!
 //! [`SimWidth`] is the runtime selector (`PDF_SIM_WIDTH` / `--sim-width`):
 //! `64`, `256`, `512`, or `auto`, which probes the CPU once and picks the
-//! widest tile the hardware executes natively.
+//! fastest tile — on AVX-512 parts via a one-block micro-calibration,
+//! because the widest native tile is not always the fastest one.
 
 use core::fmt;
 use core::str::FromStr;
@@ -242,15 +243,20 @@ impl SimWidth {
     /// All concrete widths, narrowest first.
     pub const ALL: [SimWidth; 3] = [SimWidth::W64, SimWidth::W256, SimWidth::W512];
 
-    /// The widest tile this CPU executes as native vector ops: 512 lanes
-    /// with AVX-512F, 256 with AVX2 (or on aarch64, where two NEON ops
-    /// per word still pay for the halved pass count), otherwise 64.
+    /// The fastest tile for this CPU: 256 lanes with AVX2, 64 without
+    /// (or 256 on aarch64, where two NEON ops per word still pay for the
+    /// halved pass count). With AVX-512F a one-block micro-calibration
+    /// decides between 256 and 512 — merely *supporting* 512-bit vectors
+    /// does not make them the fastest choice (license-based frequency
+    /// reduction loses to AVX2 on several parts), so the probe times the
+    /// actual plane arithmetic once per process and 256 wins ties.
     #[must_use]
     pub fn auto() -> SimWidth {
         #[cfg(target_arch = "x86_64")]
         {
             if std::arch::is_x86_feature_detected!("avx512f") {
-                return SimWidth::W512;
+                static PICK: std::sync::OnceLock<SimWidth> = std::sync::OnceLock::new();
+                return *PICK.get_or_init(calibrate_wide);
             }
             if std::arch::is_x86_feature_detected!("avx2") {
                 return SimWidth::W256;
@@ -311,6 +317,45 @@ impl SimWidth {
 impl fmt::Display for SimWidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Times one block of the kernel's plane arithmetic at 256 and 512 lanes
+/// and returns the faster width, preferring 256 on a tie. The block is a
+/// few hundred kilolanes of dependent AND/OR/NOT passes — microseconds of
+/// work, run once per process — so a part whose AVX-512 license clock
+/// makes the 8-word tile *slower* than AVX2 is caught instead of assumed
+/// fastest. Width never changes results, only throughput, so a noisy
+/// pick is a performance wobble, never a correctness hazard.
+#[cfg(target_arch = "x86_64")]
+fn calibrate_wide() -> SimWidth {
+    fn block<W: SimWord>() -> std::time::Duration {
+        // The same total lane count at every width: narrower tiles loop
+        // more. Two planes of 2^18 lanes stay comfortably in cache.
+        const TOTAL_LANES: usize = 1 << 18;
+        let n = TOTAL_LANES / W::LANES;
+        let mut p0 = vec![W::ONES; n];
+        let mut p1 = vec![W::low_lanes(W::LANES / 2 + 1); n];
+        let start = std::time::Instant::now();
+        for _pass in 0..16 {
+            for i in 0..n {
+                let a = p0[i];
+                let b = p1[i];
+                let g = a.and(b).or(a.not().and(b.not()));
+                p0[i] = g.or(b.not());
+                p1[i] = g.and(a).not();
+            }
+        }
+        std::hint::black_box((&p0, &p1));
+        start.elapsed()
+    }
+    // Warm both paths (page-in, vector-unit frequency ramp), then time.
+    let _ = (block::<[u64; 4]>(), block::<[u64; 8]>());
+    let (t256, t512) = (block::<[u64; 4]>(), block::<[u64; 8]>());
+    if t512 < t256 {
+        SimWidth::W512
+    } else {
+        SimWidth::W256
     }
 }
 

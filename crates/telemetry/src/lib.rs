@@ -117,6 +117,15 @@ pub mod counters {
     /// Lines visited but skipped by event-driven propagation because no
     /// fanin had changed.
     pub const LINES_SKIPPED: &str = "lines_skipped";
+    /// Generation rounds committed by the work-stealing session pool.
+    pub const POOL_ROUNDS: &str = "pool_rounds";
+    /// Jobs a pool worker claimed from another worker's deque. Schedule-
+    /// dependent by nature: diagnostic only, excluded from the
+    /// determinism contract.
+    pub const POOL_STEALS: &str = "pool_steals";
+    /// Speculative builds discarded at commit because an earlier test in
+    /// the same round already detected (or quarantined) their primary.
+    pub const POOL_BUILDS_DISCARDED: &str = "pool_builds_discarded";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -485,9 +494,15 @@ pub fn report() -> RunReport {
             children: node.children.iter().map(|&c| build(s, c)).collect(),
         }
     }
+    // Counters are stored in first-touch order, which worker threads make
+    // schedule-dependent; reports sort by name so equal runs serialize to
+    // equal documents regardless of thread interleaving.
+    let mut counters: Vec<(String, u64)> =
+        s.counters.iter().map(|&(k, v)| (k.to_owned(), v)).collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
     RunReport {
         spans: s.roots.iter().map(|&r| build(&s, r)).collect(),
-        counters: s.counters.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        counters,
     }
 }
 
