@@ -52,6 +52,8 @@ fn measure<R>(budget: &RunBudget, f: impl Fn() -> R) -> (f64, R) {
 }
 
 fn main() {
+    // Honor PDF_FAILPOINTS so chaos drills cover the bench binaries too.
+    pdf_chaos::install_from_env().unwrap_or_else(|e| panic!("{e}"));
     let _telemetry = pdf_telemetry::Guard::from_env();
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
     let n_p: usize = pdf_experiments::env_parse("PDF_BENCH_NP").unwrap_or(2_000);

@@ -52,6 +52,8 @@ fn measure(budget: &RunBudget, f: impl Fn() -> usize) -> (f64, usize) {
 }
 
 fn main() {
+    // Honor PDF_FAILPOINTS so chaos drills cover the bench binaries too.
+    pdf_chaos::install_from_env().unwrap_or_else(|e| panic!("{e}"));
     let _telemetry = pdf_telemetry::Guard::from_env();
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
     // Default workload: four full 512-lane blocks, so the widest tile is

@@ -79,6 +79,8 @@ fn reload<W: SimWord>(s: &pdf_bench::BenchSetup, tests: &TestSet) {
 }
 
 fn main() {
+    // Honor PDF_FAILPOINTS so chaos drills cover the bench binaries too.
+    pdf_chaos::install_from_env().unwrap_or_else(|e| panic!("{e}"));
     let circuit_name = std::env::var("PDF_BENCH_CIRCUIT").unwrap_or_else(|_| "s9234*".to_owned());
     let n_tests: usize = pdf_experiments::env_parse("PDF_BENCH_TESTS").unwrap_or(2048);
     let s = setup(&circuit_name, 2_000, 200);

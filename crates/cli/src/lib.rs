@@ -47,8 +47,10 @@ COMMANDS:
                         [--time-budget SPEC] [--checkpoint FILE]
                         [--checkpoint-every K] [--resume FILE] [--static-learning]
                         [--sim-width 64|256|512|auto] [--sim-events on|off]
-                        [--threads N]
-                                     generate a (optionally enriched) robust test set
+                        [--threads N] [--failpoints SPEC]
+                                     generate a (optionally enriched) robust test
+                                     set; exits 5 when --resume finds only
+                                     corrupt checkpoint generations
     matrix    [--cells N] [--circuits a,b] [--seeds s1,s2] [--full]
               [--report FILE] [--repro-dir DIR] [--replay FILE]
                                      cross-configuration invariant matrix
@@ -89,6 +91,16 @@ ENVIRONMENT:
     PDF_CHECKPOINT        checkpoint file for atpg (--checkpoint overrides)
     PDF_CHECKPOINT_EVERY  checkpoint after every K completed primary
                           targets (default 16; --checkpoint-every overrides)
+    PDF_FAILPOINTS        deterministic fault injection, a comma-separated
+                          `site:kind@N` list (--failpoints overrides), e.g.
+                          `checkpoint.write:torn@2,netlist.read:io@1`;
+                          sites: checkpoint.write, checkpoint.read,
+                          telemetry.flush, netlist.read, pool.build —
+                          kinds: io (transient), full (persistent),
+                          torn (silent truncation), panic
+    PDF_IO_RETRY          bounded retry for transient I/O errors, as
+                          `attempts[@backoff]` (default `3@1ms`, backoff
+                          doubles per attempt), e.g. `5@2ms`
     PDF_MATRIX_CELLS      matrix cell budget (default 200; --cells overrides)
     PDF_MATRIX_CIRCUITS   comma-separated circuit list for matrix
                           (--circuits overrides)
@@ -115,6 +127,10 @@ pub const EXIT_LINT: i32 = 3;
 /// Exit status when the configuration matrix finds invariant violations
 /// (or a replayed repro artifact still reproduces).
 pub const EXIT_MATRIX: i32 = 4;
+
+/// Exit status when `--resume` finds only corrupt checkpoint
+/// generations (typed [`pdf_atpg::CheckpointError::Corrupt`]).
+pub const EXIT_CORRUPT: i32 = 5;
 
 /// A fatal command error: a message for stderr plus the process exit
 /// status the binary should return.
@@ -239,7 +255,7 @@ fn resolve_netlist(spec: &str) -> Result<Netlist, CliError> {
     } else if let Some(profile) = pdf_netlist::stand_in_profile(spec) {
         return Ok(profile.generate());
     } else {
-        let text = std::fs::read_to_string(spec)
+        let text = read_netlist_text(spec)
             .map_err(|e| CliError::new(format!("cannot read `{spec}`: {e}")))?;
         let name = std::path::Path::new(spec)
             .file_stem()
@@ -252,6 +268,36 @@ fn resolve_netlist(spec: &str) -> Result<Netlist, CliError> {
     };
     pdf_netlist::parse_bench(&text, name)
         .map_err(|e| CliError::new(format!("embedded {name} netlist: {e}")))
+}
+
+/// `fs::read_to_string` behind the `netlist.read` failpoint site, with
+/// transient errors retried under the `PDF_IO_RETRY` policy.
+fn read_netlist_text(spec: &str) -> std::io::Result<String> {
+    let policy = pdf_chaos::RetryPolicy::from_env()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let (result, retries) = pdf_chaos::with_retry(&policy, || {
+        match pdf_chaos::evaluate(pdf_chaos::sites::NETLIST_READ) {
+            Some(injection) => {
+                pdf_telemetry::count(pdf_telemetry::counters::FAILPOINTS_HIT, 1);
+                match injection.error() {
+                    Some(error) => Err(error),
+                    None if injection == pdf_chaos::Injection::Panic => {
+                        panic!("injected failpoint {}", pdf_chaos::sites::NETLIST_READ)
+                    }
+                    None => {
+                        let mut text = std::fs::read_to_string(spec)?;
+                        text.truncate(injection.torn_len(text.len()));
+                        Ok(text)
+                    }
+                }
+            }
+            None => std::fs::read_to_string(spec),
+        }
+    });
+    if retries > 0 {
+        pdf_telemetry::count(pdf_telemetry::counters::IO_RETRIES, u64::from(retries));
+    }
+    result
 }
 
 /// Reduces a raw netlist to the combinational, parity-free form the path
@@ -570,10 +616,26 @@ fn run_control_from(options: &Options) -> Result<RunControl, CliError> {
         },
     };
     let resume = match options.value("resume") {
-        Some(path) => Some(
-            Checkpoint::load(std::path::Path::new(path))
-                .map_err(|e| CliError::new(format!("--resume: {e}")))?,
-        ),
+        Some(path) => {
+            let (checkpoint, recovered) =
+                Checkpoint::load_with_recovery(std::path::Path::new(path)).map_err(|e| {
+                    let code = match &e {
+                        pdf_atpg::CheckpointError::Corrupt { .. } => EXIT_CORRUPT,
+                        _ => EXIT_ERROR,
+                    };
+                    CliError {
+                        message: format!("--resume: {e}"),
+                        code,
+                    }
+                })?;
+            if recovered {
+                eprintln!(
+                    "note: --resume continued from checkpoint generation {}",
+                    checkpoint.generation
+                );
+            }
+            Some(checkpoint)
+        }
         None => None,
     };
     Ok(RunControl {
@@ -825,6 +887,14 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         pdf_atpg::DEFAULT_CONE_CACHE,
     )?;
     let threads = positive_with_env(options, "threads", "PDF_THREADS", 1)?;
+    // Installed before run control so an armed `checkpoint.read` entry
+    // already covers the --resume load. The PDF_FAILPOINTS twin was
+    // validated (and installed) at startup; the flag re-installs over it.
+    if let Some(spec_text) = options.value("failpoints") {
+        let spec = pdf_chaos::FailpointSpec::parse(spec_text)
+            .map_err(|e| CliError::new(format!("invalid value for --failpoints: {e}")))?;
+        pdf_chaos::install(&spec);
+    }
     let RunControl {
         budget_spec,
         checkpoint,
@@ -1045,6 +1115,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     // A bad simulation override must abort before any work happens,
     // whatever the command — not surface halfway through a generation run.
     let _ = sim_options_from_env()?;
+    // Same fail-fast contract for the chaos knobs: a malformed retry
+    // policy or failpoint spec aborts up front. A valid PDF_FAILPOINTS
+    // arms injection for every command (the atpg --failpoints flag
+    // re-installs over it).
+    let _ = pdf_chaos::RetryPolicy::from_env().map_err(CliError::new)?;
+    pdf_chaos::install_from_env().map_err(CliError::new)?;
     let _telemetry = pdf_telemetry::Guard::from_env();
     // The matrix command runs over its own circuit axis, not a single
     // circuit argument.
@@ -1113,6 +1189,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "sim-width",
                     "sim-events",
                     "threads",
+                    "failpoints",
                 ],
                 &["enrich", "minimize", "static-learning"],
             )?;
@@ -1296,6 +1373,88 @@ mod tests {
         .unwrap_err();
         assert!(foreign.message.contains("checkpoint"), "{foreign}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_a_corrupt_checkpoint_exits_with_the_corrupt_code() {
+        let path =
+            std::env::temp_dir().join(format!("pdf_cli_corrupt_{}.json", std::process::id()));
+        let file = path.to_str().unwrap();
+        run(&args(&[
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--seed",
+            "9",
+            "--checkpoint",
+            file,
+        ]))
+        .unwrap();
+        // Tear the surviving checkpoint and remove the previous
+        // generation, so recovery has nowhere to fall back to.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let _ = std::fs::remove_file(pdf_atpg::previous_generation_path(&path));
+        let e = run(&args(&[
+            "atpg", "s27", "--np0", "10", "--seed", "9", "--resume", file,
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_CORRUPT, "{e}");
+        assert!(e.message.contains("--resume"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atpg_rejects_a_malformed_failpoints_flag() {
+        let e = run(&args(&[
+            "atpg",
+            "s27",
+            "--failpoints",
+            "checkpoint.write:bogus@1",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("--failpoints"), "{e}");
+        let e = run(&args(&["atpg", "s27", "--failpoints", "nowhere:io@1"])).unwrap_err();
+        assert!(e.message.contains("--failpoints"), "{e}");
+    }
+
+    #[test]
+    fn healing_failpoints_do_not_change_atpg_output() {
+        let path = std::env::temp_dir().join(format!("pdf_cli_chaos_{}.json", std::process::id()));
+        let file = path.to_str().unwrap();
+        let clean = run(&args(&[
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--seed",
+            "9",
+            "--checkpoint",
+            file,
+        ]))
+        .unwrap();
+        let clean_bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(pdf_atpg::previous_generation_path(&path));
+        let chaos = run(&args(&[
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--seed",
+            "9",
+            "--checkpoint",
+            file,
+            "--failpoints",
+            "checkpoint.write:io@1",
+        ]));
+        pdf_chaos::clear();
+        let chaos_bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(pdf_atpg::previous_generation_path(&path));
+        assert_eq!(chaos.unwrap(), clean, "healed output must be identical");
+        assert_eq!(clean_bytes, chaos_bytes, "healed checkpoint must match");
     }
 
     #[test]

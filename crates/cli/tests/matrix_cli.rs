@@ -43,7 +43,7 @@ fn matrix_smoke_run_passes_and_reports_every_family() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("matrix: 8 cells"), "stdout: {stdout}");
-    for family in ["ident", "kmono", "resume", "learning"] {
+    for family in ["ident", "kmono", "resume", "learning", "chaos"] {
         assert!(stdout.contains(family), "missing {family}: {stdout}");
     }
 }
@@ -75,9 +75,11 @@ fn matrix_writes_a_parseable_report_file() {
         json.get("schema").and_then(pdf_telemetry::Json::as_str),
         Some("pdf-matrix-report")
     );
+    // 6 sampled cells land on 4 chaos cells whose clean twins are
+    // outside the sample; the runner appends the 4 twins.
     assert_eq!(
         json.get("cells").and_then(pdf_telemetry::Json::as_num),
-        Some(6.0)
+        Some(10.0)
     );
     assert!(matches!(
         json.get("passed"),

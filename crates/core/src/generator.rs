@@ -593,6 +593,10 @@ struct SessionState {
     last_checkpoint_at: usize,
     /// A checkpoint write already failed and was reported (warn once).
     checkpoint_warned: bool,
+    /// Generation of the last checkpoint written (or resumed from); the
+    /// next save stamps `generation + 1`. Save counts are deterministic
+    /// per configuration, so checkpoint bytes stay schedule-independent.
+    checkpoint_generation: u64,
 }
 
 /// Internal engine shared by both public procedures.
@@ -767,7 +771,17 @@ impl<'c> Build<'_, 'c, '_> {
             return run(&mut self.justifier);
         }
         let justifier = &mut self.justifier;
-        match catch_unwind(AssertUnwindSafe(|| run(justifier))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            // The `pool.build` failpoint, keyed by fault index: firing
+            // depends only on the key, never on the worker schedule, so
+            // an injected panic quarantines the same fault at every
+            // thread count. Feeds the regular quarantine path below.
+            if pdf_chaos::evaluate_keyed(pdf_chaos::sites::POOL_BUILD, i as u64).is_some() {
+                pdf_telemetry::count(pdf_telemetry::counters::FAILPOINTS_HIT, 1);
+                panic!("injected failpoint {}@{i}", pdf_chaos::sites::POOL_BUILD);
+            }
+            run(justifier)
+        })) {
             Ok(result) => result,
             Err(payload) => {
                 let message = pdf_sim::panic_message(payload.as_ref()).to_owned();
@@ -1021,6 +1035,7 @@ impl<'c, 'f> Session<'c, 'f> {
                 completed: 0,
                 last_checkpoint_at: 0,
                 checkpoint_warned: false,
+                checkpoint_generation: 0,
             },
         }
     }
@@ -1324,6 +1339,7 @@ fn apply_resume(
     state.aborted.copy_from_slice(&checkpoint.aborted);
     state.quarantined.copy_from_slice(&checkpoint.quarantined);
     state.completed = checkpoint.completed;
+    state.checkpoint_generation = checkpoint.generation;
     state.stats.aborted_primaries = checkpoint.counter("aborted_primaries") as usize;
     state.stats.secondary_accepts = checkpoint.counter("secondary_accepts") as usize;
     state.stats.free_accepts = checkpoint.counter("free_accepts") as usize;
@@ -1349,6 +1365,7 @@ fn write_checkpoint(
     };
     let checkpoint = Checkpoint {
         version: CHECKPOINT_VERSION,
+        generation: state.checkpoint_generation + 1,
         circuit: ctx.circuit.name().to_owned(),
         seed: ctx.config.seed,
         fingerprint: config_fingerprint(&ctx.config),
@@ -1401,6 +1418,7 @@ fn write_checkpoint(
     match checkpoint.save(&policy.path) {
         Ok(()) => {
             state.stats.checkpoints_written += 1;
+            state.checkpoint_generation += 1;
         }
         Err(e) => {
             if !state.checkpoint_warned {

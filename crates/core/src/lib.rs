@@ -63,8 +63,8 @@ pub use pdf_sim::{SimBackend, SimOptions, SimWidth};
 // Run control is part of the public generation API: `AtpgConfig` carries
 // a budget and a checkpoint policy, `run_resumed` consumes a checkpoint.
 pub use pdf_runctl::{
-    BudgetSpec, CancelToken, Checkpoint, CheckpointError, CheckpointPolicy, Deadline,
-    ParseBudgetError, RunBudget, DEFAULT_CHECKPOINT_EVERY,
+    previous_generation_path, BudgetSpec, CancelToken, Checkpoint, CheckpointError,
+    CheckpointPolicy, Deadline, ParseBudgetError, RunBudget, DEFAULT_CHECKPOINT_EVERY,
 };
 
 /// The most common imports, re-exported flat.

@@ -250,6 +250,69 @@ fn quarantined_fault_runs_match_serial() {
     }
 }
 
+/// Satellite: a `pool.build:panic@N` failpoint — keyed by fault index,
+/// so the schedule never decides whether it fires — must quarantine the
+/// same fault and leave identical counter totals at 1/2/4/8 threads.
+#[test]
+fn injected_pool_panic_quarantines_the_same_fault_at_every_thread_count() {
+    let _guard = TELEMETRY_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let c = pdf_netlist::iscas::s27();
+    let faults = faults_of(&c, 300);
+    // Not every fault reaches justification — many fall to an earlier
+    // test's simulation sweep first, and a failpoint on a swept fault
+    // never fires. Probe serially for the first index (>= 1, the keyed
+    // grammar's floor) whose justification actually runs.
+    let slot = (1..faults.len())
+        .find(|&s| {
+            let spec = pdf_chaos::FailpointSpec::parse(&format!("pool.build:panic@{s}")).unwrap();
+            pdf_chaos::install(&spec);
+            let outcome = BasicAtpg::new(&c)
+                .with_config(config(1, false))
+                .run(&faults);
+            pdf_chaos::clear();
+            outcome.quarantined()[s]
+        })
+        .expect("some fault must reach justification");
+    let spec = pdf_chaos::FailpointSpec::parse(&format!("pool.build:panic@{slot}")).unwrap();
+    let run_counters = |threads, force_steal| {
+        pdf_chaos::install(&spec);
+        let _ = pdf_telemetry::begin_recording();
+        let outcome = BasicAtpg::new(&c)
+            .with_config(config(threads, force_steal))
+            .run(&faults);
+        let report = pdf_telemetry::report();
+        pdf_telemetry::disable();
+        pdf_telemetry::reset();
+        pdf_chaos::clear();
+        let counters: Vec<(String, u64)> = report
+            .counters
+            .iter()
+            .filter(|(name, _)| name != "pool_steals")
+            .cloned()
+            .collect();
+        (outcome, counters)
+    };
+    let (reference, reference_counters) = run_counters(1, false);
+    assert!(reference.quarantined()[slot], "slot {slot}");
+    assert_eq!(reference.stats().faults_quarantined, 1);
+    let hits = reference_counters
+        .iter()
+        .find(|(name, _)| name == pdf_telemetry::counters::FAILPOINTS_HIT)
+        .map(|(_, v)| *v);
+    assert!(
+        hits.is_some_and(|v| v >= 1),
+        "the failpoint must fire: {reference_counters:?}"
+    );
+    for (threads, force_steal) in POOLED {
+        let label = format!("{threads} threads, force_steal={force_steal}");
+        let (pooled, counters) = run_counters(threads, force_steal);
+        assert_outcomes_identical(&reference, &pooled, &label);
+        assert_eq!(reference_counters, counters, "{label}: counter totals");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

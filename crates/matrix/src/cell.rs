@@ -85,6 +85,11 @@ pub struct CellConfig {
     /// never-exhausted budget must not perturb results — its polling is
     /// covered by the identity invariant.
     pub budget_minutes: Option<u64>,
+    /// Failpoint spec (`site:kind@N,...`) armed while the cell runs, or
+    /// `None` for a clean cell. Restricted to I/O fault kinds that must
+    /// heal (retry, recovery) — the chaos invariant compares every
+    /// injected cell byte-for-byte against its clean twin.
+    pub faults: Option<String>,
 }
 
 impl CellConfig {
@@ -105,6 +110,17 @@ impl CellConfig {
             threads: 1,
             seed: 2002,
             budget_minutes: None,
+            faults: None,
+        }
+    }
+
+    /// The cell's clean twin: the same configuration with no failpoints
+    /// armed. The chaos invariant groups by this twin's label.
+    #[must_use]
+    pub fn clean_twin(&self) -> CellConfig {
+        CellConfig {
+            faults: None,
+            ..self.clone()
         }
     }
 
@@ -121,7 +137,7 @@ impl CellConfig {
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{} {} {} k={} np={} np0={} learn={} {} t={} seed={} budget={}",
+            "{} {} {} k={} np={} np0={} learn={} {} t={} seed={} budget={} faults={}",
             self.circuit,
             self.sim_options().label(),
             self.compaction.label(),
@@ -134,6 +150,7 @@ impl CellConfig {
             self.seed,
             self.budget_minutes
                 .map_or("none".to_owned(), |m| format!("{m}m")),
+            self.faults.as_deref().unwrap_or("none"),
         )
     }
 
@@ -156,6 +173,10 @@ impl CellConfig {
             .field(
                 "budget_minutes",
                 self.budget_minutes.map_or(Json::Null, Json::from),
+            )
+            .field(
+                "faults",
+                self.faults.as_deref().map_or(Json::Null, Json::from),
             )
     }
 
@@ -184,6 +205,11 @@ impl CellConfig {
             seed: n("seed")? as u64,
             budget_minutes: match json.get("budget_minutes") {
                 Some(Json::Num(m)) => Some(*m as u64),
+                _ => None,
+            },
+            // Artifacts predating the faults axis replay clean.
+            faults: match json.get("faults") {
+                Some(Json::Str(spec)) => Some(spec.clone()),
                 _ => None,
             },
         })
@@ -227,6 +253,10 @@ pub struct MatrixAxes {
     pub seeds: Vec<u64>,
     /// Budget settings (minutes; `None` = unlimited).
     pub budgets: Vec<Option<u64>>,
+    /// Failpoint specs (`None` = clean). Only healing I/O kinds belong
+    /// here: every chaos cell must end up byte-identical to its clean
+    /// twin (panic-kind injection is covered by dedicated pool tests).
+    pub faults: Vec<Option<String>>,
 }
 
 impl MatrixAxes {
@@ -253,6 +283,13 @@ impl MatrixAxes {
             threads: vec![1, 4],
             seeds: vec![2002],
             budgets: vec![None, Some(10)],
+            // torn@2 never tears an only-generation checkpoint: the
+            // first save is good, so recovery always has a floor.
+            faults: vec![
+                None,
+                Some("checkpoint.write:torn@2".to_owned()),
+                Some("checkpoint.read:io@1".to_owned()),
+            ],
         }
     }
 
@@ -288,6 +325,12 @@ impl MatrixAxes {
             threads: vec![1, 2, 4, 8],
             seeds: vec![2002, 7],
             budgets: vec![None, Some(10)],
+            faults: vec![
+                None,
+                Some("checkpoint.write:torn@2".to_owned()),
+                Some("checkpoint.write:io@1".to_owned()),
+                Some("checkpoint.read:io@1".to_owned()),
+            ],
         }
     }
 
@@ -307,6 +350,7 @@ impl MatrixAxes {
             * self.threads.len()
             * self.seeds.len()
             * self.budgets.len()
+            * self.faults.len()
     }
 
     /// Decodes cell `index` of the cross-product (mixed-radix, circuit
@@ -327,6 +371,7 @@ impl MatrixAxes {
         // Fastest-varying axes first: throughput knobs, so neighboring
         // indices form identity groups and stride sampling spreads over
         // the semantic axes.
+        let faults = self.faults[take(self.faults.len())].clone();
         let threads = self.threads[take(self.threads.len())];
         let backend = self.backends[take(self.backends.len())];
         let width = self.widths[take(self.widths.len())];
@@ -354,6 +399,7 @@ impl MatrixAxes {
             threads,
             seed,
             budget_minutes,
+            faults,
         }
     }
 
@@ -486,8 +532,8 @@ pub fn run_cell(circuit: &Circuit, cell: &CellConfig) -> CellObservation {
         let _ = EnrichmentAtpg::new(circuit)
             .with_config(cancelled_config)
             .run(&split);
-        match Checkpoint::load(&path) {
-            Ok(checkpoint) => {
+        match Checkpoint::load_with_recovery(&path) {
+            Ok((checkpoint, _recovered)) => {
                 let resumed = EnrichmentAtpg::new(circuit)
                     .with_config(AtpgConfig {
                         budget: budget(),
@@ -505,6 +551,7 @@ pub fn run_cell(circuit: &Circuit, cell: &CellConfig) -> CellObservation {
             Err(e) => observation.error = Some(format!("checkpoint unreadable: {e}")),
         }
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(pdf_atpg::previous_generation_path(&path));
     }
 
     observation
@@ -518,7 +565,7 @@ mod tests {
     fn cross_product_decodes_every_index_exactly_once() {
         let axes = MatrixAxes::smoke();
         let count = axes.cell_count();
-        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2);
+        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 3);
         let mut labels: Vec<String> = (0..count).map(|i| axes.cell(i).label()).collect();
         labels.sort();
         labels.dedup();
@@ -547,6 +594,23 @@ mod tests {
             let cell = axes.cell(i);
             let back = CellConfig::from_json(&cell.to_json()).unwrap();
             assert_eq!(back, cell, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn chaos_cells_sit_next_to_their_clean_twin() {
+        let axes = MatrixAxes::smoke();
+        // The faults axis is the fastest-varying: indices 3j, 3j+1, 3j+2
+        // share every other coordinate, so sampled chaos cells pair with
+        // a nearby clean twin and the chaos checker has its reference.
+        for base in [0, 3, 33 * 3] {
+            let clean = axes.cell(base);
+            assert_eq!(clean.faults, None);
+            for offset in 1..3 {
+                let chaos = axes.cell(base + offset);
+                assert!(chaos.faults.is_some());
+                assert_eq!(chaos.clean_twin(), clean);
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Cross-cell invariant checkers.
 //!
 //! Each checker consumes the full observation list and yields
-//! [`Violation`]s naming the witnesses. The four families:
+//! [`Violation`]s naming the witnesses. The five families:
 //!
 //! * **ident** — cells that differ only in throughput axes (backend, tile
 //!   width, event propagation, an unexhausted budget, run mode) must
@@ -16,6 +16,9 @@
 //! * **learning** — static learning only removes proven-untestable faults:
 //!   the learning-off population must be a superset of the learning-on
 //!   population, and the off-only faults must go undetected.
+//! * **chaos** — a cell run under injected I/O faults (transient errors,
+//!   torn checkpoint writes) must heal through retries and recovery and
+//!   finish byte-identical to its clean twin, with no run-level error.
 
 use std::collections::BTreeMap;
 
@@ -34,18 +37,21 @@ pub enum Invariant {
     Resume,
     /// Learning removes only proven-untestable faults.
     Learning,
+    /// Injected I/O faults heal without changing results.
+    Chaos,
 }
 
 impl Invariant {
     /// All families, report order.
-    pub const ALL: [Invariant; 4] = [
+    pub const ALL: [Invariant; 5] = [
         Invariant::Ident,
         Invariant::KMonotonic,
         Invariant::Resume,
         Invariant::Learning,
+        Invariant::Chaos,
     ];
 
-    /// Stable lowercase label (`ident`/`kmono`/`resume`/`learning`).
+    /// Stable lowercase label (`ident`/`kmono`/`resume`/`learning`/`chaos`).
     #[must_use]
     pub const fn label(self) -> &'static str {
         match self {
@@ -53,6 +59,7 @@ impl Invariant {
             Invariant::KMonotonic => "kmono",
             Invariant::Resume => "resume",
             Invariant::Learning => "learning",
+            Invariant::Chaos => "chaos",
         }
     }
 
@@ -75,18 +82,26 @@ pub struct Violation {
     pub cells: Vec<CellConfig>,
 }
 
+/// The faults-axis component shared by every grouping key: cells under
+/// injected faults are compared by the dedicated chaos family, never
+/// pooled with clean cells.
+fn faults_component(c: &CellConfig) -> &str {
+    c.faults.as_deref().unwrap_or("none")
+}
+
 /// The grouping key for the identity family: everything that is allowed
 /// to change the results.
 fn ident_key(c: &CellConfig) -> String {
     format!(
-        "{}|{}|k={}|np={}|np0={}|learn={}|seed={}",
+        "{}|{}|k={}|np={}|np0={}|learn={}|seed={}|faults={}",
         c.circuit,
         c.compaction.label(),
         c.k,
         c.n_p,
         c.n_p0,
         c.learning,
-        c.seed
+        c.seed,
+        faults_component(c)
     )
 }
 
@@ -94,7 +109,7 @@ fn ident_key(c: &CellConfig) -> String {
 /// uncompacted cells by the caller.
 fn kmono_key(c: &CellConfig) -> String {
     format!(
-        "{}|{}|np={}|np0={}|learn={}|seed={}|{}|{}",
+        "{}|{}|np={}|np0={}|learn={}|seed={}|{}|{}|faults={}",
         c.circuit,
         c.compaction.label(),
         c.n_p,
@@ -102,7 +117,8 @@ fn kmono_key(c: &CellConfig) -> String {
         c.learning,
         c.seed,
         c.sim_options().label(),
-        c.run_mode.label()
+        c.run_mode.label(),
+        faults_component(c)
     )
 }
 
@@ -110,7 +126,7 @@ fn kmono_key(c: &CellConfig) -> String {
 /// switch.
 fn learning_key(c: &CellConfig) -> String {
     format!(
-        "{}|{}|k={}|np={}|np0={}|seed={}|{}|{}|budget={:?}",
+        "{}|{}|k={}|np={}|np0={}|seed={}|{}|{}|budget={:?}|faults={}",
         c.circuit,
         c.compaction.label(),
         c.k,
@@ -119,7 +135,8 @@ fn learning_key(c: &CellConfig) -> String {
         c.seed,
         c.sim_options().label(),
         c.run_mode.label(),
-        c.budget_minutes
+        c.budget_minutes,
+        faults_component(c)
     )
 }
 
@@ -308,12 +325,68 @@ pub fn check_learning(observations: &[CellObservation]) -> Vec<Violation> {
     violations
 }
 
-/// Runs all four families over the observations, report order.
+/// chaos: a cell run under injected I/O faults must finish without a
+/// run-level error and byte-match its clean twin (the observation whose
+/// config differs only by `faults: None`). The matrix restricts the
+/// faults axis to healing kinds — transient errors absorbed by retries
+/// and torn writes absorbed by previous-generation recovery — so any
+/// divergence means the durability machinery leaked into results.
+#[must_use]
+pub fn check_chaos(observations: &[CellObservation]) -> Vec<Violation> {
+    let mut clean: BTreeMap<String, &CellObservation> = BTreeMap::new();
+    for o in observations {
+        if o.config.faults.is_none() {
+            clean.insert(o.config.label(), o);
+        }
+    }
+    let mut violations = Vec::new();
+    for o in observations {
+        if o.config.faults.is_none() {
+            continue;
+        }
+        if let Some(error) = &o.error {
+            violations.push(Violation {
+                invariant: Invariant::Chaos,
+                detail: format!(
+                    "[{}]: injected faults caused a run-level error: {error}",
+                    o.config.label()
+                ),
+                cells: vec![o.config.clone()],
+            });
+            continue;
+        }
+        let Some(reference) = clean.get(&o.config.clean_twin().label()) else {
+            // The sampler did not land on the clean twin; nothing to
+            // compare against (the runner injects twins for sampled
+            // chaos cells, so this only happens for hand-built lists).
+            continue;
+        };
+        if o.tests_text != reference.tests_text || o.detected_total != reference.detected_total {
+            violations.push(Violation {
+                invariant: Invariant::Chaos,
+                detail: format!(
+                    "[{}]: results diverge from the clean twin under injected faults \
+                     ({} vs {} tests, {} vs {} detected)",
+                    o.config.label(),
+                    o.tests_text.lines().count(),
+                    reference.tests_text.lines().count(),
+                    o.detected_total,
+                    reference.detected_total
+                ),
+                cells: vec![reference.config.clone(), o.config.clone()],
+            });
+        }
+    }
+    violations
+}
+
+/// Runs all five families over the observations, report order.
 #[must_use]
 pub fn check_all(observations: &[CellObservation]) -> Vec<Violation> {
     let mut violations = check_ident(observations);
     violations.extend(check_kmono(observations));
     violations.extend(check_resume(observations));
     violations.extend(check_learning(observations));
+    violations.extend(check_chaos(observations));
     violations
 }

@@ -7,14 +7,17 @@
 //! and checkpoint/resume. Each knob is tested in isolation elsewhere; this
 //! crate tests their *products*. It enumerates the cross-product of axis
 //! values ([`MatrixAxes`]), runs every (sampled) cell through the shared
-//! generation session fanned out over worker threads, and checks four
+//! generation session fanned out over worker threads, and checks five
 //! cross-cell invariant families ([`invariants`]):
 //!
 //! * **ident** — throughput axes (backend × width × events × generous
 //!   budget × run mode) never change results,
 //! * **kmono** — uncompacted generation is independent of `k`,
 //! * **resume** — cancel + checkpoint + resume equals uninterrupted,
-//! * **learning** — static learning removes only proven-untestable faults.
+//! * **learning** — static learning removes only proven-untestable faults,
+//! * **chaos** — injected I/O faults ([`pdf_chaos`] failpoints on the
+//!   checkpoint path) heal through retries and previous-generation
+//!   recovery without changing a single result byte.
 //!
 //! Any failing cell is auto-minimized abi-cafe-style ([`minimize`]) into
 //! the smallest reproducing circuit + configuration, written as a
@@ -31,7 +34,8 @@ pub mod minimize;
 pub mod report;
 pub mod repro;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 use pdf_netlist::Circuit;
 use pdf_sim::par_chunk_map;
@@ -50,6 +54,34 @@ pub fn resolve_circuit(name: &str) -> Option<Circuit> {
         return Some(pdf_netlist::iscas::s27());
     }
     netlist_by_name(name).and_then(|n| n.to_circuit().ok())
+}
+
+/// The process-wide chaos gate: the failpoint registry is global, so a
+/// cell that arms failpoints takes the write side while clean cells run
+/// concurrently under the read side. Shared across every [`MatrixRunner`]
+/// in the process so concurrent in-process matrix runs cannot
+/// cross-contaminate either.
+fn chaos_gate() -> &'static RwLock<()> {
+    static GATE: OnceLock<RwLock<()>> = OnceLock::new();
+    GATE.get_or_init(|| RwLock::new(()))
+}
+
+/// Drop guard that disarms the failpoint registry even when the cell
+/// panics, so one poisoned chaos cell cannot leak failpoints into the
+/// rest of the matrix.
+struct ArmedFailpoints;
+
+impl ArmedFailpoints {
+    fn install(spec: &pdf_chaos::FailpointSpec) -> ArmedFailpoints {
+        pdf_chaos::install(spec);
+        ArmedFailpoints
+    }
+}
+
+impl Drop for ArmedFailpoints {
+    fn drop(&mut self) {
+        pdf_chaos::clear();
+    }
 }
 
 /// The matrix driver: axes, sampling bound, and the optional test-only
@@ -88,14 +120,58 @@ impl MatrixRunner {
         self
     }
 
-    /// The cells this runner would execute.
+    /// The cells this runner would execute. Stride sampling can land on
+    /// a chaos cell without its `faults: None` twin; the missing twins
+    /// are appended so the chaos family always has a clean reference.
     #[must_use]
     pub fn cells(&self) -> Vec<CellConfig> {
-        self.axes.cells(self.max_cells)
+        let mut cells = self.axes.cells(self.max_cells);
+        let mut seen: BTreeSet<String> = cells
+            .iter()
+            .filter(|c| c.faults.is_none())
+            .map(|c| c.label())
+            .collect();
+        let mut twins = Vec::new();
+        for cell in &cells {
+            if cell.faults.is_some() {
+                let twin = cell.clean_twin();
+                if seen.insert(twin.label()) {
+                    twins.push(twin);
+                }
+            }
+        }
+        cells.extend(twins);
+        cells
     }
 
     fn observe(&self, circuit: &Circuit, config: &CellConfig) -> CellObservation {
-        let mut observation = run_cell(circuit, config);
+        let mut observation = match &config.faults {
+            // The failpoint registry is process-global, so chaos cells
+            // serialize behind a write lock while clean cells share a
+            // read lock: workers still run clean cells concurrently, but
+            // no cell ever executes under another cell's failpoints.
+            Some(spec) => {
+                let _gate = chaos_gate().write().unwrap_or_else(PoisonError::into_inner);
+                match pdf_chaos::FailpointSpec::parse(spec) {
+                    Ok(spec) => {
+                        // The guard clears the registry (in reverse
+                        // declaration order) before the gate releases.
+                        let _armed = ArmedFailpoints::install(&spec);
+                        run_cell(circuit, config)
+                    }
+                    Err(error) => {
+                        let mut observation = run_cell(circuit, &config.clean_twin());
+                        observation.config = config.clone();
+                        observation.error = Some(format!("invalid faults axis: {error}"));
+                        observation
+                    }
+                }
+            }
+            None => {
+                let _gate = chaos_gate().read().unwrap_or_else(PoisonError::into_inner);
+                run_cell(circuit, config)
+            }
+        };
         if let Some(injection) = &self.injection {
             injection(config, &mut observation);
         }

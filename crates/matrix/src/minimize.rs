@@ -246,7 +246,8 @@ pub fn minimize(
     let default = CellConfig::default_cell();
     for i in 0..cells.len() {
         type Reset = fn(&mut CellConfig, &CellConfig);
-        let resets: [Reset; 10] = [
+        let resets: [Reset; 11] = [
+            |c, _| c.faults = None,
             |c, d| c.threads = d.threads,
             |c, d| c.events = d.events,
             |c, d| c.width = d.width,

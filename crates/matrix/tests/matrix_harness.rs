@@ -55,6 +55,7 @@ fn s27_axes() -> MatrixAxes {
         threads: vec![1, 2],
         seeds: vec![2002],
         budgets: vec![None, Some(10)],
+        faults: vec![None],
     }
 }
 
@@ -100,6 +101,7 @@ fn clean_b09_slice_passes_all_invariants() {
             threads: vec![1, 4],
             seeds: vec![2002],
             budgets: vec![None],
+            faults: vec![None],
         };
         let outcome = MatrixRunner::new(axes).run();
         let details: Vec<String> = outcome
@@ -131,6 +133,7 @@ fn corrupted_runner() -> MatrixRunner {
         threads: vec![1],
         seeds: vec![2002],
         budgets: vec![None],
+        faults: vec![None],
     };
     MatrixRunner::new(axes).with_injection(Arc::new(|config: &CellConfig, observation| {
         if config.backend == SimBackend::Scalar {
@@ -207,6 +210,85 @@ fn injected_failure_minimizes_to_a_deterministic_smallest_repro() {
     // the bug, not the harness.
     let clean = with_threads(None, || pdf_matrix::replay(&parsed).unwrap());
     assert!(clean.is_none());
+}
+
+/// A minimal chaos slice: checkpointed s27 cells under injected torn
+/// writes and transient read errors, next to their clean twins.
+fn chaos_axes() -> MatrixAxes {
+    MatrixAxes {
+        circuits: vec!["s27".to_owned()],
+        backends: vec![SimBackend::Scalar],
+        widths: vec![SimWidth::W64],
+        events: vec![true],
+        compactions: vec![pdf_atpg::Compaction::Uncompacted],
+        ks: vec![2],
+        n_ps: vec![300],
+        n_p0s: vec![10],
+        learnings: vec![false],
+        run_modes: vec![
+            RunMode::Direct,
+            RunMode::CheckpointResume {
+                cancel_after_polls: 5,
+            },
+        ],
+        threads: vec![1],
+        seeds: vec![2002],
+        budgets: vec![None],
+        faults: vec![
+            None,
+            Some("checkpoint.write:torn@2".to_owned()),
+            Some("checkpoint.read:io@1".to_owned()),
+        ],
+    }
+}
+
+#[test]
+fn chaos_cells_heal_and_match_their_clean_twin() {
+    with_threads(None, || {
+        let outcome = MatrixRunner::new(chaos_axes()).run();
+        assert_eq!(outcome.observations.len(), 6);
+        assert!(
+            outcome
+                .observations
+                .iter()
+                .any(|o| o.config.faults.is_some()),
+            "the faults axis must produce chaos cells"
+        );
+        let details: Vec<String> = outcome
+            .violations
+            .iter()
+            .map(|v| v.detail.clone())
+            .collect();
+        assert!(outcome.passed(), "violations: {details:#?}");
+    });
+}
+
+#[test]
+fn a_malformed_faults_spec_is_a_chaos_violation_not_a_panic() {
+    with_threads(None, || {
+        let mut axes = chaos_axes();
+        axes.run_modes = vec![RunMode::Direct];
+        axes.faults = vec![None, Some("checkpoint.write:bogus@0".to_owned())];
+        let outcome = MatrixRunner::new(axes).run();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::Chaos && v.detail.contains("invalid faults axis")));
+    });
+}
+
+#[test]
+fn sampled_chaos_cells_get_their_clean_twin_injected() {
+    let mut axes = chaos_axes();
+    // Order the axis so the first sampled cell is a chaos cell whose
+    // clean twin is outside the sample.
+    axes.faults = vec![Some("checkpoint.write:torn@2".to_owned()), None];
+    let runner = MatrixRunner::new(axes).with_max_cells(1);
+    let cells = runner.cells();
+    assert_eq!(cells.len(), 2, "the missing clean twin must be appended");
+    assert!(cells[0].faults.is_some());
+    assert_eq!(cells[1], cells[0].clean_twin());
 }
 
 #[test]

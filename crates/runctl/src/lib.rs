@@ -52,7 +52,7 @@ pub const DEFAULT_CHECKPOINT_EVERY: usize = 16;
 /// field is vestigial (per-build RNG streams are derived from the master
 /// seed and the fault index, so a boundary carries no RNG position) and
 /// resume ignores it.
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Deadline
@@ -457,19 +457,102 @@ fn parse_duration(text: &str) -> Result<Duration, String> {
 // Atomic writes
 // ---------------------------------------------------------------------------
 
-/// Writes `contents` to `path` atomically: the bytes land in a sibling
-/// temp file first and are moved into place with a rename, so a crash
-/// mid-write can never leave a half-written file at `path`.
+/// Writes `contents` to `path` atomically *and durably*: the bytes land
+/// in a sibling temp file first, the temp file is `fsync`ed, the rename
+/// moves it into place, and the parent directory is `fsync`ed so the
+/// rename itself survives a crash. A crash at any point leaves either
+/// the old file or the new file at `path`, never a half-written one.
 ///
 /// # Errors
 ///
 /// Propagates the underlying filesystem errors.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+fn write_atomic_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    fs::write(&tmp, contents)?;
-    fs::rename(&tmp, path)
+    {
+        let mut file = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, contents)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Flushes the directory entry of `path` so a completed rename is
+/// durable. Platforms that refuse to open or sync directories (Windows)
+/// are forgiven: the rename is still atomic, just not yet durable.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match fs::File::open(parent) {
+        Ok(dir) => match dir.sync_all() {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(_) => Ok(()),
+    }
+}
+
+/// [`write_atomic`] behind the `checkpoint.write` failpoint site: an
+/// armed `io`/`full` entry fails the write, a `torn` entry writes only a
+/// deterministic prefix and reports success (the modeled silent
+/// corruption the checkpoint CRC exists to catch).
+fn write_checkpoint_file(path: &Path, contents: &str) -> io::Result<()> {
+    match pdf_chaos::evaluate(pdf_chaos::sites::CHECKPOINT_WRITE) {
+        Some(injection) => {
+            pdf_telemetry::count(counters::FAILPOINTS_HIT, 1);
+            match injection.error() {
+                Some(error) => Err(error),
+                None if injection == pdf_chaos::Injection::Panic => {
+                    panic!("injected failpoint {}", pdf_chaos::sites::CHECKPOINT_WRITE)
+                }
+                None => {
+                    let torn = injection.torn_len(contents.len());
+                    write_atomic_bytes(path, &contents.as_bytes()[..torn])
+                }
+            }
+        }
+        None => write_atomic(path, contents),
+    }
+}
+
+/// `fs::read_to_string` behind the `checkpoint.read` failpoint site; a
+/// `torn` entry truncates the text it returns (a partial read).
+fn read_checkpoint_file(path: &Path) -> io::Result<String> {
+    match pdf_chaos::evaluate(pdf_chaos::sites::CHECKPOINT_READ) {
+        Some(injection) => {
+            pdf_telemetry::count(counters::FAILPOINTS_HIT, 1);
+            match injection.error() {
+                Some(error) => Err(error),
+                None if injection == pdf_chaos::Injection::Panic => {
+                    panic!("injected failpoint {}", pdf_chaos::sites::CHECKPOINT_READ)
+                }
+                None => {
+                    let mut text = fs::read_to_string(path)?;
+                    text.truncate(injection.torn_len(text.len()));
+                    Ok(text)
+                }
+            }
+        }
+        None => fs::read_to_string(path),
+    }
+}
+
+/// The retry policy for checkpoint I/O, surfaced as a checkpoint error
+/// when `PDF_IO_RETRY` is malformed.
+fn io_retry_policy(path: &Path) -> Result<pdf_chaos::RetryPolicy, CheckpointError> {
+    pdf_chaos::RetryPolicy::from_env().map_err(|message| CheckpointError::Io {
+        path: path.to_owned(),
+        source: io::Error::new(io::ErrorKind::InvalidInput, message),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -534,8 +617,19 @@ pub enum CheckpointError {
         /// The underlying error.
         source: io::Error,
     },
-    /// The file is not valid JSON.
-    Json(String),
+    /// The file is torn, truncated, or bit-rotted: either the JSON text
+    /// breaks off mid-document or the stored CRC64 does not match the
+    /// recomputed one. Recovery falls back one generation (see
+    /// [`Checkpoint::load_with_recovery`]).
+    Corrupt {
+        /// Byte offset of the damage: where the JSON text became
+        /// unparseable, or the position of the stored checksum field.
+        offset: usize,
+        /// The recomputed CRC64 (0 when the text never parsed).
+        expected: u64,
+        /// The CRC64 found in the file (0 when the text never parsed).
+        found: u64,
+    },
     /// The JSON is well-formed but not a valid checkpoint.
     Schema(String),
     /// The checkpoint was written by an incompatible format version.
@@ -551,7 +645,21 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io { path, source } => {
                 write!(f, "checkpoint {}: {source}", path.display())
             }
-            CheckpointError::Json(m) => write!(f, "checkpoint is not valid JSON: {m}"),
+            CheckpointError::Corrupt {
+                offset,
+                expected,
+                found,
+            } => {
+                if *expected == 0 && *found == 0 {
+                    write!(f, "checkpoint is corrupt: truncated at byte {offset}")
+                } else {
+                    write!(
+                        f,
+                        "checkpoint is corrupt: checksum mismatch at byte {offset} \
+                         (expected {expected:016x}, found {found:016x})"
+                    )
+                }
+            }
             CheckpointError::Schema(m) => write!(f, "checkpoint schema: {m}"),
             CheckpointError::Version { found } => write!(
                 f,
@@ -582,6 +690,10 @@ impl std::error::Error for CheckpointError {
 pub struct Checkpoint {
     /// Format version ([`CHECKPOINT_VERSION`]).
     pub version: u32,
+    /// Monotonic save counter of the producing run: each save writes
+    /// generation `g+1` and rotates generation `g` to the `.prev`
+    /// sibling, so recovery can fall back exactly one generation.
+    pub generation: u64,
     /// Circuit name the run targeted.
     pub circuit: String,
     /// Master seed of the run.
@@ -620,9 +732,18 @@ impl Checkpoint {
             .map_or(0, |(_, v)| *v)
     }
 
-    /// Serializes to pretty-printed JSON.
+    /// Serializes to pretty-printed JSON with an embedded CRC64: the
+    /// document is rendered once with the checksum field zeroed, the
+    /// CRC64 of that text becomes the field value, and the document is
+    /// rendered again. Verification re-zeroes and recomputes, which
+    /// works because the JSON writer is print/parse byte-stable.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let zeroed = self.render(CRC_PLACEHOLDER);
+        self.render(&hex(crc64(zeroed.as_bytes())))
+    }
+
+    fn render(&self, crc_text: &str) -> String {
         let counters = self
             .counters
             .iter()
@@ -630,6 +751,8 @@ impl Checkpoint {
         Json::object()
             .field("format", "path-delay-atpg checkpoint")
             .field("version", self.version)
+            .field("generation", self.generation)
+            .field("crc64", crc_text)
             .field("circuit", self.circuit.as_str())
             .field("seed", hex(self.seed).as_str())
             .field("fingerprint", self.fingerprint.as_str())
@@ -657,20 +780,25 @@ impl Checkpoint {
             .to_pretty()
     }
 
-    /// Parses a checkpoint from JSON text.
+    /// Parses and verifies a checkpoint from JSON text.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::Json`] for malformed JSON,
-    /// [`CheckpointError::Version`] for an unsupported format version,
-    /// and [`CheckpointError::Schema`] for everything else that does not
-    /// look like a checkpoint.
+    /// [`CheckpointError::Corrupt`] for torn/truncated text or a CRC64
+    /// mismatch, [`CheckpointError::Version`] for an unsupported format
+    /// version, and [`CheckpointError::Schema`] for everything else that
+    /// does not look like a checkpoint.
     pub fn from_json(text: &str) -> Result<Checkpoint, CheckpointError> {
-        let json = Json::parse(text).map_err(|e| CheckpointError::Json(e.to_string()))?;
+        let json = Json::parse(text).map_err(|e| CheckpointError::Corrupt {
+            offset: e.offset,
+            expected: 0,
+            found: 0,
+        })?;
         let version = get_num(&json, "version")? as u32;
         if version != CHECKPOINT_VERSION {
             return Err(CheckpointError::Version { found: version });
         }
+        let found_crc = parse_hex(get_str(&json, "crc64")?, "crc64")?;
         let counters = match json.get("counters") {
             Some(Json::Obj(fields)) => fields
                 .iter()
@@ -687,8 +815,9 @@ impl Checkpoint {
             Some(Json::Bool(b)) => *b,
             _ => return Err(CheckpointError::Schema("missing `complete` flag".into())),
         };
-        Ok(Checkpoint {
+        let checkpoint = Checkpoint {
             version,
+            generation: get_num(&json, "generation")? as u64,
             circuit: get_str(&json, "circuit")?.to_owned(),
             seed: parse_hex(get_str(&json, "seed")?, "seed")?,
             fingerprint: get_str(&json, "fingerprint")?.to_owned(),
@@ -715,26 +844,51 @@ impl Checkpoint {
                 .collect::<Result<Vec<_>, _>>()?,
             counters,
             complete,
-        })
+        };
+        let expected = crc64(checkpoint.render(CRC_PLACEHOLDER).as_bytes());
+        if expected != found_crc {
+            return Err(CheckpointError::Corrupt {
+                offset: text.find("\"crc64\"").unwrap_or(0),
+                expected,
+                found: found_crc,
+            });
+        }
+        Ok(checkpoint)
     }
 
-    /// Writes the checkpoint to `path` atomically, under a `runctl`
-    /// telemetry span, counting `checkpoints_written`.
+    /// Writes the checkpoint to `path` atomically and durably, under a
+    /// `runctl` telemetry span, counting `checkpoints_written`. An
+    /// existing file at `path` is first rotated to the `.prev` sibling
+    /// (the previous-good generation recovery falls back to), and
+    /// transient write errors are retried under the `PDF_IO_RETRY`
+    /// policy.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] when the filesystem refuses.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         let _span = pdf_telemetry::Span::enter("runctl");
-        write_atomic(path, &self.to_json()).map_err(|source| CheckpointError::Io {
+        let io_error = |source| CheckpointError::Io {
             path: path.to_owned(),
             source,
-        })?;
+        };
+        let policy = io_retry_policy(path)?;
+        if path.exists() {
+            fs::rename(path, previous_generation_path(path)).map_err(io_error)?;
+        }
+        let text = self.to_json();
+        let (result, retries) =
+            pdf_chaos::with_retry(&policy, || write_checkpoint_file(path, &text));
+        if retries > 0 {
+            pdf_telemetry::count(counters::IO_RETRIES, u64::from(retries));
+        }
+        result.map_err(io_error)?;
         pdf_telemetry::count(counters::CHECKPOINTS_WRITTEN, 1);
         Ok(())
     }
 
-    /// Reads and parses a checkpoint file.
+    /// Reads, parses, and CRC-verifies a checkpoint file, retrying
+    /// transient read errors under the `PDF_IO_RETRY` policy.
     ///
     /// # Errors
     ///
@@ -742,12 +896,87 @@ impl Checkpoint {
     /// the [`Checkpoint::from_json`] errors.
     pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
         let _span = pdf_telemetry::Span::enter("runctl");
-        let text = fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+        let policy = io_retry_policy(path)?;
+        let (result, retries) = pdf_chaos::with_retry(&policy, || read_checkpoint_file(path));
+        if retries > 0 {
+            pdf_telemetry::count(counters::IO_RETRIES, u64::from(retries));
+        }
+        let text = result.map_err(|source| CheckpointError::Io {
             path: path.to_owned(),
             source,
         })?;
         Checkpoint::from_json(&text)
     }
+
+    /// Loads `path`, falling back one generation when the current file
+    /// is corrupt or missing: a torn write (or a crash in the rotate →
+    /// write window) leaves the `.prev` sibling as the newest good
+    /// snapshot. Returns the checkpoint and whether the fallback was
+    /// taken (counted as `checkpoint_recoveries`).
+    ///
+    /// # Errors
+    ///
+    /// The *primary* load error when the fallback also fails — the
+    /// current file's diagnosis is the one worth reporting.
+    pub fn load_with_recovery(path: &Path) -> Result<(Checkpoint, bool), CheckpointError> {
+        let primary = match Checkpoint::load(path) {
+            Ok(checkpoint) => return Ok((checkpoint, false)),
+            Err(error) => error,
+        };
+        let recoverable = match &primary {
+            CheckpointError::Corrupt { .. } => true,
+            // The crash window between the rotate and the write leaves
+            // no current file at all — `.prev` is the newest good state.
+            CheckpointError::Io { source, .. } => source.kind() == io::ErrorKind::NotFound,
+            _ => false,
+        };
+        if !recoverable {
+            return Err(primary);
+        }
+        match Checkpoint::load(&previous_generation_path(path)) {
+            Ok(checkpoint) => {
+                pdf_telemetry::count(counters::CHECKPOINT_RECOVERIES, 1);
+                eprintln!(
+                    "warning: checkpoint {} unusable ({primary}); \
+                     recovered generation {} from the previous-good snapshot",
+                    path.display(),
+                    checkpoint.generation
+                );
+                Ok((checkpoint, true))
+            }
+            Err(_) => Err(primary),
+        }
+    }
+}
+
+/// The `.prev` sibling holding the previous-good checkpoint generation.
+#[must_use]
+pub fn previous_generation_path(path: &Path) -> PathBuf {
+    let mut prev = path.as_os_str().to_owned();
+    prev.push(".prev");
+    PathBuf::from(prev)
+}
+
+/// Zero-value checksum text the CRC64 is computed over.
+const CRC_PLACEHOLDER: &str = "0000000000000000";
+
+/// CRC-64 (ECMA-182 polynomial, reflected, bitwise). Checkpoints are a
+/// few kilobytes at most; a table-driven kernel would be noise.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut crc = !0u64;
+    for &byte in bytes {
+        crc ^= u64::from(byte);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
 }
 
 /// `u64` values (seed, RNG state) travel as hex strings: the JSON number
@@ -948,6 +1177,7 @@ mod tests {
     fn sample() -> Checkpoint {
         Checkpoint {
             version: CHECKPOINT_VERSION,
+            generation: 4,
             circuit: "s27".to_owned(),
             seed: u64::MAX - 12,
             fingerprint: "arbit:regen:1:packed".to_owned(),
@@ -980,7 +1210,11 @@ mod tests {
     fn checkpoint_rejects_bad_inputs() {
         assert!(matches!(
             Checkpoint::from_json("not json"),
-            Err(CheckpointError::Json(_))
+            Err(CheckpointError::Corrupt {
+                expected: 0,
+                found: 0,
+                ..
+            })
         ));
         assert!(matches!(
             Checkpoint::from_json("{\"version\": 99}"),
@@ -996,6 +1230,27 @@ mod tests {
     }
 
     #[test]
+    fn checksum_mismatch_is_a_typed_corruption() {
+        // Flip one payload bit without breaking the JSON text: the parse
+        // succeeds, the CRC verdict must not.
+        let text = sample()
+            .to_json()
+            .replace("\"completed\": 2", "\"completed\": 3");
+        match Checkpoint::from_json(&text) {
+            Err(CheckpointError::Corrupt {
+                offset,
+                expected,
+                found,
+            }) => {
+                assert_ne!(expected, found);
+                assert_ne!(expected, 0);
+                assert_eq!(offset, text.find("\"crc64\"").unwrap());
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn save_is_atomic_and_load_round_trips() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("pdf_runctl_ck_{}.json", std::process::id()));
@@ -1006,10 +1261,35 @@ mod tests {
         assert!(!Path::new(&tmp).exists(), "temp file must be renamed away");
         assert_eq!(Checkpoint::load(&path).unwrap(), cp);
         std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(previous_generation_path(&path));
         assert!(matches!(
             Checkpoint::load(&path),
             Err(CheckpointError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn save_rotates_the_previous_generation() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pdf_runctl_rot_{}.json", std::process::id()));
+        let prev = previous_generation_path(&path);
+        let mut first = sample();
+        first.generation = 1;
+        let mut second = sample();
+        second.generation = 2;
+        first.save(&path).unwrap();
+        assert!(!prev.exists(), "first save has nothing to rotate");
+        second.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), second);
+        assert_eq!(Checkpoint::load(&prev).unwrap(), first);
+        let (recovered, fell_back) = Checkpoint::load_with_recovery(&path).unwrap();
+        assert_eq!((recovered, fell_back), (second.clone(), false));
+        // Crash window: rotate happened, write did not.
+        std::fs::remove_file(&path).unwrap();
+        let (recovered, fell_back) = Checkpoint::load_with_recovery(&path).unwrap();
+        assert_eq!((recovered, fell_back), (first, true));
+        std::fs::remove_file(&prev).unwrap();
+        assert!(Checkpoint::load_with_recovery(&path).is_err());
     }
 
     #[test]

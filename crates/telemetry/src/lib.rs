@@ -126,6 +126,12 @@ pub mod counters {
     /// Speculative builds discarded at commit because an earlier test in
     /// the same round already detected (or quarantined) their primary.
     pub const POOL_BUILDS_DISCARDED: &str = "pool_builds_discarded";
+    /// Failpoint evaluations that fired an injected fault (pdf-chaos).
+    pub const FAILPOINTS_HIT: &str = "failpoints_hit";
+    /// Transient I/O errors healed by the bounded retry loop.
+    pub const IO_RETRIES: &str = "io_retries";
+    /// Checkpoint loads that fell back to the previous-good generation.
+    pub const CHECKPOINT_RECOVERIES: &str = "checkpoint_recoveries";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -470,13 +476,37 @@ impl RunReport {
         Ok(RunReport { spans, counters })
     }
 
-    /// Writes the JSON report to `path`.
+    /// Writes the JSON report to `path` through the `telemetry.flush`
+    /// failpoint site, retrying transient errors under the `PDF_IO_RETRY`
+    /// policy. The retry count lands in the `io_retries` counter — the
+    /// *next* report, since this one is already snapshotted.
     ///
     /// # Errors
     ///
-    /// Propagates the I/O error on failure.
+    /// Propagates the I/O error on failure (after retries).
     pub fn write(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let policy = pdf_chaos::RetryPolicy::from_env()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let text = self.to_json();
+        let (result, retries) = pdf_chaos::with_retry(&policy, || {
+            match pdf_chaos::evaluate(pdf_chaos::sites::TELEMETRY_FLUSH) {
+                Some(injection) => {
+                    count(counters::FAILPOINTS_HIT, 1);
+                    match injection.error() {
+                        Some(error) => Err(error),
+                        None if injection == pdf_chaos::Injection::Panic => {
+                            panic!("injected failpoint {}", pdf_chaos::sites::TELEMETRY_FLUSH)
+                        }
+                        None => std::fs::write(path, &text[..injection.torn_len(text.len())]),
+                    }
+                }
+                None => std::fs::write(path, &text),
+            }
+        });
+        if retries > 0 {
+            count(counters::IO_RETRIES, u64::from(retries));
+        }
+        result
     }
 }
 
