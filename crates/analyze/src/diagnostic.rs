@@ -29,6 +29,14 @@ pub mod codes {
     pub const EMPTY_CONE: &str = "PDL006";
     /// Implication conflict (contradictory value requirements on a line).
     pub const CONFLICT: &str = "PDL007";
+    /// Statically constant line (its steady-state value is provably fixed).
+    pub const CONSTANT: &str = "PDL008";
+    /// Never-sensitizable gate fanin edge (a sibling input is constant at
+    /// the gate's controlling value).
+    pub const UNSENSITIZABLE_EDGE: &str = "PDL009";
+    /// Reconvergence masking (a gate directly joins two fanout branches
+    /// of one stem, so its side inputs cannot be set independently).
+    pub const RECONVERGENCE: &str = "PDL010";
 }
 
 /// How serious a diagnostic is.

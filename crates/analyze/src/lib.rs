@@ -19,6 +19,15 @@
 //!   justification spend any budget. Toggled by `PDF_STATIC_LEARNING`
 //!   ([`static_learning_from_env`]); off by default, and byte-identical
 //!   outputs are guaranteed when off.
+//! * **Path sensitizability** ([`classify_store`]) statically sorts every
+//!   candidate path delay fault into *false* / *robust* / *unknown*
+//!   without enumerating tests; the false verdicts pre-eliminate faults
+//!   through [`FaultList::build_with_filter`](pdf_faults::FaultList::build_with_filter)
+//!   and power the semantic lints `PDL008`–`PDL010` ([`lint_semantic`]).
+//!   Toggled by `PDF_SENSITIZE` ([`sensitize_from_env`]).
+//! * **SCOAP testability** ([`Testability`]) computes `CC0`/`CC1`/`CO` in
+//!   two topological sweeps to order guided-search branching and fault
+//!   selection. Toggled by `PDF_SCOAP` ([`scoap_from_env`]).
 //!
 //! # Example
 //!
@@ -48,9 +57,16 @@
 mod diagnostic;
 mod learning;
 mod lint;
+mod sensitize;
+mod testability;
 
 pub use diagnostic::{codes, Diagnostic, Severity};
 pub use learning::{
     learn_implications, learn_implications_with_cap, static_learning_from_env, DEFAULT_SPLIT_CAP,
 };
 pub use lint::{lint_circuit, lint_netlist, LintMode, LintReport};
+pub use sensitize::{
+    classify_store, classify_store_with, constant_lines, lint_semantic, sensitize_from_env,
+    ConstantLine, SensitizeAnalysis, SensitizeStats, DEFAULT_SENSITIZE_SPLIT_CAP,
+};
+pub use testability::{scoap_from_env, Testability};

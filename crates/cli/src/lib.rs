@@ -10,15 +10,19 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use pdf_analyze::{Diagnostic, LintMode, LintReport};
+use pdf_analyze::{
+    classify_store, constant_lines, lint_semantic, Diagnostic, LintMode, LintReport,
+    SensitizeAnalysis, Testability,
+};
 use pdf_atpg::{
-    AtpgConfig, BasicAtpg, BudgetSpec, Checkpoint, CheckpointPolicy, Compaction, EnrichmentAtpg,
-    RunBudget, TargetSplit,
+    AtpgConfig, BasicAtpg, BranchGuide, BudgetSpec, Checkpoint, CheckpointPolicy, Compaction,
+    EnrichmentAtpg, RunBudget, TargetSplit,
 };
 use pdf_faults::{FaultList, LearnedImplications};
 use pdf_logic::Value;
 use pdf_netlist::{Circuit, LineKind, Netlist, TwoPattern};
-use pdf_paths::{PathEnumerator, PathSpectrum, Strategy};
+use pdf_paths::{PathEnumerator, PathSpectrum, PathStore, Strategy};
+use pdf_telemetry::Json;
 
 /// The command-line usage text.
 pub const USAGE: &str = "\
@@ -34,18 +38,26 @@ CIRCUIT:
 
 COMMANDS:
     info      <circuit>              structural summary
-    lint      <circuit>              structural diagnostics (PDLxxx codes);
-                                     exits 3 when errors are found
+    lint      <circuit>              structural and semantic diagnostics
+                                     (PDLxxx codes); exits 3 when errors
+                                     are found
+    analyze   <circuit> [--cap N] [--static-learning]
+                                     JSON testability report: exact path
+                                     spectrum, SCOAP difficulty, per-path
+                                     sensitizability classification
+                                     (false / robust / unknown), constant
+                                     lines and semantic lint counts
     spectrum  <circuit> [--top N]    exact path counts per length (no enumeration)
     paths     <circuit> [--cap N] [--units N] [--strategy moderate|distance]
                                      enumerate the longest paths
-    faults    <circuit> [--cap N] [--limit N] [--static-learning]
+    faults    <circuit> [--cap N] [--limit N] [--static-learning] [--sensitize]
                                      the detectable fault population and A(p) sets
     atpg      <circuit> [--cap N] [--np0 N] [--heuristic uncomp|arbit|length|values]
                         [--seed S] [--attempts N] [--cone-cache N] [--enrich]
                         [--minimize] [--output FILE] [--telemetry FILE]
                         [--time-budget SPEC] [--checkpoint FILE]
                         [--checkpoint-every K] [--resume FILE] [--static-learning]
+                        [--sensitize] [--scoap]
                         [--sim-width 64|256|512|auto] [--sim-events on|off]
                         [--threads N] [--failpoints SPEC]
                                      generate a (optionally enriched) robust test
@@ -82,6 +94,19 @@ ENVIRONMENT:
                           the faults and atpg commands (same as
                           --static-learning; default off — outputs are
                           byte-identical to runs without the feature)
+    PDF_SENSITIZE         `1`/`on` enables the static sensitizability pass
+                          for the faults and atpg commands: provably
+                          unsensitizable (false) path faults are
+                          pre-eliminated before generation, and the
+                          semantic lints (PDL008+) join the automatic
+                          preflight (same as --sensitize; default off —
+                          outputs are byte-identical to runs without it)
+    PDF_SCOAP             `1`/`on` enables SCOAP testability guidance for
+                          atpg: branch decisions target the hardest open
+                          input first and primary targets are ordered
+                          hardest-first (same as --scoap; default off;
+                          the run stays deterministic and the config
+                          fingerprint records the mode)
     PDF_TELEMETRY         path of a JSON run report written at exit
                           (--telemetry overrides it for the atpg command)
     PDF_TIME_BUDGET       wall-clock budget for atpg, e.g. `30s` or
@@ -354,6 +379,13 @@ pub fn load_circuit(spec: &str, notes: &mut String) -> Result<Circuit, CliError>
     }
     let mut report = netlist_report;
     report.extend(pdf_analyze::lint_circuit(&circuit));
+    // The semantic (value-level) lints join the automatic preflight only
+    // when the sensitizability pass is enabled, so default runs keep
+    // byte-identical stderr. Their findings are warnings: the deny mode
+    // reports them without aborting.
+    if env_switch("PDF_SENSITIZE")?.unwrap_or(false) {
+        report.extend(lint_semantic(&circuit));
+    }
     if report.is_clean() {
         return Ok(circuit);
     }
@@ -391,7 +423,12 @@ pub fn cmd_lint(spec: &str) -> Result<String, CliError> {
     // itself can fail, which surfaces as a typed diagnostic — combined
     // with whatever the netlist pass already found, not instead of it.
     match normalize_netlist(spec, netlist, &mut notes) {
-        Ok(circuit) => report.extend(pdf_analyze::lint_circuit(&circuit)),
+        // The explicit lint command always runs the semantic pass too —
+        // it exists to surface everything the analyses can prove.
+        Ok(circuit) => {
+            report.extend(pdf_analyze::lint_circuit(&circuit));
+            report.extend(lint_semantic(&circuit));
+        }
         Err(e) => {
             let mut message = String::new();
             for d in report.iter() {
@@ -510,18 +547,61 @@ fn learned_table(circuit: &Circuit, options: &Options) -> Option<LearnedImplicat
     static_learning_requested(options).then(|| pdf_analyze::learn_implications(circuit))
 }
 
+/// Classifies the enumerated paths when the sensitizability pass was
+/// requested (by `--sensitize` or `PDF_SENSITIZE`); `None` keeps the
+/// plain, byte-identical behavior.
+fn sensitize_analysis(
+    circuit: &Circuit,
+    store: &PathStore,
+    learned: Option<&LearnedImplications>,
+    options: &Options,
+) -> Result<Option<SensitizeAnalysis>, CliError> {
+    Ok(switch_with_env(options, "sensitize", "PDF_SENSITIZE")?
+        .then(|| classify_store(circuit, store, pdf_faults::Sensitization::Robust, learned)))
+}
+
+/// Builds the fault list, pre-eliminating provably false faults when a
+/// sensitizability analysis is present.
+fn build_faults(
+    circuit: &Circuit,
+    store: &PathStore,
+    learned: Option<&LearnedImplications>,
+    analysis: Option<&SensitizeAnalysis>,
+) -> (FaultList, pdf_faults::FaultListStats) {
+    match analysis {
+        Some(a) => FaultList::build_with_filter(
+            circuit,
+            store,
+            pdf_faults::Sensitization::Robust,
+            learned,
+            Some(&|i, p| a.is_false(i, p)),
+        ),
+        None => FaultList::build_with_learned(
+            circuit,
+            store,
+            pdf_faults::Sensitization::Robust,
+            learned,
+        ),
+    }
+}
+
+/// The `faults`/`atpg` note summarizing one sensitizability pass.
+fn sensitize_note(analysis: &SensitizeAnalysis, eliminated: usize) -> String {
+    let counts = analysis.class_counts();
+    format!(
+        "sensitizability: {} paths ({} false, {} robust, {} unknown); {} faults pre-eliminated",
+        analysis.stats.paths, counts.false_paths, counts.robust, counts.unknown, eliminated,
+    )
+}
+
 /// `pdfatpg faults`.
 pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
     let cap: usize = options.parsed("cap", 10_000)?;
     let limit: usize = options.parsed("limit", 20)?;
     let table = learned_table(circuit, options);
     let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
-    let (faults, stats) = FaultList::build_with_learned(
-        circuit,
-        &result.store,
-        pdf_faults::Sensitization::Robust,
-        table.as_ref(),
-    );
+    let analysis = sensitize_analysis(circuit, &result.store, table.as_ref(), options)?;
+    let (faults, stats) = build_faults(circuit, &result.store, table.as_ref(), analysis.as_ref());
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -539,6 +619,13 @@ pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliErr
             stats.statically_eliminated,
         );
     }
+    if let Some(analysis) = &analysis {
+        let _ = writeln!(
+            s,
+            "{}",
+            sensitize_note(analysis, stats.sensitize_eliminated)
+        );
+    }
     let histogram = pdf_paths::LengthHistogram::from_lengths(faults.delays());
     let _ = writeln!(s, "length classes: {}", histogram.len());
     for entry in faults.iter().take(limit) {
@@ -548,6 +635,110 @@ pub fn cmd_faults(circuit: &Circuit, options: &Options) -> Result<String, CliErr
         let _ = writeln!(s, "... {} more (raise --limit)", faults.len() - limit);
     }
     Ok(s)
+}
+
+/// `pdfatpg analyze`: a JSON testability and path-classification report.
+///
+/// Combines the static passes — the exact per-line-DP path spectrum (no
+/// enumeration), SCOAP controllability/observability, the
+/// sensitizability classification of the enumerated longest paths, and
+/// the semantic lints — and cross-checks them: the classified-path
+/// counts must cover the store, and when nothing was capped the
+/// enumerated population must equal the spectrum total.
+pub fn cmd_analyze(circuit: &Circuit, options: &Options) -> Result<String, CliError> {
+    let cap: usize = options.parsed("cap", 10_000)?;
+    let table = learned_table(circuit, options);
+    let spectrum = PathSpectrum::of(circuit);
+    let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
+    let analysis = classify_store(
+        circuit,
+        &result.store,
+        pdf_faults::Sensitization::Robust,
+        table.as_ref(),
+    );
+    let counts = analysis.class_counts();
+    if counts.total() != result.store.len() {
+        return err(format!(
+            "internal error: {} classified paths do not cover the {} enumerated",
+            counts.total(),
+            result.store.len()
+        ));
+    }
+    // With nothing capped or saturated, enumeration and the per-line DP
+    // count the same population — a disagreement is a real defect.
+    let complete = !result.stats.overflowed && result.stats.removed == 0 && !spectrum.saturated();
+    if complete && result.store.len() as u64 != spectrum.total() {
+        return err(format!(
+            "internal error: {} enumerated paths but the spectrum counts {}",
+            result.store.len(),
+            spectrum.total()
+        ));
+    }
+
+    let testability = Testability::of(circuit);
+    let mut max_difficulty = 0u32;
+    let mut hardest: Option<&str> = None;
+    for (id, line) in circuit.iter() {
+        let difficulty = testability.difficulty(id);
+        if difficulty > max_difficulty || hardest.is_none() {
+            max_difficulty = difficulty;
+            hardest = Some(line.name());
+        }
+    }
+    let constants = constant_lines(circuit);
+    let semantic = lint_semantic(circuit);
+
+    let report = Json::object()
+        .field("circuit", circuit.name())
+        .field("lines", circuit.line_count())
+        .field("critical_delay", circuit.critical_delay())
+        .field(
+            "spectrum",
+            Json::object()
+                .field("complete_paths", spectrum.total())
+                .field("saturated", spectrum.saturated())
+                .field("distinct_delays", spectrum.iter_desc().count()),
+        )
+        .field(
+            "paths",
+            Json::object()
+                .field("enumerated", result.store.len())
+                .field("cap", cap)
+                .field("complete", complete)
+                .field("false", counts.false_paths)
+                .field("robust", counts.robust)
+                .field("unknown", counts.unknown),
+        )
+        .field(
+            "faults",
+            Json::object()
+                .field("false", analysis.stats.false_faults)
+                .field("split_refuted", analysis.stats.split_refuted),
+        )
+        .field(
+            "testability",
+            Json::object()
+                .field("max_difficulty", max_difficulty)
+                .field(
+                    "hardest_line",
+                    hardest.map_or(Json::Null, |name| Json::Str(name.to_owned())),
+                ),
+        )
+        .field(
+            "constants",
+            Json::Arr(
+                constants
+                    .iter()
+                    .map(|c| {
+                        Json::object()
+                            .field("line", circuit.line(c.line).name())
+                            .field("value", c.value.to_string())
+                    })
+                    .collect(),
+            ),
+        )
+        .field("semantic_lints", semantic.warning_count());
+    Ok(format!("{}\n", report.to_pretty()))
 }
 
 fn heuristic_from(options: &Options) -> Result<Compaction, CliError> {
@@ -718,25 +909,29 @@ fn string_with_env(options: &Options, flag: &str, env: &str) -> Result<Option<St
     }
 }
 
+/// Parses an `on`/`off` environment switch (`None` when unset), with the
+/// fail-fast variable+value message.
+fn env_switch(env: &str) -> Result<Option<bool>, CliError> {
+    match std::env::var(env) {
+        Ok(raw) => match raw.to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" => Ok(Some(true)),
+            "0" | "off" | "false" => Ok(Some(false)),
+            _ => err(format!(
+                "invalid {env}=`{raw}`: expected `on`/`off` (or 1/0, true/false)"
+            )),
+        },
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            err(format!("invalid {env}={raw:?}: not valid unicode"))
+        }
+    }
+}
+
 /// Resolves a boolean switch with an environment twin: the bare `--flag`
 /// turns it on, else the env value applies. The env twin is validated
 /// even when the flag is given.
 fn switch_with_env(options: &Options, flag: &str, env: &str) -> Result<bool, CliError> {
-    let env_value = match std::env::var(env) {
-        Ok(raw) => Some(match raw.to_ascii_lowercase().as_str() {
-            "1" | "on" | "true" => true,
-            "0" | "off" | "false" => false,
-            _ => {
-                return err(format!(
-                    "invalid {env}=`{raw}`: expected `on`/`off` (or 1/0, true/false)"
-                ))
-            }
-        }),
-        Err(std::env::VarError::NotPresent) => None,
-        Err(std::env::VarError::NotUnicode(raw)) => {
-            return err(format!("invalid {env}={raw:?}: not valid unicode"))
-        }
-    };
+    let env_value = env_switch(env)?;
     Ok(options.has(flag) || env_value.unwrap_or(false))
 }
 
@@ -905,6 +1100,16 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         None => RunBudget::unlimited(),
     };
     let table = learned_table(circuit, options).map(std::sync::Arc::new);
+    // SCOAP guidance intentionally changes the search (and so the random
+    // stream): the guide is recorded in the config fingerprint, and the
+    // guided run stays deterministic in its own right.
+    let guide = switch_with_env(options, "scoap", "PDF_SCOAP")?.then(|| {
+        let testability = Testability::of(circuit);
+        std::sync::Arc::new(BranchGuide::new(
+            testability.cc0_table().to_vec(),
+            testability.cc1_table().to_vec(),
+        ))
+    });
     let config = AtpgConfig {
         seed,
         compaction: heuristic_from(options)?,
@@ -914,17 +1119,15 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
         budget,
         checkpoint,
         learned: table.clone(),
+        guide: guide.clone(),
         threads,
         ..AtpgConfig::default()
     };
 
     let result = PathEnumerator::new(circuit).with_cap(cap).enumerate();
-    let (faults, fault_stats) = FaultList::build_with_learned(
-        circuit,
-        &result.store,
-        pdf_faults::Sensitization::Robust,
-        table.as_deref(),
-    );
+    let analysis = sensitize_analysis(circuit, &result.store, table.as_deref(), options)?;
+    let (faults, fault_stats) =
+        build_faults(circuit, &result.store, table.as_deref(), analysis.as_ref());
     if faults.is_empty() {
         return err("no detectable path delay faults in the enumerated population");
     }
@@ -937,6 +1140,19 @@ pub fn cmd_atpg(circuit: &Circuit, options: &Options) -> Result<String, CliError
             "static learning: {} implications learned, {} faults eliminated",
             table.len(),
             fault_stats.statically_eliminated,
+        );
+    }
+    if let Some(analysis) = &analysis {
+        let _ = writeln!(
+            s,
+            "{}",
+            sensitize_note(analysis, fault_stats.sensitize_eliminated)
+        );
+    }
+    if guide.is_some() {
+        let _ = writeln!(
+            s,
+            "scoap: branch guidance and hardest-first target ordering enabled"
         );
     }
     let _ = writeln!(
@@ -1167,8 +1383,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_paths(&circuit, &options)
         }
         "faults" => {
-            let options = Options::parse(rest, &["cap", "limit"], &["static-learning"])?;
+            let options =
+                Options::parse(rest, &["cap", "limit"], &["static-learning", "sensitize"])?;
             cmd_faults(&circuit, &options)
+        }
+        "analyze" => {
+            let options = Options::parse(rest, &["cap"], &["static-learning"])?;
+            cmd_analyze(&circuit, &options)
         }
         "atpg" => {
             let options = Options::parse(
@@ -1191,7 +1412,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "threads",
                     "failpoints",
                 ],
-                &["enrich", "minimize", "static-learning"],
+                &[
+                    "enrich",
+                    "minimize",
+                    "static-learning",
+                    "sensitize",
+                    "scoap",
+                ],
             )?;
             cmd_atpg(&circuit, &options)
         }
@@ -1276,6 +1503,75 @@ mod tests {
         let out = run(&args(&["faults", "s27", "--limit", "3"])).unwrap();
         assert!(out.contains("A(p)"), "{out}");
         assert!(out.contains("detectable"));
+    }
+
+    #[test]
+    fn analyze_emits_a_reconciled_json_report() {
+        let out = run(&args(&["analyze", "s27"])).unwrap();
+        let json = Json::parse(&out).unwrap();
+        assert_eq!(json.get("circuit").unwrap().as_str(), Some("s27"));
+        let paths = json.get("paths").unwrap();
+        let class_total = ["false", "robust", "unknown"]
+            .iter()
+            .map(|k| paths.get(k).unwrap().as_num().unwrap() as u64)
+            .sum::<u64>();
+        let enumerated = paths.get("enumerated").unwrap().as_num().unwrap() as u64;
+        assert_eq!(class_total, enumerated, "{out}");
+        // s27 is fully enumerable: the store must match the spectrum DP.
+        assert_eq!(paths.get("complete"), Some(&Json::Bool(true)));
+        let spectrum = json.get("spectrum").unwrap();
+        let dp_total = spectrum.get("complete_paths").unwrap().as_num().unwrap() as u64;
+        assert_eq!(enumerated, dp_total, "{out}");
+        assert!(json
+            .get("testability")
+            .unwrap()
+            .get("max_difficulty")
+            .is_some());
+    }
+
+    #[test]
+    fn faults_sensitize_adds_the_note_and_off_stays_plain() {
+        let off = run(&args(&["faults", "s27", "--limit", "3"])).unwrap();
+        assert!(!off.contains("sensitizability:"), "{off}");
+        let on = run(&args(&["faults", "s27", "--limit", "3", "--sensitize"])).unwrap();
+        assert!(on.contains("sensitizability:"), "{on}");
+        // On s27 the classifier proves false exactly the faults rules
+        // 1/2 already eliminate (the filter runs first and absorbs
+        // them), so the detectable population is unchanged.
+        assert!(off.contains("56 candidates -> 50 detectable"), "{off}");
+        assert!(on.contains("56 candidates -> 50 detectable"), "{on}");
+        assert!(on.contains("6 faults pre-eliminated"), "{on}");
+    }
+
+    #[test]
+    fn atpg_scoap_is_deterministic_and_reports_the_mode() {
+        let cmd = ["atpg", "s27", "--np0", "10", "--scoap", "--seed", "7"];
+        let first = run(&args(&cmd)).unwrap();
+        let second = run(&args(&cmd)).unwrap();
+        assert_eq!(first, second, "guided runs must be deterministic");
+        assert!(first.contains("scoap:"), "{first}");
+        let body: String = first
+            .lines()
+            .skip_while(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!pdf_atpg::TestSet::from_text(&body).unwrap().is_empty());
+    }
+
+    #[test]
+    fn atpg_sensitize_runs_end_to_end() {
+        let out = run(&args(&[
+            "atpg",
+            "s27",
+            "--np0",
+            "10",
+            "--sensitize",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("sensitizability:"), "{out}");
+        assert!(out.contains("path-delay-atpg test set v1"), "{out}");
     }
 
     #[test]

@@ -99,6 +99,134 @@ fn lint_warnings_are_reported_without_aborting() {
 }
 
 #[test]
+fn lint_reports_semantic_constant_without_aborting() {
+    // The semantic pass always runs under the explicit lint command; its
+    // findings are warnings, so the command still exits 0.
+    let path = fixture("constant.bench");
+    let out = run(&["lint", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PDL008"), "stdout: {stdout}");
+}
+
+#[test]
+fn semantic_preflight_is_off_by_default() {
+    // Without PDF_SENSITIZE the automatic preflight must not mention the
+    // constant line: stderr stays byte-identical to earlier releases.
+    let path = fixture("constant.bench");
+    let out = run(&["info", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("PDL008"), "stderr: {stderr}");
+}
+
+#[test]
+fn semantic_preflight_warns_under_deny_without_aborting() {
+    // PDL008+ findings are warning severity: even the default deny mode
+    // reports them and proceeds (deny aborts on errors only).
+    let path = fixture("constant.bench");
+    let out = Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(["info", path.to_str().unwrap()])
+        .env_remove("PDF_LINT")
+        .env("PDF_SENSITIZE", "on")
+        .output()
+        .expect("spawn pdfatpg");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDL008"), "stderr: {stderr}");
+}
+
+#[test]
+fn semantic_preflight_warns_under_warn_mode_without_aborting() {
+    let path = fixture("constant.bench");
+    let out = Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(["info", path.to_str().unwrap()])
+        .env("PDF_LINT", "warn")
+        .env("PDF_SENSITIZE", "on")
+        .output()
+        .expect("spawn pdfatpg");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("PDL008"), "stderr: {stderr}");
+}
+
+#[test]
+fn deny_mode_still_aborts_on_error_diagnostics_with_sensitize_on() {
+    let path = fixture("dead_gate.bench");
+    let out = Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(["info", path.to_str().unwrap()])
+        .env_remove("PDF_LINT")
+        .env("PDF_SENSITIZE", "on")
+        .output()
+        .expect("spawn pdfatpg");
+    assert_eq!(out.status.code(), Some(EXIT_LINT));
+}
+
+#[test]
+fn sensitize_eliminates_the_false_path_fixture_end_to_end() {
+    // The case-split-only false path survives rules 1/2 and learning,
+    // so the elimination is attributable to the sensitizability pass.
+    let path = fixture("false_path.bench");
+    let out = Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(["faults", path.to_str().unwrap(), "--sensitize"])
+        .env_remove("PDF_LINT")
+        .env_remove("PDF_SENSITIZE")
+        .env_remove("PDF_STATIC_LEARNING")
+        .output()
+        .expect("spawn pdfatpg");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("sensitizability:"))
+        .unwrap_or_else(|| panic!("no sensitizability line in: {stdout}"));
+    assert!(
+        !line.contains("0 faults pre-eliminated"),
+        "expected pre-eliminations: {line}"
+    );
+
+    // The split elimination is real: the detectable population shrinks
+    // versus a plain (rules-only) run on the same fixture.
+    let plain = Command::new(env!("CARGO_BIN_EXE_pdfatpg"))
+        .args(["faults", path.to_str().unwrap()])
+        .env_remove("PDF_LINT")
+        .env_remove("PDF_SENSITIZE")
+        .env_remove("PDF_STATIC_LEARNING")
+        .output()
+        .expect("spawn pdfatpg");
+    let detectable = |text: &str| -> usize {
+        let head = text.lines().next().expect("summary line").to_owned();
+        head.split(" -> ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable summary: {head}"))
+    };
+    let off_count = detectable(&String::from_utf8_lossy(&plain.stdout));
+    let on_count = detectable(&stdout);
+    assert!(
+        on_count < off_count,
+        "expected the filter to shrink the population: {on_count} vs {off_count}"
+    );
+}
+
+#[test]
 fn static_learning_reports_eliminations_on_gadget_stand_in() {
     // The acceptance knob end to end: `faults` with learning enabled on a
     // redundancy-gadget stand-in reports a non-zero elimination count.

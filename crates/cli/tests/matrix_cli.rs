@@ -43,7 +43,7 @@ fn matrix_smoke_run_passes_and_reports_every_family() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("matrix: 8 cells"), "stdout: {stdout}");
-    for family in ["ident", "kmono", "resume", "learning", "chaos"] {
+    for family in ["ident", "kmono", "resume", "learning", "chaos", "sensitize"] {
         assert!(stdout.contains(family), "missing {family}: {stdout}");
     }
 }
@@ -75,11 +75,12 @@ fn matrix_writes_a_parseable_report_file() {
         json.get("schema").and_then(pdf_telemetry::Json::as_str),
         Some("pdf-matrix-report")
     );
-    // 6 sampled cells land on 4 chaos cells whose clean twins are
-    // outside the sample; the runner appends the 4 twins.
+    // 6 sampled cells land on chaos and sensitize-on cells whose twins
+    // (clean / sensitize-off, including twins of appended twins) fall
+    // outside the sample; the runner appends all 8 of them.
     assert_eq!(
         json.get("cells").and_then(pdf_telemetry::Json::as_num),
-        Some(10.0)
+        Some(14.0)
     );
     assert!(matches!(
         json.get("passed"),

@@ -27,6 +27,7 @@
 //! [`AtpgStats::builds_discarded`]); everything else lands exactly as a
 //! single-threaded round would have landed it.
 
+use std::cmp::Reverse;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -39,7 +40,9 @@ use pdf_runctl::{Checkpoint, CheckpointPolicy, RunBudget, CHECKPOINT_VERSION};
 use pdf_sim::SimOptions;
 
 use crate::testset::ParseTestSetError;
-use crate::{Justified, Justifier, JustifyStats, TargetSplit, TestSet, DEFAULT_CONE_CACHE};
+use crate::{
+    BranchGuide, Justified, Justifier, JustifyStats, TargetSplit, TestSet, DEFAULT_CONE_CACHE,
+};
 
 /// The compaction heuristic used to order primary and secondary targets
 /// (paper Sec. 2.2).
@@ -165,6 +168,13 @@ pub struct AtpgConfig {
     /// not produce identical sets). The checkpoint fingerprint records
     /// the table size when one is set.
     pub learned: Option<std::sync::Arc<pdf_faults::LearnedImplications>>,
+    /// SCOAP testability guide. When set, every build's justifier runs
+    /// its guided decision search deterministically (hardest line first,
+    /// easier value — see [`BranchGuide`]), and the session orders primary
+    /// targets hardest-first by summed assignment cost (a stable sort, so
+    /// it composes with the compaction heuristics). Changes the random
+    /// stream, so the checkpoint fingerprint records the guide's presence.
+    pub guide: Option<std::sync::Arc<BranchGuide>>,
     /// Worker threads for the per-round speculative builds. `0` and `1`
     /// both run builds inline on the caller's thread. The value is
     /// deliberately **not** part of the checkpoint fingerprint: the test
@@ -196,6 +206,7 @@ impl Default for AtpgConfig {
             checkpoint: None,
             quarantine: true,
             learned: None,
+            guide: None,
             threads: 1,
             batch: 8,
             force_steal: false,
@@ -225,6 +236,11 @@ pub fn config_fingerprint(config: &AtpgConfig) -> String {
         // (and therefore the random stream); resuming without the same
         // table would diverge. Plain configs keep the historical shape.
         fp.push_str(&format!(":learned={}", table.len()));
+    }
+    if config.guide.is_some() {
+        // The guide reorders primaries and replaces random guided-search
+        // decisions; resuming without it would diverge.
+        fp.push_str(":scoap");
     }
     fp
 }
@@ -680,11 +696,14 @@ fn run_build<'c>(ctx: &SessionCtx<'c, '_>, job: BuildJob) -> BuildResult {
     let budget = ctx.config.budget.peek_view();
     // A fresh justifier per build: its RNG stream is a function of the
     // primary alone, and its cone cache is private to this worker call.
-    let justifier = Justifier::new(ctx.circuit, build_seed(ctx.config.seed, primary))
+    let mut justifier = Justifier::new(ctx.circuit, build_seed(ctx.config.seed, primary))
         .with_attempts(ctx.config.justify_attempts)
         .with_options(ctx.config.sim)
         .with_cone_cache(ctx.config.cone_cache)
         .with_budget(budget.clone());
+    if let Some(guide) = &ctx.config.guide {
+        justifier = justifier.with_guide(guide.clone());
+    }
     let mut build = Build {
         ctx,
         aborted: &snapshot.aborted,
@@ -1017,6 +1036,14 @@ impl<'c, 'f> Session<'c, 'f> {
                 let j = rng.next_below(i + 1);
                 primary_order.swap(i, j);
             }
+        }
+        if let Some(guide) = &config.guide {
+            // SCOAP selection: hardest primaries first (largest summed
+            // assignment cost). The sort is stable, so within equal
+            // difficulty the compaction heuristic's order survives — the
+            // shuffle above still draws the same RNG either way.
+            primary_order
+                .sort_by_cached_key(|&i| Reverse(guide.assignment_cost(&faults[i].assignments)));
         }
         let n = faults.len();
         Session {
@@ -1507,6 +1534,45 @@ mod tests {
         assert_eq!(a.detected(), b.detected());
         for (ta, tb) in a.tests().tests().iter().zip(b.tests().tests()) {
             assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn scoap_guide_pins_fingerprint_and_stays_deterministic() {
+        let (c, faults) = s27_faults();
+        let mut cfg = config(Compaction::ValueBased);
+        assert!(!config_fingerprint(&cfg).contains(":scoap"));
+        cfg.guide = Some(Arc::new(BranchGuide::new(
+            vec![1; c.line_count()],
+            vec![1; c.line_count()],
+        )));
+        assert!(config_fingerprint(&cfg).ends_with(":scoap"));
+
+        let a = BasicAtpg::new(&c).with_config(cfg.clone()).run(&faults);
+        let b = BasicAtpg::new(&c).with_config(cfg).run(&faults);
+        assert_eq!(a.tests().to_text(), b.tests().to_text());
+        assert_eq!(a.detected(), b.detected());
+        // Guided detections are real: re-simulation agrees.
+        let cov = a.tests().coverage(&c, &faults);
+        assert_eq!(cov.detected(), a.detected());
+    }
+
+    #[test]
+    fn scoap_guide_orders_primaries_hardest_first() {
+        let (c, faults) = s27_faults();
+        // A guide with genuinely uneven costs: line index as its own cost
+        // (arbitrary but fixed), so assignment costs differ across faults.
+        let costs: Vec<u32> = (0..c.line_count() as u32).collect();
+        let guide = BranchGuide::new(costs.clone(), costs);
+        let mut cfg = config(Compaction::ValueBased);
+        cfg.guide = Some(Arc::new(guide.clone()));
+        let session = Session::new(&c, cfg, &[&faults]);
+        let order = &session.ctx.primary_order;
+        assert_eq!(order.len(), faults.len());
+        for pair in order.windows(2) {
+            let hard = guide.assignment_cost(&session.ctx.faults[pair[0]].assignments);
+            let easy = guide.assignment_cost(&session.ctx.faults[pair[1]].assignments);
+            assert!(hard >= easy, "primaries must be ordered hardest-first");
         }
     }
 

@@ -44,6 +44,79 @@ use pdf_sim::{PackedBlock, SimBackend, SimOptions, SimWidth, SimWord, LANES};
 /// Default capacity (entries) of the cone-topology LRU cache.
 pub const DEFAULT_CONE_CACHE: usize = 64;
 
+/// Per-line branching costs guiding the justifier's decision search —
+/// plain data, so the core stays independent of how the costs are
+/// computed. `pdf-analyze`'s SCOAP pass
+/// (`Testability::cc0_table`/`cc1_table`) is the canonical producer;
+/// drivers construct the guide with [`BranchGuide::new`] and attach it
+/// via [`Justifier::with_guide`] or `AtpgConfig::guide`.
+///
+/// With a guide attached, the guided search's random decision (paper
+/// step 3's fallback) becomes deterministic: the *hardest* open input
+/// (largest `max(cost0, cost1)`) is decided first, at its *easier*
+/// value — and no RNG is drawn for the decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchGuide {
+    cost0: Vec<u32>,
+    cost1: Vec<u32>,
+}
+
+impl BranchGuide {
+    /// Builds a guide from per-line 0/1 controllability costs, indexed by
+    /// [`LineId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables differ in length.
+    #[must_use]
+    pub fn new(cost0: Vec<u32>, cost1: Vec<u32>) -> BranchGuide {
+        assert_eq!(
+            cost0.len(),
+            cost1.len(),
+            "branch guide cost tables must cover the same lines"
+        );
+        BranchGuide { cost0, cost1 }
+    }
+
+    /// How hard `line` is to control at all: `max(cost0, cost1)`. Lines
+    /// beyond the tables cost 0 (never preferred).
+    #[must_use]
+    pub fn difficulty(&self, line: LineId) -> u32 {
+        let i = line.index();
+        match (self.cost0.get(i), self.cost1.get(i)) {
+            (Some(&c0), Some(&c1)) => c0.max(c1),
+            _ => 0,
+        }
+    }
+
+    /// The cheaper value to set `line` to (ties break to 0, the SCOAP
+    /// convention).
+    #[must_use]
+    pub fn easier_value(&self, line: LineId) -> Value {
+        let i = line.index();
+        match (self.cost0.get(i), self.cost1.get(i)) {
+            (Some(&c0), Some(&c1)) if c1 < c0 => Value::One,
+            _ => Value::Zero,
+        }
+    }
+
+    /// The summed cost of controlling every steady (second-pattern) value
+    /// an assignment set requires — a fault-difficulty key for
+    /// generation-order heuristics.
+    #[must_use]
+    pub fn assignment_cost(&self, assignments: &Assignments) -> u32 {
+        assignments.iter().fold(0u32, |acc, (line, triple)| {
+            let i = line.index();
+            let cost = match triple.last() {
+                Value::Zero => self.cost0.get(i).copied().unwrap_or(0),
+                Value::One => self.cost1.get(i).copied().unwrap_or(0),
+                Value::X => 0,
+            };
+            acc.saturating_add(cost)
+        })
+    }
+}
+
 /// A successful justification: a fully specified two-pattern test plus the
 /// full-circuit waveforms it induces.
 #[derive(Clone, Debug)]
@@ -96,6 +169,10 @@ pub struct JustifyStats {
     /// Lines packed completion passes visited but skipped because no
     /// fanin rail changed since the previous pass.
     pub lines_skipped: u64,
+    /// Guided-search decisions taken deterministically by an attached
+    /// [`BranchGuide`] instead of the random pick. Always 0 without a
+    /// guide.
+    pub scoap_guided_branches: usize,
 }
 
 impl JustifyStats {
@@ -116,6 +193,7 @@ impl JustifyStats {
         self.cone_misses += other.cone_misses;
         self.events_propagated += other.events_propagated;
         self.lines_skipped += other.lines_skipped;
+        self.scoap_guided_branches += other.scoap_guided_branches;
     }
 }
 
@@ -160,6 +238,8 @@ pub struct Justifier<'c> {
     /// width selected by [`Justifier::with_options`].
     packed: PackedArena,
     cones: ConeCache,
+    /// Optional SCOAP branch guide for the guided decision search.
+    guide: Option<std::sync::Arc<BranchGuide>>,
     /// Wall time spent inside completion blocks (phase 2 only).
     completion: std::time::Duration,
     /// Cooperative time/cancellation budget polled at call entry, per
@@ -183,6 +263,7 @@ impl<'c> Justifier<'c> {
             scratch: vec![Triple::UNKNOWN; circuit.line_count()],
             packed: PackedArena::new(opts.width, opts.events),
             cones: ConeCache::new(DEFAULT_CONE_CACHE),
+            guide: None,
             completion: std::time::Duration::ZERO,
             budget: RunBudget::unlimited(),
         }
@@ -227,6 +308,16 @@ impl<'c> Justifier<'c> {
     #[must_use]
     pub fn with_cone_cache(mut self, capacity: usize) -> Justifier<'c> {
         self.cones = ConeCache::new(capacity);
+        self
+    }
+
+    /// Attaches a [`BranchGuide`]: the guided search's random decision is
+    /// replaced by a deterministic hardest-line-first, easier-value pick
+    /// that draws no RNG. Drivers map `PDF_SCOAP` here (the guide built
+    /// from `pdf-analyze`'s SCOAP controllability tables).
+    #[must_use]
+    pub fn with_guide(mut self, guide: std::sync::Arc<BranchGuide>) -> Justifier<'c> {
+        self.guide = Some(guide);
         self
     }
 
@@ -523,14 +614,33 @@ impl<'c> Justifier<'c> {
                 state[i] = (v, v);
                 i
             } else {
-                // ...else a random value on a random unspecified position.
+                // ...else a random value on a random unspecified position —
+                // or, with a guide attached, the hardest open input at its
+                // easier value, deterministically and without drawing RNG.
                 let open: Vec<(usize, usize)> = (0..n)
                     .flat_map(|i| (0..2).map(move |pos| (i, pos)))
                     .filter(|&(i, pos)| !pick(&state[i], pos).is_specified())
                     .collect();
                 debug_assert!(!open.is_empty());
-                let &(i, pos) = self.rng.pick(&open);
-                let v = Value::from(self.rng.next_bool());
+                let (i, pos, v) = if let Some(guide) = &self.guide {
+                    // First-wins max keeps ties in slot order, so the pick
+                    // is independent of how `open` was discovered.
+                    let mut best = open[0];
+                    let mut best_cost = guide.difficulty(cone.topo.pis[open[0].0]);
+                    for &slot in &open[1..] {
+                        let cost = guide.difficulty(cone.topo.pis[slot.0]);
+                        if cost > best_cost {
+                            best = slot;
+                            best_cost = cost;
+                        }
+                    }
+                    self.stats.scoap_guided_branches += 1;
+                    pdf_telemetry::count(pdf_telemetry::counters::SCOAP_GUIDED_BRANCHES, 1);
+                    (best.0, best.1, guide.easier_value(cone.topo.pis[best.0]))
+                } else {
+                    let &(i, pos) = self.rng.pick(&open);
+                    (i, pos, Value::from(self.rng.next_bool()))
+                };
                 set(&mut state[i], pos, v);
                 i
             };
@@ -1240,5 +1350,100 @@ mod tests {
         assert_eq!(j.stats().calls, 2);
         assert!(j.stats().simulations > 0);
         assert_eq!(j.stats().cone_hits + j.stats().cone_misses, 2);
+    }
+
+    #[test]
+    fn branch_guide_costs() {
+        let guide = BranchGuide::new(vec![1, 5, 3], vec![2, 4, 3]);
+        assert_eq!(guide.difficulty(LineId::new(0)), 2);
+        assert_eq!(guide.difficulty(LineId::new(1)), 5);
+        assert_eq!(guide.difficulty(LineId::new(9)), 0, "beyond the tables");
+        assert_eq!(guide.easier_value(LineId::new(0)), Value::Zero);
+        assert_eq!(guide.easier_value(LineId::new(1)), Value::One);
+        assert_eq!(guide.easier_value(LineId::new(2)), Value::Zero, "tie → 0");
+
+        let mut a = pdf_faults::Assignments::new();
+        a.require(LineId::new(0), Triple::STABLE1).unwrap();
+        a.require(LineId::new(1), Triple::RISING).unwrap();
+        // STABLE1 on line 0 costs CC1 = 2; RISING's steady value on
+        // line 1 costs CC1 = 4.
+        assert_eq!(guide.assignment_cost(&a), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "same lines")]
+    fn branch_guide_rejects_mismatched_tables() {
+        let _ = BranchGuide::new(vec![1], vec![1, 2]);
+    }
+
+    /// A uniform guide for a circuit (every line cost 1/1) — enough to
+    /// flip the justifier onto the deterministic decision path.
+    fn flat_guide(c: &Circuit) -> std::sync::Arc<BranchGuide> {
+        std::sync::Arc::new(BranchGuide::new(
+            vec![1; c.line_count()],
+            vec![1; c.line_count()],
+        ))
+    }
+
+    #[test]
+    fn guide_leaves_completion_phase_witnesses_unchanged() {
+        // The guide only replaces guided-search decisions; a call resolved
+        // by a random-completion lane must return the same witness with
+        // and without it.
+        let c = s27();
+        let f = s27_fault(&[2, 9, 10, 15], Polarity::SlowToRise);
+        let a = robust_assignments(&c, &f).unwrap();
+        let mut plain = Justifier::new(&c, 42).with_backend(env_backend());
+        let mut guided = Justifier::new(&c, 42)
+            .with_backend(env_backend())
+            .with_guide(flat_guide(&c));
+        let rp = plain.justify(&a).unwrap();
+        let rg = guided.justify(&a).unwrap();
+        assert_eq!(rp.test, rg.test);
+        assert_eq!(guided.stats().scoap_guided_branches, 0, "lane hit");
+    }
+
+    /// z = AND of five 2-input XOR pairs: the necessary-value fixpoint
+    /// assigns nothing (one XOR input alone never violates), and a
+    /// satisfying completion is a ≈(1/4)^5 event per candidate, so a
+    /// single 64-lane block almost surely misses and the guided decision
+    /// search must run.
+    fn sparse_parity_circuit() -> Circuit {
+        let mut b = pdf_netlist::CircuitBuilder::new("sparse");
+        let mut pairs = Vec::new();
+        for k in 0..5 {
+            let x = b.input(format!("x{k}"));
+            let y = b.input(format!("y{k}"));
+            pairs.push(b.gate(format!("p{k}"), pdf_logic::GateKind::Xor, &[x, y]));
+        }
+        let z = b.gate("z", pdf_logic::GateKind::And, &pairs);
+        b.mark_output(z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn guide_drives_the_decision_search_deterministically() {
+        let c = sparse_parity_circuit();
+        let z = c.find_line("z").unwrap();
+        let mut req = pdf_faults::Assignments::new();
+        req.require(z, Triple::STABLE1).unwrap();
+        let run = || {
+            let mut j = Justifier::new(&c, 2002)
+                .with_backend(env_backend())
+                .with_guide(flat_guide(&c));
+            let witness = j.justify(&req).map(|r| r.test);
+            (witness, j.stats())
+        };
+        let (w1, s1) = run();
+        let (w2, s2) = run();
+        assert_eq!(w1, w2, "guided decisions must be deterministic");
+        assert_eq!(s1, s2);
+        assert!(
+            s1.scoap_guided_branches > 0,
+            "the sparse requirement must reach the guided decision search"
+        );
+        if let Some(test) = w1 {
+            assert!(test.is_fully_specified());
+        }
     }
 }

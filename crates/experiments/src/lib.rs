@@ -67,6 +67,11 @@ pub struct Workload {
     /// generation (`PDF_STATIC_LEARNING`). Off by default: a disabled
     /// table leaves every experiment byte-identical.
     pub static_learning: bool,
+    /// Classify path sensitizability before fault-list construction and
+    /// pre-eliminate the provably false paths (`PDF_SENSITIZE`). Off by
+    /// default: with the pass disabled every experiment is
+    /// byte-identical to earlier releases.
+    pub sensitize: bool,
     /// Programmatic simulation options. `None` (the default, and what
     /// [`Workload::from_env`] always produces) defers to the
     /// `PDF_SIM_BACKEND`/`PDF_SIM_WIDTH`/`PDF_SIM_EVENTS` environment at
@@ -87,6 +92,7 @@ impl Default for Workload {
             cone_cache: pdf_atpg::DEFAULT_CONE_CACHE,
             time_budget: None,
             static_learning: false,
+            sensitize: false,
             sim: None,
         }
     }
@@ -112,6 +118,7 @@ impl Workload {
             cone_cache: env_parse("PDF_CONE_CACHE").unwrap_or(d.cone_cache),
             time_budget: BudgetSpec::from_env().unwrap_or_else(|e| panic!("{e}")),
             static_learning: static_learning_from_env(),
+            sensitize: pdf_analyze::sensitize_from_env(),
             sim: None,
         }
     }
@@ -264,7 +271,9 @@ pub struct Prepared {
 /// Enumerates the longest-path faults of `name`, eliminates undetectable
 /// ones, and splits the survivors per the paper's `N_P0` rule. With
 /// [`Workload::static_learning`] set, a learned closure table sharpens
-/// the elimination and is retained for the generation configs.
+/// the elimination and is retained for the generation configs. With
+/// [`Workload::sensitize`] set, the sensitizability classifier runs first
+/// and provably false paths are pre-eliminated through the filter hook.
 #[must_use]
 pub fn prepare(name: &str, workload: &Workload) -> Option<Prepared> {
     let circuit = circuit_by_name(name)?;
@@ -274,17 +283,46 @@ pub fn prepare(name: &str, workload: &Workload) -> Option<Prepared> {
     let enumeration = PathEnumerator::new(&circuit)
         .with_cap(workload.n_p)
         .enumerate();
-    let (faults, stats) = FaultList::build_with_learned(
-        &circuit,
-        &enumeration.store,
-        Sensitization::Robust,
-        learned.as_deref(),
-    );
+    let analysis = workload.sensitize.then(|| {
+        pdf_analyze::classify_store(
+            &circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+        )
+    });
+    let (faults, stats) = match &analysis {
+        Some(a) => FaultList::build_with_filter(
+            &circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+            Some(&|index, polarity| a.is_false(index, polarity)),
+        ),
+        None => FaultList::build_with_learned(
+            &circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+        ),
+    };
     if let Some(table) = &learned {
         eprintln!(
             "{name}: static learning: {} implications, {} faults eliminated",
             table.len(),
             stats.statically_eliminated
+        );
+    }
+    if let Some(a) = &analysis {
+        let counts = a.class_counts();
+        eprintln!(
+            "{name}: sensitizability: {} paths ({} false, {} robust, {} unknown); \
+             {} faults pre-eliminated",
+            counts.total(),
+            counts.false_paths,
+            counts.robust,
+            counts.unknown,
+            stats.sensitize_eliminated
         );
     }
     let split = TargetSplit::by_cumulative_length(&faults, workload.n_p0);

@@ -33,6 +33,10 @@ pub struct FaultListStats {
     /// alone found no conflict, but re-running the implications with the
     /// table attached did. Always 0 unless a table is supplied.
     pub statically_eliminated: usize,
+    /// Eliminated up front by the sensitizability pre-filter (a path
+    /// statically classified as false), before any per-fault rule ran.
+    /// Always 0 unless a filter is supplied.
+    pub sensitize_eliminated: usize,
 }
 
 /// The target fault population `P`: every fault of the enumerated paths
@@ -107,12 +111,40 @@ impl FaultList {
         kind: Sensitization,
         learned: Option<&LearnedImplications>,
     ) -> (FaultList, FaultListStats) {
+        FaultList::build_with_filter(circuit, store, kind, learned, None)
+    }
+
+    /// Builds the fault list with an up-front sensitizability pre-filter:
+    /// `filter(index, polarity)` returning `true` drops the fault of the
+    /// path at store `index` with that polarity before any per-fault rule
+    /// runs, counted in [`FaultListStats::sensitize_eliminated`].
+    ///
+    /// The filter must only drop faults that are provably undetectable
+    /// (the static sensitizability analysis's *false* verdicts) — the
+    /// soundness audit in `pdf-analyze` re-proves every drop by exact
+    /// search.
+    ///
+    /// # Panics
+    ///
+    /// See [`FaultList::build`].
+    #[must_use]
+    pub fn build_with_filter(
+        circuit: &Circuit,
+        store: &PathStore,
+        kind: Sensitization,
+        learned: Option<&LearnedImplications>,
+        filter: Option<&dyn Fn(usize, Polarity) -> bool>,
+    ) -> (FaultList, FaultListStats) {
         let _phase = pdf_telemetry::Span::enter("eliminate");
         let mut stats = FaultListStats::default();
         let mut entries = Vec::with_capacity(store.len() * 2);
-        for stored in store.iter() {
+        for (index, stored) in store.iter().enumerate() {
             for polarity in Polarity::BOTH {
                 stats.candidates += 1;
+                if filter.is_some_and(|drop| drop(index, polarity)) {
+                    stats.sensitize_eliminated += 1;
+                    continue;
+                }
                 let fault = PathDelayFault::new(stored.path.clone(), polarity);
                 let assignments = match compute_assignments(circuit, &fault, kind) {
                     Ok(a) => a,
@@ -145,11 +177,18 @@ impl FaultList {
         }
         pdf_telemetry::count(
             pdf_telemetry::counters::UNDETECTABLE_DROPPED,
-            (stats.rule1_conflicts + stats.rule2_conflicts + stats.statically_eliminated) as u64,
+            (stats.rule1_conflicts
+                + stats.rule2_conflicts
+                + stats.statically_eliminated
+                + stats.sensitize_eliminated) as u64,
         );
         pdf_telemetry::count(
             pdf_telemetry::counters::STATICALLY_ELIMINATED,
             stats.statically_eliminated as u64,
+        );
+        pdf_telemetry::count(
+            pdf_telemetry::counters::FALSE_PATHS_ELIMINATED,
+            stats.sensitize_eliminated as u64,
         );
         (FaultList { entries }, stats)
     }

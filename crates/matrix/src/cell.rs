@@ -74,6 +74,12 @@ pub struct CellConfig {
     pub n_p0: usize,
     /// Static implication learning on/off.
     pub learning: bool,
+    /// Static sensitizability pre-elimination on/off. Off must be
+    /// byte-identical to builds predating the pass; on may only remove
+    /// faults the classifier *proves* unsensitizable — the sensitize
+    /// invariant re-proves every elimination by exact search and against
+    /// the off twin's detections.
+    pub sensitize: bool,
     /// Direct run or the cancel/checkpoint/resume dance.
     pub run_mode: RunMode,
     /// Generation worker-thread count. A throughput knob like the sim
@@ -106,6 +112,7 @@ impl CellConfig {
             n_p: 300,
             n_p0: 60,
             learning: false,
+            sensitize: false,
             run_mode: RunMode::Direct,
             threads: 1,
             seed: 2002,
@@ -124,6 +131,17 @@ impl CellConfig {
         }
     }
 
+    /// The cell's sensitize-off twin: the same configuration without the
+    /// false-path pre-elimination. The sensitize invariant compares the
+    /// on cell's population and detections against this twin's.
+    #[must_use]
+    pub fn sensitize_twin(&self) -> CellConfig {
+        CellConfig {
+            sensitize: false,
+            ..self.clone()
+        }
+    }
+
     /// The options block the cell's throughput axes select.
     #[must_use]
     pub fn sim_options(&self) -> SimOptions {
@@ -137,7 +155,7 @@ impl CellConfig {
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{} {} {} k={} np={} np0={} learn={} {} t={} seed={} budget={} faults={}",
+            "{} {} {} k={} np={} np0={} learn={} sens={} {} t={} seed={} budget={} faults={}",
             self.circuit,
             self.sim_options().label(),
             self.compaction.label(),
@@ -145,6 +163,7 @@ impl CellConfig {
             self.n_p,
             self.n_p0,
             if self.learning { "on" } else { "off" },
+            if self.sensitize { "on" } else { "off" },
             self.run_mode.label(),
             self.threads,
             self.seed,
@@ -167,6 +186,7 @@ impl CellConfig {
             .field("n_p", self.n_p)
             .field("n_p0", self.n_p0)
             .field("learning", self.learning)
+            .field("sensitize", self.sensitize)
             .field("run_mode", self.run_mode.label())
             .field("threads", self.threads)
             .field("seed", self.seed)
@@ -199,6 +219,9 @@ impl CellConfig {
             n_p: n("n_p")? as usize,
             n_p0: n("n_p0")? as usize,
             learning: b("learning")?,
+            // Artifacts predating the sensitize axis replay with the
+            // pass off (the byte-identical legacy behavior).
+            sensitize: b("sensitize").unwrap_or(false),
             run_mode: RunMode::parse(s("run_mode")?)?,
             // Artifacts predating the threads axis replay single-threaded.
             threads: n("threads").map_or(1, |v| (v as usize).max(1)),
@@ -245,6 +268,8 @@ pub struct MatrixAxes {
     pub n_p0s: Vec<usize>,
     /// Static learning settings.
     pub learnings: Vec<bool>,
+    /// Sensitizability pre-elimination settings.
+    pub sensitizes: Vec<bool>,
     /// Run modes.
     pub run_modes: Vec<RunMode>,
     /// Generation worker-thread counts.
@@ -274,6 +299,7 @@ impl MatrixAxes {
             n_ps: vec![300],
             n_p0s: vec![60],
             learnings: vec![false, true],
+            sensitizes: vec![false, true],
             run_modes: vec![
                 RunMode::Direct,
                 RunMode::CheckpointResume {
@@ -313,6 +339,7 @@ impl MatrixAxes {
             n_ps: vec![300, 1000],
             n_p0s: vec![60, 200],
             learnings: vec![false, true],
+            sensitizes: vec![false, true],
             run_modes: vec![
                 RunMode::Direct,
                 RunMode::CheckpointResume {
@@ -346,6 +373,7 @@ impl MatrixAxes {
             * self.n_ps.len()
             * self.n_p0s.len()
             * self.learnings.len()
+            * self.sensitizes.len()
             * self.run_modes.len()
             * self.threads.len()
             * self.seeds.len()
@@ -380,6 +408,7 @@ impl MatrixAxes {
         let run_mode = self.run_modes[take(self.run_modes.len())];
         let k = self.ks[take(self.ks.len())];
         let learning = self.learnings[take(self.learnings.len())];
+        let sensitize = self.sensitizes[take(self.sensitizes.len())];
         let compaction = self.compactions[take(self.compactions.len())];
         let n_p = self.n_ps[take(self.n_ps.len())];
         let n_p0 = self.n_p0s[take(self.n_p0s.len())];
@@ -395,6 +424,7 @@ impl MatrixAxes {
             n_p,
             n_p0,
             learning,
+            sensitize,
             run_mode,
             threads,
             seed,
@@ -437,6 +467,10 @@ pub struct CellObservation {
     pub fault_keys: Vec<String>,
     /// Whether the (generous) budget was reported exhausted.
     pub budget_exhausted: bool,
+    /// For sensitize-on cells: fault keys the pre-elimination filter
+    /// dropped but complete search proved *testable*. Always empty for a
+    /// sound classifier — any entry is a sensitize violation.
+    pub sensitize_testable: Vec<String>,
     /// For [`RunMode::CheckpointResume`]: the test text of the
     /// cancelled-then-resumed composite run.
     pub resume_tests_text: Option<String>,
@@ -476,12 +510,57 @@ pub fn run_cell(circuit: &Circuit, cell: &CellConfig) -> CellObservation {
         .learning
         .then(|| Arc::new(pdf_analyze::learn_implications(circuit)));
     let enumeration = PathEnumerator::new(circuit).with_cap(cell.n_p).enumerate();
-    let (faults, _) = FaultList::build_with_learned(
-        circuit,
-        &enumeration.store,
-        Sensitization::Robust,
-        learned.as_deref(),
-    );
+    let analysis = cell.sensitize.then(|| {
+        pdf_analyze::classify_store(
+            circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+        )
+    });
+    let (faults, _) = match &analysis {
+        Some(a) => FaultList::build_with_filter(
+            circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+            Some(&|i, p| a.is_false(i, p)),
+        ),
+        None => FaultList::build_with_learned(
+            circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+        ),
+    };
+    // Soundness audit, in-cell: every fault the filter eliminated beyond
+    // what the rules already drop is re-proven untestable by complete
+    // search. A limit-exceeded search is inconclusive (not a violation);
+    // a satisfiable one is recorded and fails the sensitize invariant.
+    let sensitize_testable = if analysis.is_some() {
+        let (unfiltered, _) = FaultList::build_with_learned(
+            circuit,
+            &enumeration.store,
+            Sensitization::Robust,
+            learned.as_deref(),
+        );
+        let kept: std::collections::BTreeSet<String> =
+            faults.iter().map(|e| e.fault.to_string()).collect();
+        let exact = pdf_atpg::ExactJustifier::new(circuit).with_node_limit(200_000);
+        unfiltered
+            .iter()
+            .filter(|e| !kept.contains(&e.fault.to_string()))
+            .filter(|e| {
+                matches!(
+                    exact.justify(&e.assignments),
+                    pdf_atpg::ExactOutcome::Satisfiable(_)
+                )
+            })
+            .map(|e| e.fault.to_string())
+            .collect()
+    } else {
+        Vec::new()
+    };
     let split = TargetSplit::by_nested_cumulative(&faults, cell.n_p0, cell.k.max(2));
     let fault_keys: Vec<String> = split
         .sets()
@@ -517,6 +596,7 @@ pub fn run_cell(circuit: &Circuit, cell: &CellConfig) -> CellObservation {
         set_sizes,
         fault_keys,
         budget_exhausted: outcome.budget_exhausted(),
+        sensitize_testable,
         resume_tests_text: None,
         resume_detected_total: None,
         error: None,
@@ -565,7 +645,7 @@ mod tests {
     fn cross_product_decodes_every_index_exactly_once() {
         let axes = MatrixAxes::smoke();
         let count = axes.cell_count();
-        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 3);
+        assert_eq!(count, 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 2 * 3);
         let mut labels: Vec<String> = (0..count).map(|i| axes.cell(i).label()).collect();
         labels.sort();
         labels.dedup();
@@ -612,6 +692,28 @@ mod tests {
                 assert_eq!(chaos.clean_twin(), clean);
             }
         }
+    }
+
+    #[test]
+    fn artifacts_without_the_sensitize_field_replay_with_the_pass_off() {
+        let mut cell = CellConfig::default_cell();
+        cell.sensitize = true;
+        let json = cell.to_json();
+        let stripped = match json {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "sensitize")
+                    .collect(),
+            ),
+            other => other,
+        };
+        let back = CellConfig::from_json(&stripped).unwrap();
+        assert!(
+            !back.sensitize,
+            "legacy artifacts must replay with sensitize off"
+        );
+        assert_eq!(back.sensitize_twin(), back);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * **chaos** — a cell run under injected I/O faults (transient errors,
 //!   torn checkpoint writes) must heal through retries and recovery and
 //!   finish byte-identical to its clean twin, with no run-level error.
+//! * **sensitize** — the static sensitizability pass only pre-eliminates
+//!   provably false faults: the off population ⊇ the on population, the
+//!   off-only faults go undetected in the off cell, and the in-cell
+//!   exact-search audit found no eliminated-but-testable fault.
 
 use std::collections::BTreeMap;
 
@@ -39,19 +43,23 @@ pub enum Invariant {
     Learning,
     /// Injected I/O faults heal without changing results.
     Chaos,
+    /// Sensitizability pre-elimination removes only provably false faults.
+    Sensitize,
 }
 
 impl Invariant {
     /// All families, report order.
-    pub const ALL: [Invariant; 5] = [
+    pub const ALL: [Invariant; 6] = [
         Invariant::Ident,
         Invariant::KMonotonic,
         Invariant::Resume,
         Invariant::Learning,
         Invariant::Chaos,
+        Invariant::Sensitize,
     ];
 
-    /// Stable lowercase label (`ident`/`kmono`/`resume`/`learning`/`chaos`).
+    /// Stable lowercase label
+    /// (`ident`/`kmono`/`resume`/`learning`/`chaos`/`sensitize`).
     #[must_use]
     pub const fn label(self) -> &'static str {
         match self {
@@ -60,6 +68,7 @@ impl Invariant {
             Invariant::Resume => "resume",
             Invariant::Learning => "learning",
             Invariant::Chaos => "chaos",
+            Invariant::Sensitize => "sensitize",
         }
     }
 
@@ -93,13 +102,14 @@ fn faults_component(c: &CellConfig) -> &str {
 /// to change the results.
 fn ident_key(c: &CellConfig) -> String {
     format!(
-        "{}|{}|k={}|np={}|np0={}|learn={}|seed={}|faults={}",
+        "{}|{}|k={}|np={}|np0={}|learn={}|sens={}|seed={}|faults={}",
         c.circuit,
         c.compaction.label(),
         c.k,
         c.n_p,
         c.n_p0,
         c.learning,
+        c.sensitize,
         c.seed,
         faults_component(c)
     )
@@ -109,12 +119,13 @@ fn ident_key(c: &CellConfig) -> String {
 /// uncompacted cells by the caller.
 fn kmono_key(c: &CellConfig) -> String {
     format!(
-        "{}|{}|np={}|np0={}|learn={}|seed={}|{}|{}|faults={}",
+        "{}|{}|np={}|np0={}|learn={}|sens={}|seed={}|{}|{}|faults={}",
         c.circuit,
         c.compaction.label(),
         c.n_p,
         c.n_p0,
         c.learning,
+        c.sensitize,
         c.seed,
         c.sim_options().label(),
         c.run_mode.label(),
@@ -126,12 +137,32 @@ fn kmono_key(c: &CellConfig) -> String {
 /// switch.
 fn learning_key(c: &CellConfig) -> String {
     format!(
-        "{}|{}|k={}|np={}|np0={}|seed={}|{}|{}|budget={:?}|faults={}",
+        "{}|{}|k={}|np={}|np0={}|sens={}|seed={}|{}|{}|budget={:?}|faults={}",
         c.circuit,
         c.compaction.label(),
         c.k,
         c.n_p,
         c.n_p0,
+        c.sensitize,
+        c.seed,
+        c.sim_options().label(),
+        c.run_mode.label(),
+        c.budget_minutes,
+        faults_component(c)
+    )
+}
+
+/// The grouping key for the sensitize family: everything but the
+/// sensitize switch.
+fn sensitize_key(c: &CellConfig) -> String {
+    format!(
+        "{}|{}|k={}|np={}|np0={}|learn={}|seed={}|{}|{}|budget={:?}|faults={}",
+        c.circuit,
+        c.compaction.label(),
+        c.k,
+        c.n_p,
+        c.n_p0,
+        c.learning,
         c.seed,
         c.sim_options().label(),
         c.run_mode.label(),
@@ -380,7 +411,85 @@ pub fn check_chaos(observations: &[CellObservation]) -> Vec<Violation> {
     violations
 }
 
-/// Runs all five families over the observations, report order.
+/// sensitize: the pre-elimination filter may only drop provably false
+/// (untestable) faults. Three checks:
+///
+/// * the in-cell exact-search audit found no eliminated fault that
+///   complete search can satisfy ([`CellObservation::sensitize_testable`]);
+/// * within a pair differing only in the sensitize switch, the off
+///   population ⊇ the on population (filtering is contractive);
+/// * every fault the filter eliminated goes undetected in the off cell —
+///   a detected elimination means a testable fault was thrown away.
+#[must_use]
+pub fn check_sensitize(observations: &[CellObservation]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for o in observations {
+        if !o.sensitize_testable.is_empty() {
+            violations.push(Violation {
+                invariant: Invariant::Sensitize,
+                detail: format!(
+                    "[{}]: exact search proved {} eliminated fault(s) testable (first: {})",
+                    o.config.label(),
+                    o.sensitize_testable.len(),
+                    o.sensitize_testable[0]
+                ),
+                cells: vec![o.config.clone()],
+            });
+        }
+    }
+    for (key, group) in groups(observations, sensitize_key) {
+        let off = group.iter().find(|o| !o.config.sensitize);
+        let on = group.iter().find(|o| o.config.sensitize);
+        let (Some(off), Some(on)) = (off, on) else {
+            continue;
+        };
+        let off_keys: std::collections::BTreeSet<&str> =
+            off.fault_keys.iter().map(String::as_str).collect();
+        let grown: Vec<&str> = on
+            .fault_keys
+            .iter()
+            .map(String::as_str)
+            .filter(|k| !off_keys.contains(k))
+            .collect();
+        if !grown.is_empty() {
+            violations.push(Violation {
+                invariant: Invariant::Sensitize,
+                detail: format!(
+                    "group `{key}`: the sensitize filter *added* {} fault(s) absent \
+                     without it (first: {})",
+                    grown.len(),
+                    grown[0]
+                ),
+                cells: vec![off.config.clone(), on.config.clone()],
+            });
+            continue;
+        }
+        let on_keys: std::collections::BTreeSet<&str> =
+            on.fault_keys.iter().map(String::as_str).collect();
+        let falsely_eliminated: Vec<&str> = off
+            .fault_keys
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| !on_keys.contains(k.as_str()) && off.detected[*i])
+            .map(|(_, k)| k.as_str())
+            .collect();
+        if !falsely_eliminated.is_empty() {
+            violations.push(Violation {
+                invariant: Invariant::Sensitize,
+                detail: format!(
+                    "group `{key}`: the sensitize filter eliminated {} fault(s) the \
+                     off cell detects (first: {}) — they are testable, not false",
+                    falsely_eliminated.len(),
+                    falsely_eliminated[0]
+                ),
+                cells: vec![off.config.clone(), on.config.clone()],
+            });
+        }
+    }
+    violations
+}
+
+/// Runs all six families over the observations, report order.
 #[must_use]
 pub fn check_all(observations: &[CellObservation]) -> Vec<Violation> {
     let mut violations = check_ident(observations);
@@ -388,5 +497,6 @@ pub fn check_all(observations: &[CellObservation]) -> Vec<Violation> {
     violations.extend(check_resume(observations));
     violations.extend(check_learning(observations));
     violations.extend(check_chaos(observations));
+    violations.extend(check_sensitize(observations));
     violations
 }

@@ -7,7 +7,7 @@
 //! and checkpoint/resume. Each knob is tested in isolation elsewhere; this
 //! crate tests their *products*. It enumerates the cross-product of axis
 //! values ([`MatrixAxes`]), runs every (sampled) cell through the shared
-//! generation session fanned out over worker threads, and checks five
+//! generation session fanned out over worker threads, and checks six
 //! cross-cell invariant families ([`invariants`]):
 //!
 //! * **ident** — throughput axes (backend × width × events × generous
@@ -17,7 +17,11 @@
 //! * **learning** — static learning removes only proven-untestable faults,
 //! * **chaos** — injected I/O faults ([`pdf_chaos`] failpoints on the
 //!   checkpoint path) heal through retries and previous-generation
-//!   recovery without changing a single result byte.
+//!   recovery without changing a single result byte,
+//! * **sensitize** — the false-path pre-elimination filter is sound: the
+//!   filtered population is a subset of the unfiltered one, nothing the
+//!   unfiltered cell detects is eliminated, and the in-cell exact-search
+//!   audit confirms no eliminated fault is satisfiable.
 //!
 //! Any failing cell is auto-minimized abi-cafe-style ([`minimize`]) into
 //! the smallest reproducing circuit + configuration, written as a
@@ -121,27 +125,33 @@ impl MatrixRunner {
     }
 
     /// The cells this runner would execute. Stride sampling can land on
-    /// a chaos cell without its `faults: None` twin; the missing twins
-    /// are appended so the chaos family always has a clean reference.
+    /// a chaos cell without its `faults: None` twin, or a sensitize-on
+    /// cell without its off twin; the missing twins are appended so the
+    /// chaos and sensitize families always have a reference cell. An
+    /// appended twin is itself processed (a chaos+sensitize cell gets a
+    /// clean twin that in turn gets its own sensitize-off twin).
     #[must_use]
     pub fn cells(&self) -> Vec<CellConfig> {
-        let mut cells = self.axes.cells(self.max_cells);
-        let mut seen: BTreeSet<String> = cells
-            .iter()
-            .filter(|c| c.faults.is_none())
-            .map(|c| c.label())
-            .collect();
-        let mut twins = Vec::new();
-        for cell in &cells {
+        let cells = self.axes.cells(self.max_cells);
+        let mut seen: BTreeSet<String> = cells.iter().map(|c| c.label()).collect();
+        let mut out = cells.clone();
+        let mut queue = cells;
+        while let Some(cell) = queue.pop() {
+            let mut twins = Vec::new();
             if cell.faults.is_some() {
-                let twin = cell.clean_twin();
+                twins.push(cell.clean_twin());
+            }
+            if cell.sensitize {
+                twins.push(cell.sensitize_twin());
+            }
+            for twin in twins {
                 if seen.insert(twin.label()) {
-                    twins.push(twin);
+                    out.push(twin.clone());
+                    queue.push(twin);
                 }
             }
         }
-        cells.extend(twins);
-        cells
+        out
     }
 
     fn observe(&self, circuit: &Circuit, config: &CellConfig) -> CellObservation {

@@ -246,7 +246,7 @@ pub fn minimize(
     let default = CellConfig::default_cell();
     for i in 0..cells.len() {
         type Reset = fn(&mut CellConfig, &CellConfig);
-        let resets: [Reset; 11] = [
+        let resets: [Reset; 12] = [
             |c, _| c.faults = None,
             |c, d| c.threads = d.threads,
             |c, d| c.events = d.events,
@@ -255,6 +255,7 @@ pub fn minimize(
             |c, _| c.budget_minutes = None,
             |c, _| c.run_mode = RunMode::Direct,
             |c, d| c.learning = d.learning,
+            |c, d| c.sensitize = d.sensitize,
             |c, d| c.compaction = d.compaction,
             |c, d| c.k = d.k,
             |c, d| {

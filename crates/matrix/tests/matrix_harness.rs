@@ -46,6 +46,7 @@ fn s27_axes() -> MatrixAxes {
         n_ps: vec![300],
         n_p0s: vec![10],
         learnings: vec![false, true],
+        sensitizes: vec![false],
         run_modes: vec![
             RunMode::Direct,
             RunMode::CheckpointResume {
@@ -97,6 +98,7 @@ fn clean_b09_slice_passes_all_invariants() {
             n_ps: vec![300],
             n_p0s: vec![60],
             learnings: vec![false, true],
+            sensitizes: vec![false],
             run_modes: vec![RunMode::Direct],
             threads: vec![1, 4],
             seeds: vec![2002],
@@ -129,6 +131,7 @@ fn corrupted_runner() -> MatrixRunner {
         n_ps: vec![300],
         n_p0s: vec![10],
         learnings: vec![false],
+        sensitizes: vec![false],
         run_modes: vec![RunMode::Direct],
         threads: vec![1],
         seeds: vec![2002],
@@ -225,6 +228,7 @@ fn chaos_axes() -> MatrixAxes {
         n_ps: vec![300],
         n_p0s: vec![10],
         learnings: vec![false],
+        sensitizes: vec![false],
         run_modes: vec![
             RunMode::Direct,
             RunMode::CheckpointResume {
@@ -289,6 +293,65 @@ fn sampled_chaos_cells_get_their_clean_twin_injected() {
     assert_eq!(cells.len(), 2, "the missing clean twin must be appended");
     assert!(cells[0].faults.is_some());
     assert_eq!(cells[1], cells[0].clean_twin());
+}
+
+/// A minimal sensitize slice: one on/off twin pair on s27 so the
+/// soundness family has a subset + detection + exact-audit check.
+fn sensitize_axes() -> MatrixAxes {
+    MatrixAxes {
+        circuits: vec!["s27".to_owned()],
+        backends: vec![SimBackend::Scalar],
+        widths: vec![SimWidth::W64],
+        events: vec![true],
+        compactions: vec![pdf_atpg::Compaction::Uncompacted],
+        ks: vec![2],
+        n_ps: vec![300],
+        n_p0s: vec![10],
+        learnings: vec![false],
+        sensitizes: vec![false, true],
+        run_modes: vec![RunMode::Direct],
+        threads: vec![1],
+        seeds: vec![2002],
+        budgets: vec![None],
+        faults: vec![None],
+    }
+}
+
+#[test]
+fn sensitize_pair_passes_the_soundness_invariant() {
+    with_threads(None, || {
+        let outcome = MatrixRunner::new(sensitize_axes()).run();
+        assert_eq!(outcome.observations.len(), 2);
+        let on = outcome
+            .observations
+            .iter()
+            .find(|o| o.config.sensitize)
+            .expect("the sensitize axis must produce an on cell");
+        assert!(
+            on.sensitize_testable.is_empty(),
+            "exact audit refuted eliminations: {:?}",
+            on.sensitize_testable
+        );
+        let details: Vec<String> = outcome
+            .violations
+            .iter()
+            .map(|v| v.detail.clone())
+            .collect();
+        assert!(outcome.passed(), "violations: {details:#?}");
+    });
+}
+
+#[test]
+fn sampled_sensitize_cells_get_their_off_twin_injected() {
+    let mut axes = sensitize_axes();
+    // Sample down to a single sensitize-on cell; its off reference must
+    // be appended the way chaos cells get their clean twin.
+    axes.sensitizes = vec![true];
+    let runner = MatrixRunner::new(axes).with_max_cells(1);
+    let cells = runner.cells();
+    assert_eq!(cells.len(), 2, "the missing off twin must be appended");
+    assert!(cells[0].sensitize);
+    assert_eq!(cells[1], cells[0].sensitize_twin());
 }
 
 #[test]

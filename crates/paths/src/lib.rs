@@ -43,8 +43,8 @@ pub use enumerate::{
 };
 pub use path::{Path, PathError};
 pub use select::{select_line_cover, LineCoverSelection};
-pub use spectrum::PathSpectrum;
-pub use store::{LengthClass, LengthHistogram, PathStore, StoredPath};
+pub use spectrum::{Cutoff, PathSpectrum, PathTraffic, SatCount};
+pub use store::{ClassCounts, LengthClass, LengthHistogram, PathClass, PathStore, StoredPath};
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

@@ -4,11 +4,70 @@ use core::fmt;
 
 use crate::Path;
 
+/// Static sensitizability verdict for one stored path — the three-way
+/// lattice of the analysis layer's classification pass (`False <
+/// Unknown`, `Robust < Unknown` in information order; `Unknown` is the
+/// sound default for every untagged path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PathClass {
+    /// Provably unsensitizable: no two-pattern test can propagate a
+    /// transition along this path under the sensitization criterion it
+    /// was classified for. Sound to drop from every target fault set.
+    False,
+    /// Provably robustly sensitizable: a robust two-pattern test exists.
+    Robust,
+    /// Neither proof applies (the default).
+    #[default]
+    Unknown,
+}
+
+impl PathClass {
+    /// Stable lowercase label (report keys, cell labels).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PathClass::False => "false",
+            PathClass::Robust => "robust",
+            PathClass::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for PathClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-class path totals of one store, as produced by
+/// [`PathStore::class_counts`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Paths tagged [`PathClass::False`].
+    pub false_paths: usize,
+    /// Paths tagged [`PathClass::Robust`].
+    pub robust: usize,
+    /// Untagged paths and paths tagged [`PathClass::Unknown`].
+    pub unknown: usize,
+}
+
+impl ClassCounts {
+    /// Sum over all classes — always the store's length.
+    #[must_use]
+    pub const fn total(&self) -> usize {
+        self.false_paths + self.robust + self.unknown
+    }
+}
+
 /// A collection of complete paths together with their delays, as produced
-/// by enumeration.
+/// by enumeration, plus optional per-path classification tags attached by
+/// the static sensitizability analysis.
 #[derive(Clone, Debug, Default)]
 pub struct PathStore {
     entries: Vec<StoredPath>,
+    /// Classification side-table, indexed like `entries`; shorter than
+    /// `entries` when a suffix is untagged (reads as `Unknown`).
+    classes: Vec<PathClass>,
 }
 
 /// One path with its cached delay.
@@ -72,8 +131,53 @@ impl PathStore {
 
     /// Sorts entries by descending delay; ties keep storage order
     /// (stable sort), which keeps downstream fault ordering deterministic.
+    /// Classification tags move with their paths.
     pub fn sort_by_delay_desc(&mut self) {
-        self.entries.sort_by_key(|e| std::cmp::Reverse(e.delay));
+        if self.classes.is_empty() {
+            self.entries.sort_by_key(|e| std::cmp::Reverse(e.delay));
+            return;
+        }
+        self.classes.resize(self.entries.len(), PathClass::Unknown);
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].delay));
+        self.entries = order.iter().map(|&i| self.entries[i].clone()).collect();
+        self.classes = order.iter().map(|&i| self.classes[i]).collect();
+    }
+
+    /// Tags the path at `index` with its classification verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds — a tag must always name a
+    /// stored path.
+    pub fn set_class(&mut self, index: usize, class: PathClass) {
+        assert!(index < self.entries.len(), "class tag out of bounds");
+        if self.classes.len() <= index {
+            self.classes.resize(index + 1, PathClass::Unknown);
+        }
+        self.classes[index] = class;
+    }
+
+    /// The classification tag of the path at `index` (`Unknown` when the
+    /// path was never tagged).
+    #[must_use]
+    pub fn class(&self, index: usize) -> PathClass {
+        self.classes.get(index).copied().unwrap_or_default()
+    }
+
+    /// Per-class totals over the whole store. The counts always sum to
+    /// [`PathStore::len`] — the reconciliation `pdfatpg analyze` reports.
+    #[must_use]
+    pub fn class_counts(&self) -> ClassCounts {
+        let mut counts = ClassCounts::default();
+        for i in 0..self.entries.len() {
+            match self.class(i) {
+                PathClass::False => counts.false_paths += 1,
+                PathClass::Robust => counts.robust += 1,
+                PathClass::Unknown => counts.unknown += 1,
+            }
+        }
+        counts
     }
 
     /// Builds the length histogram of the store, counting `units` faults
@@ -93,6 +197,7 @@ impl FromIterator<StoredPath> for PathStore {
     fn from_iter<T: IntoIterator<Item = StoredPath>>(iter: T) -> PathStore {
         PathStore {
             entries: iter.into_iter().collect(),
+            classes: Vec::new(),
         }
     }
 }
@@ -281,6 +386,41 @@ mod tests {
         assert_eq!(h.cutoff(13), Some(2));
         assert_eq!(h.cutoff(37), None);
         assert_eq!(h.length_at(2), Some(94));
+    }
+
+    #[test]
+    fn class_tags_follow_paths_through_sort() {
+        let mut s = PathStore::new();
+        s.push(p(&[0, 1]), 2);
+        s.push(p(&[0, 1, 2]), 3);
+        s.push(p(&[3, 4]), 5);
+        // Untagged paths read as Unknown.
+        assert_eq!(s.class(1), PathClass::Unknown);
+        s.set_class(0, PathClass::False);
+        s.set_class(2, PathClass::Robust);
+        let counts = s.class_counts();
+        assert_eq!(
+            counts,
+            ClassCounts {
+                false_paths: 1,
+                robust: 1,
+                unknown: 1
+            }
+        );
+        assert_eq!(counts.total(), s.len());
+        s.sort_by_delay_desc();
+        // Descending delay: 5 (robust), 3 (untagged), 2 (false).
+        assert_eq!(s.class(0), PathClass::Robust);
+        assert_eq!(s.class(1), PathClass::Unknown);
+        assert_eq!(s.class(2), PathClass::False);
+        assert_eq!(s.class_counts(), counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "class tag out of bounds")]
+    fn class_tag_out_of_bounds_panics() {
+        let mut s = PathStore::new();
+        s.set_class(0, PathClass::False);
     }
 
     #[test]

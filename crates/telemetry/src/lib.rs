@@ -132,6 +132,15 @@ pub mod counters {
     pub const IO_RETRIES: &str = "io_retries";
     /// Checkpoint loads that fell back to the previous-good generation.
     pub const CHECKPOINT_RECOVERIES: &str = "checkpoint_recoveries";
+    /// Paths classified by the static sensitizability pass (one count per
+    /// stored path, regardless of verdict).
+    pub const PATHS_CLASSIFIED: &str = "paths_classified";
+    /// Fault candidates dropped by the sensitizability pre-filter because
+    /// their path is statically proven false.
+    pub const FALSE_PATHS_ELIMINATED: &str = "false_paths_eliminated";
+    /// Guided-search branch decisions taken deterministically by the
+    /// SCOAP testability guide instead of the justifier's RNG.
+    pub const SCOAP_GUIDED_BRANCHES: &str = "scoap_guided_branches";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
